@@ -1,0 +1,62 @@
+// Ablation: sensitivity of the upgrade-study ratios (Table V) to the
+// baseline system the study assumes. The paper notes that upgrade ratios
+// are baseline-independent only when the requirement models factor into
+// single-parameter functions ("this will not be generally true as it
+// depends on the specific relative upgrade"); this harness quantifies the
+// effect by sweeping the baseline process count across three orders of
+// magnitude.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "codesign/upgrade.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+int run() {
+  bench::print_banner(
+      "Ablation: baseline sensitivity of the upgrade ratios",
+      "Sec. III-A's caveat on relative upgrades (supporting Table V)");
+
+  const auto upgrade = codesign::paper_upgrades()[0];  // double the racks
+  TextTable table({"App", "Ratio", "base p = 2^12", "base p = 2^16",
+                   "base p = 2^20"});
+  table.set_alignment({Align::kLeft, Align::kLeft, Align::kRight,
+                       Align::kRight, Align::kRight});
+
+  for (apps::AppId id : apps::all_app_ids()) {
+    const auto& req = bench::app_models(id).requirements;
+    std::vector<std::string> compute{req.name, "Computation"};
+    std::vector<std::string> memory{"", "Memory access"};
+    for (const double base_p : {4096.0, 65536.0, 1048576.0}) {
+      const codesign::SystemSkeleton base{base_p, 1ull << 31};
+      try {
+        const auto outcome =
+            codesign::evaluate_upgrade(req, base, upgrade).outcome;
+        compute.push_back(format_fixed(outcome.computation_ratio, 2));
+        memory.push_back(format_fixed(outcome.memory_access_ratio, 2));
+      } catch (const Error&) {
+        compute.push_back("n/a");
+        memory.push_back("n/a");
+      }
+    }
+    table.add_row(std::move(compute));
+    table.add_row(std::move(memory));
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Applications whose models factor into f(n) * g(p) (Kripke, LULESH)\n"
+      "show near-constant ratios; additive mixtures (MILC's p^1.5 term)\n"
+      "drift with the baseline — exactly the caveat the paper raises.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

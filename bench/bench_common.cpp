@@ -1,0 +1,29 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace exareq::bench {
+
+const AppModels& app_models(apps::AppId id) {
+  static std::map<apps::AppId, AppModels> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    std::fprintf(stderr, "[measuring %s ...]\n", apps::app_name(id).c_str());
+    AppModels entry;
+    entry.data = pipeline::run_campaign(apps::application(id));
+    entry.models = pipeline::model_requirements(entry.data);
+    entry.requirements = pipeline::to_requirements(entry.models);
+    it = cache.emplace(id, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace exareq::bench

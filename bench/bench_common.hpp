@@ -1,0 +1,27 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#pragma once
+
+#include <string>
+
+#include "codesign/requirements.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/codesign_bridge.hpp"
+
+namespace exareq::bench {
+
+/// Campaign + fitted models + co-design bundle for one application, cached
+/// per process so harnesses that need several views do the measurement
+/// work once.
+struct AppModels {
+  pipeline::CampaignData data{"", {}};
+  pipeline::RequirementModels models;
+  codesign::AppRequirements requirements;
+};
+
+/// Runs (or returns the cached) default campaign for `id`.
+const AppModels& app_models(apps::AppId id);
+
+/// Prints a one-line banner with the experiment name and its paper source.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace exareq::bench

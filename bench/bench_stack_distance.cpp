@@ -1,0 +1,96 @@
+// Performance benchmarks of the locality substrate: the Fenwick-based
+// Olken stack-distance algorithm versus the quadratic reference (the
+// ablation justifying the tree), Fenwick primitive costs, and the cost of
+// a full burst-sampled locality analysis.
+#include <benchmark/benchmark.h>
+
+#include "memtrace/distance.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/mmm.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace exareq::memtrace;
+
+AccessTrace random_trace(std::size_t length, std::size_t footprint,
+                         std::uint64_t seed) {
+  exareq::Rng rng(seed);
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  trace.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    trace.record(static_cast<std::uint64_t>(
+                     rng.uniform_int(0, static_cast<std::int64_t>(footprint) - 1)),
+                 g);
+  }
+  return trace;
+}
+
+void BM_OlkenDistances(benchmark::State& state) {
+  const auto trace =
+      random_trace(static_cast<std::size_t>(state.range(0)), 4096, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_distances(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OlkenDistances)->Range(1 << 10, 1 << 18);
+
+void BM_ReferenceDistances(benchmark::State& state) {
+  const auto trace =
+      random_trace(static_cast<std::size_t>(state.range(0)), 4096, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_distances_reference(trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ReferenceDistances)->Range(1 << 10, 1 << 13);
+
+void BM_FenwickSetClear(benchmark::State& state) {
+  FenwickTree tree(1 << 16);
+  std::size_t position = 0;
+  for (auto _ : state) {
+    tree.set(position);
+    tree.clear(position);
+    position = (position + 7919) % (1 << 16);
+  }
+}
+BENCHMARK(BM_FenwickSetClear);
+
+void BM_FenwickRangeCount(benchmark::State& state) {
+  FenwickTree tree(1 << 16);
+  for (std::size_t i = 0; i < (1 << 16); i += 3) tree.set(i);
+  std::size_t lo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.range_count(lo, lo + 1024));
+    lo = (lo + 4099) % ((1 << 16) - 1024);
+  }
+}
+BENCHMARK(BM_FenwickRangeCount);
+
+void BM_LocalityAnalysis(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result = traced_mmm_naive(a, b, n);
+  LocalityConfig config;
+  config.sampler = state.range(1) == 0 ? SamplerConfig::exact()
+                                       : SamplerConfig{64, 512, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_locality(
+        result.trace, config, static_cast<double>(result.trace.size())));
+  }
+  state.counters["trace_length"] = static_cast<double>(result.trace.size());
+}
+BENCHMARK(BM_LocalityAnalysis)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Figure 2 reproduction: the modeling effort of architecture-specific
+// performance models (one model per application-architecture pair) versus
+// application-centric requirements models (one per application).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+int run() {
+  bench::print_banner(
+      "Modeling effort: architecture-specific vs. requirements models",
+      "Fig. 2 (Sec. II-A)");
+
+  const std::size_t applications = apps::all_app_ids().size();
+  TextTable table({"#Architectures", "Architecture-specific models",
+                   "Requirements models (ours)"});
+  for (const std::size_t architectures : {1, 2, 3, 5, 10}) {
+    table.add_row({std::to_string(architectures),
+                   std::to_string(applications * architectures),
+                   std::to_string(applications)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "With %zu target applications, architecture-specific modeling effort\n"
+      "grows with the product of applications and architectures, while a\n"
+      "requirements model is created once per application (paper Fig. 2).\n",
+      applications);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,46 @@
+// Figure 3 reproduction: every measurement used for model generation,
+// classified by the relative error of its fitted model. The paper reports
+// 88% of points below 5% error and most of the rest below 20%.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/histogram.hpp"
+
+namespace {
+
+using namespace exareq;
+
+int run() {
+  bench::print_banner(
+      "Measurements classified by relative error of the generated models",
+      "Fig. 3 (Sec. III)");
+
+  std::vector<double> errors;
+  for (apps::AppId id : apps::all_app_ids()) {
+    const auto app_errors =
+        pipeline::all_relative_errors(bench::app_models(id).models);
+    errors.insert(errors.end(), app_errors.begin(), app_errors.end());
+  }
+  const auto bins = classify_relative_errors(errors);
+  std::printf("%s\n", render_histogram(bins).c_str());
+
+  std::size_t below5 = 0;
+  std::size_t below20 = 0;
+  for (double e : errors) {
+    if (e < 0.05) ++below5;
+    if (e < 0.20) ++below20;
+  }
+  std::printf(
+      "%zu measurement points across all models; %.1f%% below 5%% relative\n"
+      "error (paper: 88%%), %.1f%% below 20%% (paper: 96%%).\n",
+      errors.size(),
+      100.0 * static_cast<double>(below5) / static_cast<double>(errors.size()),
+      100.0 * static_cast<double>(below20) /
+          static_cast<double>(errors.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

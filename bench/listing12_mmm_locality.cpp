@@ -1,0 +1,127 @@
+// Listings 1-2 / Sec. II-D reproduction: locality analysis of the naive and
+// blocked matrix-matrix multiplications. The naive kernel's stack distances
+// grow with the matrix size (SD(A) ~ 2n, SD(B) ~ n^2 + 2n - 1) while the
+// blocked kernel's stay constant (SD(A) ~ 2b + 1, SD(B) ~ 2b^2 + b,
+// SD(C) = 2) — the empirical demonstration that the method detects whether
+// an implementation is locality-preserving, plus a model fit of SD(B) over
+// the matrix size.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "memtrace/cache_model.hpp"
+#include "memtrace/cache_sim.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/mmm.hpp"
+#include "model/fitter.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+constexpr std::size_t kBlock = 4;
+
+memtrace::LocalityReport analyze(const memtrace::AccessTrace& trace) {
+  memtrace::LocalityConfig config;
+  config.sampler = memtrace::SamplerConfig::exact();
+  config.min_samples = 16;
+  return memtrace::analyze_locality(trace, config,
+                                    static_cast<double>(trace.size()));
+}
+
+int run() {
+  bench::print_banner("Naive vs. blocked matrix-multiply locality",
+                      "Listings 1-2 and the Sec. II-D analysis");
+
+  const std::vector<std::size_t> sizes = {8, 12, 16, 24, 32, 40, 48};
+
+  TextTable table({"n", "naive SD(A)", "naive SD(B)", "naive SD(C)",
+                   "blocked SD(A)", "blocked SD(B)", "blocked SD(C)"});
+  model::MeasurementSet naive_b({"n"});
+  model::MeasurementSet naive_a({"n"});
+  for (const std::size_t n : sizes) {
+    const auto a = memtrace::make_matrix(n, 1.0f);
+    const auto b = memtrace::make_matrix(n, 2.0f);
+    const auto naive = memtrace::traced_mmm_naive(a, b, n);
+    const auto blocked = memtrace::traced_mmm_blocked(a, b, n, kBlock);
+    const auto naive_report = analyze(naive.trace);
+    const auto blocked_report = analyze(blocked.trace);
+
+    const auto cell = [](const memtrace::GroupLocality& g) {
+      return g.samples == 0 ? std::string("never reused")
+                            : format_compact(g.median_stack_distance);
+    };
+    table.add_row({std::to_string(n),
+                   cell(naive_report.groups[naive.group_a]),
+                   cell(naive_report.groups[naive.group_b]),
+                   cell(naive_report.groups[naive.group_c]),
+                   cell(blocked_report.groups[blocked.group_a]),
+                   cell(blocked_report.groups[blocked.group_b]),
+                   cell(blocked_report.groups[blocked.group_c])});
+    naive_a.add({static_cast<double>(n)},
+                naive_report.groups[naive.group_a].median_stack_distance);
+    naive_b.add({static_cast<double>(n)},
+                naive_report.groups[naive.group_b].median_stack_distance);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper's closed forms: naive SD(A) = 2n - 1-ish, naive SD(B) =\n"
+              "n^2 + 2n - 1, C never reused; blocked distances depend only on\n"
+              "the block size b = %zu (SD(C) = 2).\n\n", kBlock);
+
+  // Model the naive kernel's SD growth as the paper's method would.
+  const auto fit_a = model::fit_single_parameter(naive_a);
+  const auto fit_b = model::fit_single_parameter(naive_b);
+  std::printf("Fitted naive-kernel locality models (Extra-P substitute):\n");
+  std::printf("  SD(A)(n) = %s\n", fit_a.model.to_string().c_str());
+  std::printf("  SD(B)(n) = %s\n", fit_b.model.to_string().c_str());
+  std::printf(
+      "\nThe stack distance of B grows quadratically: as n grows, accesses\n"
+      "to B are the first to fall out of any cache — change the algorithm\n"
+      "(blocking), not the hardware (Sec. II-D conclusion).\n\n");
+
+  // Quantify Sec. II-D's cache narrative: predicted LRU miss ratios from
+  // the stack-distance distribution (exact for full associativity,
+  // Mattson), validated against an executed set-associative simulation.
+  std::printf(
+      "Predicted LRU miss ratios vs simulated 8-way cache (n = 32, b = %zu):\n",
+      kBlock);
+  const std::size_t n = 32;
+  const auto a32 = memtrace::make_matrix(n, 1.0f);
+  const auto b32 = memtrace::make_matrix(n, 2.0f);
+  const auto naive32 = memtrace::traced_mmm_naive(a32, b32, n);
+  const auto blocked32 = memtrace::traced_mmm_blocked(a32, b32, n, kBlock);
+  memtrace::LocalityConfig exact;
+  exact.sampler = memtrace::SamplerConfig::exact();
+  const std::uint64_t capacities[] = {64, 256, 1024, 4096};
+  const auto naive_pred =
+      memtrace::predict_miss_ratios(naive32.trace, exact, capacities);
+  const auto blocked_pred =
+      memtrace::predict_miss_ratios(blocked32.trace, exact, capacities);
+
+  TextTable cache_table({"Capacity [locations]", "naive predicted",
+                         "naive simulated (8-way)", "blocked predicted",
+                         "blocked simulated (8-way)"});
+  for (std::size_t c = 0; c < std::size(capacities); ++c) {
+    const memtrace::CacheConfig assoc{capacities[c] / 8, 8, 1};
+    const auto naive_sim = memtrace::simulate_cache(naive32.trace, assoc);
+    const auto blocked_sim = memtrace::simulate_cache(blocked32.trace, assoc);
+    cache_table.add_row({std::to_string(capacities[c]),
+                         format_fixed(naive_pred.total_miss_ratio[c], 3),
+                         format_fixed(naive_sim.miss_ratio(), 3),
+                         format_fixed(blocked_pred.total_miss_ratio[c], 3),
+                         format_fixed(blocked_sim.miss_ratio(), 3)});
+  }
+  std::printf("%s\n", cache_table.render().c_str());
+  std::printf(
+      "The naive kernel needs ~n^2 = 1024 locations before B starts hitting;\n"
+      "the blocked kernel is already near its floor at 64 — and the\n"
+      "hardware-free prediction tracks the executed 8-way cache closely.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,159 @@
+// Tables VI and VII reproduction: the three exascale straw-man systems, the
+// maximum overall problem each application can solve on each, and the
+// lower-bound wall time for a common benchmark problem — plus the paper's
+// Sec. III-B what-if of rewriting LULESH's multiplicative p-n coupling as
+// an additive one.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "codesign/strawman.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+int run() {
+  bench::print_banner("Exascale straw-man system comparison",
+                      "Tables VI and VII (Sec. III-B)");
+
+  const auto systems = codesign::paper_strawmen();
+
+  TextTable spec({"Metric", "Massively parallel", "Vector", "Hybrid"});
+  spec.add_row({"Nodes", format_sci(systems[0].nodes, 0),
+                format_sci(systems[1].nodes, 0), format_sci(systems[2].nodes, 0)});
+  spec.add_row({"Processors", format_sci(systems[0].processors, 0),
+                format_sci(systems[1].processors, 0),
+                format_sci(systems[2].processors, 0)});
+  spec.add_row({"Processors per node",
+                format_sci(systems[0].processors_per_node, 0),
+                format_sci(systems[1].processors_per_node, 0),
+                format_sci(systems[2].processors_per_node, 0)});
+  spec.add_row({"Memory per processor [B]",
+                format_sci(systems[0].memory_per_processor, 0),
+                format_sci(systems[1].memory_per_processor, 0),
+                format_sci(systems[2].memory_per_processor, 0)});
+  spec.add_row({"Flop/s per processor",
+                format_sci(systems[0].flops_per_processor, 0),
+                format_sci(systems[1].flops_per_processor, 0),
+                format_sci(systems[2].flops_per_processor, 0)});
+  std::printf("Table VI — straw-man systems (1 exaflop/s, 10 PB total):\n%s\n",
+              spec.render().c_str());
+
+  TextTable results({"App", "Metric", "Massively parallel", "Vector", "Hybrid"});
+  results.set_alignment({Align::kLeft, Align::kLeft, Align::kRight,
+                         Align::kRight, Align::kRight});
+  for (apps::AppId id : apps::all_app_ids()) {
+    const auto& req = bench::app_models(id).requirements;
+
+    std::vector<std::string> problem{req.name, "Max overall problem size"};
+    std::vector<std::string> time{"", "Min wall time, benchmark [s]"};
+    bool any_feasible = false;
+    for (const auto& system : systems) {
+      const auto outcome = codesign::evaluate_strawman(req, system);
+      if (!outcome.feasible) {
+        problem.push_back("does not fit");
+        time.push_back("-");
+        continue;
+      }
+      any_feasible = true;
+      problem.push_back(format_sci(outcome.max_overall_problem, 1));
+      time.push_back("");  // filled below once the benchmark size is known
+    }
+    if (any_feasible) {
+      const double benchmark = codesign::common_benchmark_problem(req, systems);
+      for (std::size_t s = 0; s < systems.size(); ++s) {
+        const auto seconds =
+            codesign::wall_time_lower_bound(req, systems[s], benchmark);
+        time[s + 2] = seconds.has_value() ? format_sci(*seconds, 1) : "-";
+      }
+    }
+    results.add_row(std::move(problem));
+    results.add_row(std::move(time));
+    results.add_separator();
+  }
+  std::printf("Table VII — per-application outcomes:\n%s\n",
+              results.render().c_str());
+  std::printf(
+      "Paper conclusions to compare against: icoFoam cannot fully utilize\n"
+      "any system (its footprint grows with p even at minimal n); Kripke\n"
+      "and MILC perform alike everywhere; LULESH solves the largest problem\n"
+      "on the massively parallel system but runs the benchmark fastest on\n"
+      "the vector system; Relearn strongly prefers the vector system.\n\n");
+
+  // Sec. III-B optimization what-if.
+  codesign::AppRequirements lulesh =
+      bench::app_models(apps::AppId::kLulesh).requirements;
+  const double benchmark = codesign::common_benchmark_problem(lulesh, systems);
+  std::printf("LULESH additive-model optimization (Sec. III-B):\n");
+  TextTable what_if({"System", "Wall time, current model [s]",
+                     "Wall time, additive variant [s]"});
+  codesign::AppRequirements optimized = lulesh;
+  optimized.flops = codesign::make_additive(optimized.flops);
+  for (const auto& system : systems) {
+    const auto original =
+        codesign::wall_time_lower_bound(lulesh, system, benchmark);
+    const auto additive =
+        codesign::wall_time_lower_bound(optimized, system, benchmark);
+    what_if.add_row({system.name,
+                     original.has_value() ? format_sci(*original, 1) : "-",
+                     additive.has_value() ? format_sci(*additive, 1) : "-"});
+  }
+  std::printf("%s\n", what_if.render().c_str());
+  std::printf(
+      "Making the effects of p and n additive instead of multiplicative\n"
+      "improves the time to solution by orders of magnitude on every system\n"
+      "(the paper reports ~3 orders of magnitude).\n\n");
+
+  // Refined rate-based bound — the extension the paper sketches at the end
+  // of Sec. III-B ("take other requirements such as communication into
+  // account ... as long as the system designer can specify the rates").
+  // Per-processor rates scaled with processor strength: bytes-to-flop
+  // ratios of 0.001 for the network and 0.5 for memory.
+  std::printf(
+      "Refined per-requirement bound (network B:F = 0.001, memory B:F = 0.5):\n");
+  TextTable refined({"App", "System", "Compute [s]", "Network [s]",
+                     "Memory [s]", "Bound [s]", "Bottleneck"});
+  refined.set_alignment({Align::kLeft, Align::kLeft, Align::kRight,
+                         Align::kRight, Align::kRight, Align::kRight,
+                         Align::kLeft});
+  for (apps::AppId id : apps::all_app_ids()) {
+    const auto& req = bench::app_models(id).requirements;
+    bool printed_app = false;
+    double benchmark2 = 0.0;
+    try {
+      benchmark2 = codesign::common_benchmark_problem(req, systems);
+    } catch (const Error&) {
+      continue;  // icoFoam: no feasible system
+    }
+    for (const auto& system : systems) {
+      codesign::SatisfactionRates rates;
+      rates.flops_per_second = system.flops_per_processor;
+      rates.network_bytes_per_second = system.flops_per_processor * 0.001;
+      rates.memory_bytes_per_second = system.flops_per_processor * 0.5;
+      const auto bound =
+          codesign::refined_wall_time_bound(req, system, rates, benchmark2);
+      if (!bound.has_value()) continue;
+      refined.add_row({printed_app ? "" : req.name, system.name,
+                       format_sci(bound->compute_seconds, 1),
+                       format_sci(bound->network_seconds, 1),
+                       format_sci(bound->memory_seconds, 1),
+                       format_sci(bound->bound_seconds, 1),
+                       bound->bottleneck});
+      printed_app = true;
+    }
+    refined.add_separator();
+  }
+  std::printf("%s\n", refined.render().c_str());
+  std::printf(
+      "With realistic rates the memory system, not the FPU, bounds most of\n"
+      "these applications — the bytes-to-flop balance discussion the paper's\n"
+      "introduction motivates.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,128 @@
+// Full-workflow example with a user-defined application: implement the
+// Application interface for your own kernel, run a measurement campaign,
+// generate requirement models, and check the code against the paper's
+// exascale straw-man systems — everything a co-design study needs.
+//
+// The example application is a 1D heat-diffusion stencil: linear work and
+// memory in n, halo exchange with neighbours, and a residual allreduce per
+// sweep.
+#include <cstdio>
+
+#include "apps/application.hpp"
+#include "apps/kernel_util.hpp"
+#include "codesign/strawman.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/codesign_bridge.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+/// A well-behaved stencil code: every requirement linear in n, only the
+/// allreduce couples to p.
+class HeatStencil final : public apps::Application {
+ public:
+  std::string name() const override { return "HeatStencil"; }
+  std::string description() const override {
+    return "1D explicit heat diffusion with halo exchange";
+  }
+  std::string problem_size_meaning() const override {
+    return "grid cells per process";
+  }
+
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override {
+    const auto cells = static_cast<std::size_t>(n);
+    auto init = instr.region("init");
+    instr::TrackedBuffer<double> temperature(cells, instr.memory());
+    instr::TrackedBuffer<double> next(cells, instr.memory());
+    for (std::size_t c = 0; c < cells; ++c) {
+      temperature[c] = static_cast<double>(c % 17);
+    }
+    instr.count_stores(cells);
+
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      {
+        auto stencil = instr.region("stencil");
+        for (std::size_t c = 1; c + 1 < cells; ++c) {
+          next[c] = 0.5 * temperature[c] +
+                    0.25 * (temperature[c - 1] + temperature[c + 1]);
+        }
+        instr.count_flops((cells - 2) * 3);
+        instr.count_loads((cells - 2) * 3);
+        instr.count_stores(cells - 2);
+        std::swap(temperature[0], next[0]);  // keep both buffers live
+      }
+      {
+        auto exchange = instr.region("halo");
+        simmpi::ChannelScope channel(comm, "halo");
+        const double boundary[2] = {temperature[0], temperature[cells - 1]};
+        temperature[0] += 1e-15 * apps::ring_halo_exchange(
+                                      comm, std::span<const double>(boundary, 2),
+                                      10 + sweep * 4);
+        instr.count_stores(1);
+      }
+      {
+        auto reduce = instr.region("residual");
+        simmpi::ChannelScope channel(comm, "residual_allreduce");
+        const std::vector<double> local{temperature[cells / 2]};
+        const auto global = comm.allreduce<double>(local, simmpi::ops::Sum{});
+        temperature[0] += global[0] * 1e-15;
+        instr.count_stores(1);
+      }
+    }
+  }
+
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override {
+    memtrace::AccessTrace trace;
+    const auto grid = trace.register_group("grid");
+    const auto cells = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
+    for (int pass = 0; pass < 40; ++pass) {
+      // Sliding 3-point stencil: constant working set.
+      for (std::uint64_t c = 1; c + 1 < cells; ++c) {
+        trace.record(0x1000 + c - 1, grid);
+        trace.record(0x1000 + c, grid);
+        trace.record(0x1000 + c + 1, grid);
+      }
+    }
+    return trace;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const HeatStencil app;
+  std::printf("Measuring custom application '%s'...\n", app.name().c_str());
+  const pipeline::CampaignData data = pipeline::run_campaign(app);
+  const pipeline::RequirementModels models = pipeline::model_requirements(data);
+  const codesign::AppRequirements req = pipeline::to_requirements(models);
+
+  std::printf("\nRequirement models:\n");
+  for (pipeline::Metric metric : pipeline::all_metrics()) {
+    std::printf("  %-24s %s\n", pipeline::metric_label(metric).c_str(),
+                models.result(metric).model.to_string_rounded().c_str());
+  }
+  for (const auto& channel : models.comm_channels) {
+    std::printf("  comm[%-18s] %s\n", channel.name.c_str(),
+                channel.fit.model.to_string_rounded().c_str());
+  }
+
+  std::printf("\nExascale straw-man check (paper Table VII style):\n");
+  TextTable table({"System", "Fits?", "Max overall problem"});
+  for (const auto& system : codesign::paper_strawmen()) {
+    const auto outcome = codesign::evaluate_strawman(req, system);
+    table.add_row({system.name, outcome.feasible ? "yes" : "no",
+                   outcome.feasible
+                       ? exareq::format_sci(outcome.max_overall_problem, 1)
+                       : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nA clean bill of health: all requirements scale linearly with n and\n"
+      "the only p-coupling is the logarithmic allreduce — this code ports\n"
+      "to any of the straw-man systems without surprises.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Locality analysis example: trace your own kernel and let the
+// Threadspotter substitute judge whether it is locality-preserving
+// (paper Sec. II-D).
+//
+// Usage: ./build/examples/locality_mmm [n] [block]
+#include <cstdio>
+#include <cstdlib>
+
+#include "memtrace/locality.hpp"
+#include "memtrace/mmm.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace exareq;
+  using namespace exareq::memtrace;
+
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 32;
+  const std::size_t block = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  if (n == 0 || block == 0 || n % block != 0) {
+    std::fprintf(stderr, "usage: locality_mmm [n] [block], block must divide n\n");
+    return 1;
+  }
+
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const TracedMmm naive = traced_mmm_naive(a, b, n);
+  const TracedMmm blocked = traced_mmm_blocked(a, b, n, block);
+
+  // Burst-sampled analysis, exactly like the tool chain of the paper:
+  // exact distances, sampled reporting, median per instruction group,
+  // unreliable groups (< 100 samples) flagged.
+  LocalityConfig config;
+  config.sampler = SamplerConfig{64, 512, 0};
+  config.min_samples = 100;
+
+  for (const auto* kernel : {&naive, &blocked}) {
+    const bool is_naive = kernel == &naive;
+    const LocalityReport report = analyze_locality(
+        kernel->trace, config, static_cast<double>(kernel->trace.size()));
+    std::printf("\n%s matrix-matrix multiply (n = %zu%s):\n",
+                is_naive ? "Naive" : "Blocked", n,
+                is_naive ? "" : (", b = " + std::to_string(block)).c_str());
+    TextTable table({"Group", "Samples", "Median SD", "Median RD",
+                     "Est. accesses", "Reliable"});
+    for (const GroupLocality& group : report.groups) {
+      table.add_row({group.name, std::to_string(group.samples),
+                     group.samples ? format_compact(group.median_stack_distance)
+                                   : "-",
+                     group.samples ? format_compact(group.median_reuse_distance)
+                                   : "-",
+                     format_compact(group.estimated_accesses),
+                     group.reliable ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  std::printf(
+      "\nVerdict: the naive kernel's stack distances grow with n (accesses\n"
+      "to B will miss any cache once n^2 exceeds it); the blocked kernel's\n"
+      "depend only on the block size — it is locality-preserving, so its\n"
+      "main-memory traffic scales with the measured loads/stores.\n");
+  return 0;
+}

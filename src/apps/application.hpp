@@ -1,0 +1,67 @@
+// Application proxy interface.
+//
+// The paper measures five real codes (Kripke, LULESH, MILC, Relearn,
+// icoFoam). We cannot ship those code bases, so each is substituted by a
+// behavioural proxy: a genuine parallel kernel (real floating-point math on
+// real arrays, real messages through the simulated MPI runtime) whose
+// requirement growth in (p, n) reproduces the models of the paper's
+// Table II. The modeling pipeline has no knowledge of the intended models —
+// it must recover them from measurements, which is the paper's experiment.
+//
+// Every proxy documents its construction in its header: which mechanism of
+// the original application produces each requirement term and how the proxy
+// realizes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instr/process.hpp"
+#include "memtrace/trace.hpp"
+#include "simmpi/comm.hpp"
+
+namespace exareq::apps {
+
+/// The five applications of the paper's case study (Sec. III).
+enum class AppId { kKripke, kLulesh, kMilc, kRelearn, kIcoFoam };
+
+/// Abstract application proxy.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Short name as used in the paper's tables ("Kripke", "LULESH", ...).
+  virtual std::string name() const = 0;
+
+  /// One-line description of the original code.
+  virtual std::string description() const = 0;
+
+  /// What the per-process problem size n means for this application.
+  virtual std::string problem_size_meaning() const = 0;
+
+  /// Smallest admissible per-process problem size.
+  virtual std::int64_t min_problem_size() const { return 16; }
+
+  /// Executes one rank of the application with per-process problem size n.
+  /// Computation is counted through `instr`, communication through `comm`.
+  virtual void run_rank(simmpi::Communicator& comm,
+                        instr::ProcessInstrumentation& instr,
+                        std::int64_t n) const = 0;
+
+  /// Single-process traced kernel for locality (stack distance) analysis —
+  /// the Threadspotter substitute's input. Stack distance models in the
+  /// paper depend on n only (Table II), so p is not a parameter here.
+  virtual memtrace::AccessTrace locality_trace(std::int64_t n) const = 0;
+};
+
+/// Registry access.
+const Application& application(AppId id);
+std::vector<AppId> all_app_ids();
+std::string app_name(AppId id);
+
+/// Lookup by case-insensitive name; throws InvalidArgument for unknown
+/// names.
+AppId app_id_from_name(const std::string& name);
+
+}  // namespace exareq::apps

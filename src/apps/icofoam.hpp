@@ -1,0 +1,50 @@
+// icoFoam proxy — incompressible Newtonian flow solver from OpenFOAM,
+// applied to the 2D lid-driven cavity (paper Sec. III).
+//
+// n is the number of computational cells per process.
+//
+// icoFoam is the paper's negative example: almost every requirement is
+// flagged. Requirement mechanisms reproduced (paper Table II):
+//   #Bytes used       ~ n + p log p          velocity/pressure fields plus
+//                                            the replicated processor-
+//                                            boundary coefficient tables
+//                                            (log2(p) levels, p entries) —
+//                                            the footprint term that makes
+//                                            icoFoam unable to use the
+//                                            exascale systems of Table VII
+//   #FLOP             ~ n^1.5 * p^0.5        pressure CG: iteration count
+//                                            ~ sqrt(n) (2D Poisson), inner
+//                                            smoothing sweeps ~ sqrt(p)
+//                                            (decomposition-degraded
+//                                            preconditioner)
+//   #Bytes sent/recv  ~ n^0.5 * Allreduce(p) CG dot products (one per
+//                                            iteration)
+//                     + p^0.5 * log p        load-balance schedule broadcast
+//                     + n * p^0.375          processor-boundary exchange
+//                                            with decomposition-degraded
+//                                            surface growth
+//   #Loads & stores   ~ n log n * p^0.5 log p flux addressing passes with
+//                                            indirect (binary search) cell
+//                                            lookup
+//   Stack distance    Constant               per-cell stencil working set
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class IcoFoamProxy final : public Application {
+ public:
+  std::string name() const override { return "icoFoam"; }
+  std::string description() const override {
+    return "incompressible flow (PISO) proxy on the 2D lid-driven cavity";
+  }
+  std::string problem_size_meaning() const override {
+    return "computational cells per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+};
+
+}  // namespace exareq::apps

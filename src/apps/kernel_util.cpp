@@ -1,0 +1,133 @@
+#include "apps/kernel_util.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace exareq::apps {
+
+std::int64_t ilog2(std::int64_t x) {
+  exareq::require(x >= 1, "ilog2: argument must be >= 1");
+  std::int64_t result = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+std::int64_t isqrt(std::int64_t x) {
+  exareq::require(x >= 0, "isqrt: argument must be non-negative");
+  auto r = static_cast<std::int64_t>(std::sqrt(static_cast<double>(x)));
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+std::int64_t quarter_power_log_cycles(std::int64_t p) {
+  exareq::require(p >= 1, "quarter_power_log_cycles: p must be >= 1");
+  const double value = std::pow(static_cast<double>(p), 0.25) *
+                       std::log2(static_cast<double>(p));
+  const auto rounded = static_cast<std::int64_t>(std::llround(value));
+  return rounded < 1 ? 1 : rounded;
+}
+
+std::size_t counted_lower_bound(std::span<const double> sorted, double key,
+                                instr::ProcessInstrumentation& instr) {
+  std::size_t lo = 0;
+  std::size_t hi = sorted.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // One table load per probe. Comparisons are not counted as FLOPs:
+    // hardware FP-operation counters (PAPI's FP_OPS) count arithmetic, not
+    // compare-and-branch.
+    instr.count_loads(1);
+    if (sorted[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void counted_sift_down(std::span<double> heap, std::size_t start,
+                       instr::ProcessInstrumentation& instr) {
+  std::size_t root = start;
+  const std::size_t count = heap.size();
+  for (;;) {
+    std::size_t child = 2 * root + 1;
+    if (child >= count) break;
+    // Comparison loads only; compares are not FP arithmetic (see
+    // counted_lower_bound).
+    instr.count_loads(2);
+    if (child + 1 < count && heap[child] < heap[child + 1]) {
+      ++child;
+    }
+    instr.count_loads(2);
+    if (heap[root] >= heap[child]) break;
+    std::swap(heap[root], heap[child]);
+    instr.count_loads(2);
+    instr.count_stores(2);
+    root = child;
+  }
+}
+
+void counted_sort(std::span<double> values, instr::ProcessInstrumentation& instr) {
+  const std::size_t count = values.size();
+  if (count < 2) return;
+  for (std::size_t start = count / 2; start-- > 0;) {
+    counted_sift_down(values, start, instr);
+  }
+  for (std::size_t end = count; end-- > 1;) {
+    std::swap(values[0], values[end]);
+    instr.count_loads(2);
+    instr.count_stores(2);
+    counted_sift_down(values.subspan(0, end), 0, instr);
+  }
+}
+
+std::int64_t scaled_work(double value) {
+  exareq::require(value >= 0.0 && std::isfinite(value),
+                  "scaled_work: value must be finite and non-negative");
+  const auto rounded = static_cast<std::int64_t>(std::llround(value));
+  return rounded < 1 ? 1 : rounded;
+}
+
+double ring_halo_exchange(simmpi::Communicator& comm, std::span<const double> halo,
+                          simmpi::Tag tag) {
+  const int p = comm.size();
+  if (p == 1) return 0.0;
+  const simmpi::Rank next = (comm.rank() + 1) % p;
+  const simmpi::Rank prev = (comm.rank() - 1 + p) % p;
+  comm.send<double>(next, tag, halo);
+  comm.send<double>(prev, tag + 1, halo);
+  const std::vector<double> from_prev = comm.recv<double>(prev, tag);
+  const std::vector<double> from_next = comm.recv<double>(next, tag + 1);
+  double checksum = 0.0;
+  for (double v : from_prev) checksum += v;
+  for (double v : from_next) checksum -= v;
+  return checksum;
+}
+
+double chunked_halo_exchange(simmpi::Communicator& comm,
+                             std::int64_t total_doubles, simmpi::Tag tag) {
+  exareq::require(total_doubles >= 0, "chunked_halo_exchange: negative total");
+  if (comm.size() == 1 || total_doubles == 0) return 0.0;
+  constexpr std::int64_t kChunk = 16;
+  std::vector<double> buffer(kChunk, 1.0);
+  double checksum = 0.0;
+  std::int64_t remaining = total_doubles;
+  std::int64_t sequence = 0;
+  while (remaining > 0) {
+    const auto this_chunk = static_cast<std::size_t>(
+        std::min<std::int64_t>(remaining, kChunk));
+    buffer[0] = static_cast<double>(sequence++);
+    checksum += ring_halo_exchange(
+        comm, std::span<const double>(buffer.data(), this_chunk), tag);
+    remaining -= static_cast<std::int64_t>(this_chunk);
+  }
+  return checksum;
+}
+
+}  // namespace exareq::apps

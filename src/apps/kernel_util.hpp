@@ -1,0 +1,58 @@
+// Shared building blocks of the application proxies: integer math on
+// problem sizes, counted data-structure operations, and halo exchange.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "instr/process.hpp"
+#include "simmpi/comm.hpp"
+
+namespace exareq::apps {
+
+/// floor(log2(x)) for x >= 1; 0 for x == 1.
+std::int64_t ilog2(std::int64_t x);
+
+/// floor(sqrt(x)) for x >= 0.
+std::int64_t isqrt(std::int64_t x);
+
+/// round(x^{1/4} * log2(x)) with a minimum of 1 (LULESH sub-cycle count).
+std::int64_t quarter_power_log_cycles(std::int64_t p);
+
+/// Counted binary search over a sorted table: every probe is one real load
+/// and one comparison flop attributed to `instr`. Returns the lower-bound
+/// index.
+std::size_t counted_lower_bound(std::span<const double> sorted, double key,
+                                instr::ProcessInstrumentation& instr);
+
+/// Counted in-place insertion of `key` into a working heap region — used by
+/// the counted sorts. Exposed for testing.
+void counted_sift_down(std::span<double> heap, std::size_t start,
+                       instr::ProcessInstrumentation& instr);
+
+/// Counted heapsort: every element move is a load+store, every comparison a
+/// load pair; deterministic operation counts for requirement modeling.
+void counted_sort(std::span<double> values, instr::ProcessInstrumentation& instr);
+
+/// llround(value), clamped to at least 1 — converts a continuous work
+/// quantity into a loop trip count with sub-item rounding error. Proxies
+/// use a single loop over scaled_work(n * f(p)) items instead of nested
+/// integer loops, so the measured counts track the continuous target
+/// function instead of its integer-rounded staircase.
+std::int64_t scaled_work(double value);
+
+/// Bidirectional halo exchange with the lateral ring neighbours
+/// (rank +/- 1 mod p): sends `halo` to both, receives both, and folds the
+/// received values into a checksum to keep the data flow real. No-op for a
+/// single rank. Returns the checksum.
+double ring_halo_exchange(simmpi::Communicator& comm, std::span<const double> halo,
+                          simmpi::Tag tag);
+
+/// Streams `total_doubles` values to both ring neighbours (and receives as
+/// many) in fixed 16-value chunks, so the traffic volume tracks the target
+/// closely without requiring a total-sized send buffer. Returns the folded
+/// checksum. No-op for a single rank.
+double chunked_halo_exchange(simmpi::Communicator& comm,
+                             std::int64_t total_doubles, simmpi::Tag tag);
+
+}  // namespace exareq::apps

@@ -1,0 +1,35 @@
+// Kripke proxy — 3D Sn deterministic particle transport (LLNL proxy app).
+//
+// The original implements an asynchronous MPI parallel sweep over a zonal
+// 3D grid with multiple energy groups and discrete directions. n is the
+// simulated volume (zones) per process.
+//
+// Requirement mechanisms reproduced (paper Table II):
+//   #Bytes used        ~ n          angular flux + cross sections per zone
+//   #FLOP              ~ n          sweep work per zone (fixed groups x dirs)
+//   #Bytes sent/recv   ~ n          upwind face exchange with neighbours
+//   #Loads & stores    ~ n + n*p    sweep work plus the per-zone scan of the
+//                                   p-stage sweep schedule (the paper's
+//                                   flagged multiplicative term)
+//   Stack distance     Constant     fixed per-zone working set (groups*dirs)
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class KripkeProxy final : public Application {
+ public:
+  std::string name() const override { return "Kripke"; }
+  std::string description() const override {
+    return "3D Sn particle transport sweep proxy (groups x directions x zones)";
+  }
+  std::string problem_size_meaning() const override {
+    return "simulated volume (zones) per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+};
+
+}  // namespace exareq::apps

@@ -1,0 +1,43 @@
+// LULESH proxy — simplified 3D Lagrangian shock hydrodynamics on an
+// unstructured mesh (LLNL/DOE exascale proxy app).
+//
+// n is the simulated volume (elements) per process.
+//
+// Requirement mechanisms reproduced (paper Table II):
+//   #Bytes used       ~ n log n              hierarchical mesh metadata:
+//                                            log2(n) coarsening levels of n
+//                                            entries each
+//   #FLOP             ~ n log n * p^0.25 log p   EOS/constitutive sub-cycles;
+//                                            the sub-cycle count follows the
+//                                            original's measured growth with
+//                                            the process count
+//   #Bytes sent/recv  ~ n * p^0.25 log p     ghost exchange once per sub-cycle
+//   #Loads & stores   ~ n log n * log p      constraint propagation: one full
+//                                            indirect mesh traversal (binary
+//                                            node lookup) per tree level of
+//                                            the p-process reduction
+//   Stack distance    Constant               per-element working set
+//
+// The flagged multiplicative coupling of p and n in computation and
+// communication is the paper's headline finding for LULESH.
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class LuleshProxy final : public Application {
+ public:
+  std::string name() const override { return "LULESH"; }
+  std::string description() const override {
+    return "3D Lagrangian hydrodynamics proxy on an unstructured mesh";
+  }
+  std::string problem_size_meaning() const override {
+    return "simulated volume (elements) per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+};
+
+}  // namespace exareq::apps

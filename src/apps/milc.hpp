@@ -1,0 +1,42 @@
+// MILC proxy — SU(3) lattice QCD, modeled after MILC/su3_rmd.
+//
+// n is the number of lattice sites per process.
+//
+// Requirement mechanisms reproduced (paper Table II):
+//   #Bytes used       ~ n                    gauge links (18 doubles/site)
+//   #FLOP             ~ n + n log p          fixed-iteration CG solve (n)
+//                                            plus hierarchical gauge
+//                                            smearing over log2(p) levels
+//   #Bytes sent/recv  ~ Allreduce(p) + Bcast(p) + n
+//                                            CG dot products (allreduce),
+//                                            parameter broadcast, and the
+//                                            4D halo exchange
+//   #Loads & stores   ~ const + n log n + p^1.5
+//                                            fixed warm-up table work, link
+//                                            sort, and the p*sqrt(p) global
+//                                            communication-schedule scan
+//   Stack distance    ~ n                    full-lattice sweeps: every site
+//                                            is revisited only after all
+//                                            other sites (the one application
+//                                            whose locality degrades with n)
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class MilcProxy final : public Application {
+ public:
+  std::string name() const override { return "MILC"; }
+  std::string description() const override {
+    return "SU(3) lattice QCD proxy (su3_rmd-like CG solve and gauge update)";
+  }
+  std::string problem_size_meaning() const override {
+    return "lattice sites per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+};
+
+}  // namespace exareq::apps

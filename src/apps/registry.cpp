@@ -1,0 +1,58 @@
+#include <algorithm>
+#include <cctype>
+
+#include "apps/application.hpp"
+#include "apps/icofoam.hpp"
+#include "apps/kripke.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/milc.hpp"
+#include "apps/relearn.hpp"
+#include "support/error.hpp"
+
+namespace exareq::apps {
+
+const Application& application(AppId id) {
+  static const KripkeProxy kripke;
+  static const LuleshProxy lulesh;
+  static const MilcProxy milc;
+  static const RelearnProxy relearn;
+  static const IcoFoamProxy icofoam;
+  switch (id) {
+    case AppId::kKripke:
+      return kripke;
+    case AppId::kLulesh:
+      return lulesh;
+    case AppId::kMilc:
+      return milc;
+    case AppId::kRelearn:
+      return relearn;
+    case AppId::kIcoFoam:
+      return icofoam;
+  }
+  throw exareq::InvalidArgument("application: unknown AppId");
+}
+
+std::vector<AppId> all_app_ids() {
+  return {AppId::kKripke, AppId::kLulesh, AppId::kMilc, AppId::kRelearn,
+          AppId::kIcoFoam};
+}
+
+std::string app_name(AppId id) { return application(id).name(); }
+
+AppId app_id_from_name(const std::string& name) {
+  std::string lowered = name;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (AppId id : all_app_ids()) {
+    std::string candidate = app_name(id);
+    std::transform(candidate.begin(), candidate.end(), candidate.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    if (candidate == lowered) return id;
+  }
+  throw exareq::InvalidArgument("app_id_from_name: unknown application '" +
+                                name + "'");
+}
+
+}  // namespace exareq::apps

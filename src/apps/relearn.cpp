@@ -1,0 +1,170 @@
+#include "apps/relearn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/kernel_util.hpp"
+#include "instr/memory.hpp"
+#include "support/error.hpp"
+
+namespace exareq::apps {
+namespace {
+
+constexpr std::size_t kConnectivityWidth = 64;  // doubles per sqrt(n) bucket
+constexpr std::int64_t kPlasticitySteps = 4;
+constexpr std::uint64_t kDomainScoreFlops = 50;
+
+}  // namespace
+
+void RelearnProxy::run_rank(simmpi::Communicator& comm,
+                            instr::ProcessInstrumentation& instr,
+                            std::int64_t n) const {
+  exareq::require(n >= min_problem_size(), "Relearn: problem size too small");
+  const int p = comm.size();
+  const auto buckets = static_cast<std::size_t>(isqrt(n));
+
+  // The connectivity store is compressed into sqrt(n) buckets — the
+  // measured sub-linear footprint the paper models (and explicitly keeps
+  // over the theoretically expected linear one).
+  auto init = instr.region("init");
+  // Allocation tracks 64 * sqrt(n) doubles exactly (the integer bucket
+  // grid indexes a prefix of it), so the measured footprint is a clean
+  // sqrt shape rather than an isqrt staircase.
+  instr::TrackedBuffer<double> connectivity(
+      static_cast<std::size_t>(scaled_work(
+          static_cast<double>(kConnectivityWidth) *
+          std::sqrt(static_cast<double>(n)))),
+      instr.memory());
+  // Fixed machine-wide capacity (matches the runtime's rank cap) so the
+  // footprint stays free of p-dependent terms, as the paper measured.
+  instr::TrackedBuffer<double> domain_scores(512, instr.memory());
+  instr::TrackedBuffer<double> activity_halo(kConnectivityWidth, instr.memory());
+  for (std::size_t i = 0; i < connectivity.size(); ++i) {
+    connectivity[i] = 1e-2 * static_cast<double>(i % 53);
+  }
+  instr.count_stores(connectivity.size());
+
+  const std::int64_t tree_levels = std::max<std::int64_t>(ilog2(n), 1);
+  const std::int64_t domain_levels = std::max<std::int64_t>(ilog2(p), 1);
+
+  for (std::int64_t step = 0; step < kPlasticitySteps; ++step) {
+    {
+      // Octree build/update: each neuron walks its log2(n) tree levels,
+      // updating bucket summaries — the n log n load/store term.
+      auto build = instr.region("octree_build");
+      for (std::int64_t neuron = 0; neuron < n; ++neuron) {
+        std::uint64_t code = static_cast<std::uint64_t>(neuron) * 2654435761ULL;
+        for (std::int64_t level = 0; level < tree_levels; ++level) {
+          const std::size_t bucket =
+              static_cast<std::size_t>(code % (buckets == 0 ? 1 : buckets));
+          connectivity[bucket * kConnectivityWidth +
+                       static_cast<std::size_t>(level) % kConnectivityWidth] +=
+              1e-6;
+          code >>= 1;
+          instr.count_loads(2);
+          instr.count_stores(1);
+          instr.count_flops(1);
+        }
+      }
+    }
+    {
+      // Partner search: per neuron, log2(n) x log2(p) probes evaluated on
+      // register-resident positional codes (pure arithmetic, no memory
+      // traffic) — the n log n log p computation term.
+      auto search = instr.region("partner_search");
+      double attraction = 0.0;
+      for (std::int64_t neuron = 0; neuron < n; ++neuron) {
+        double position = static_cast<double>(neuron % 1021) * 1e-3;
+        for (std::int64_t dl = 0; dl < domain_levels; ++dl) {
+          for (std::int64_t tl = 0; tl < tree_levels; ++tl) {
+            position = position * 0.75 + 0.125;
+            attraction += position * (dl + 1 + tl);
+          }
+        }
+      }
+      instr.count_flops(static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(domain_levels) *
+                        static_cast<std::uint64_t>(tree_levels) * 5);
+      connectivity[0] += attraction * 1e-15;
+      instr.count_stores(1);
+    }
+    {
+      // Score every remote domain as a candidate target region — the
+      // linear-in-p computation term.
+      auto score = instr.region("domain_scoring");
+      for (int d = 0; d < p; ++d) {
+        double s = 1.0;
+        for (std::uint64_t i = 0; i < kDomainScoreFlops / 2; ++i) {
+          s = s * 0.9 + 0.05;
+        }
+        domain_scores[static_cast<std::size_t>(d)] = s;
+      }
+      instr.count_flops(static_cast<std::uint64_t>(p) * kDomainScoreFlops);
+      instr.count_stores(static_cast<std::uint64_t>(p));
+    }
+    {
+      // Sort the domain records by score — the p log p load/store term.
+      auto sort_region = instr.region("domain_sort");
+      counted_sort(domain_scores.span().subspan(0, static_cast<std::size_t>(p)),
+                   instr);
+    }
+    {
+      // Global electrical-activity reduction, synapse handshake, and
+      // boundary activity exchange.
+      auto talk = instr.region("communication");
+      const std::vector<double> activity(128, 1.0 / (1.0 + step));
+      std::vector<double> summed;
+      {
+        simmpi::ChannelScope channel(comm, "activity_allreduce");
+        summed = comm.allreduce<double>(activity, simmpi::ops::Sum{});
+      }
+      connectivity[0] += summed[0] * 1e-15;
+
+      std::vector<double> handshake(static_cast<std::size_t>(p) * 4, 0.5);
+      std::vector<double> partners;
+      {
+        simmpi::ChannelScope channel(comm, "synapse_alltoall");
+        partners = comm.alltoall<double>(handshake);
+      }
+      connectivity[0] += partners[0] * 1e-15;
+
+      // Boundary spike delivery streams one chunk per neuron block — the
+      // traffic is linear in n while the send buffer stays constant-size
+      // (spikes are produced on the fly, not stored).
+      const std::int64_t chunks =
+          std::max<std::int64_t>(n / static_cast<std::int64_t>(kConnectivityWidth),
+                                 1);
+      simmpi::ChannelScope channel(comm, "spike_halo");
+      double checksum = 0.0;
+      for (std::int64_t c = 0; c < chunks; ++c) {
+        checksum += ring_halo_exchange(comm, activity_halo.span(),
+                                       400 + static_cast<int>(c % 2) * 2);
+      }
+      connectivity[0] += checksum * 1e-15;
+      instr.count_stores(3);
+    }
+  }
+}
+
+memtrace::AccessTrace RelearnProxy::locality_trace(std::int64_t n) const {
+  exareq::require(n >= 1, "Relearn: locality trace needs n >= 1");
+  memtrace::AccessTrace trace;
+  const auto neuron_state = trace.register_group("neuron_state");
+  const auto synapse_list = trace.register_group("synapse_list");
+  // Each neuron repeatedly touches its own state and a short synapse list —
+  // a constant working set independent of n.
+  const auto neurons = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
+  const int passes = static_cast<int>(
+      std::max<std::uint64_t>(3, 10000 / neurons));
+  for (std::uint64_t neuron = 0; neuron < neurons; ++neuron) {
+    for (int pass = 0; pass < passes; ++pass) {
+      trace.record(0x900000 + neuron, neuron_state);
+      for (std::uint64_t s = 0; s < 6; ++s) {
+        trace.record(0xA00000 + neuron * 8 + s, synapse_list);
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace exareq::apps

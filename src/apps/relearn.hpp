@@ -1,0 +1,47 @@
+// Relearn proxy — structural plasticity of the brain's connectome
+// (Rinke et al., JPDC 2018): simulates creation and deletion of synapses
+// between neurons distributed over processes.
+//
+// n is the number of neurons per process.
+//
+// Requirement mechanisms reproduced (paper Table II):
+//   #Bytes used       ~ n^0.5               compressed connectivity store;
+//                                           the paper notes the measured
+//                                           sub-linear footprint deviates
+//                                           from the theoretical linear
+//                                           expectation and models what was
+//                                           measured — so do we
+//   #FLOP             ~ n log n * log p + p octree partner search over
+//                                           log2(n) tree levels and log2(p)
+//                                           domain levels (arithmetic
+//                                           positional codes, register
+//                                           resident), plus per-domain
+//                                           scoring of all p domains
+//   #Bytes sent/recv  ~ Allreduce(p) + Alltoall(p) + n
+//                                           activity reduction, synapse
+//                                           handshake, neighbour exchange
+//   #Loads & stores   ~ n log n + p log p   octree build plus the sort of
+//                                           the p domain records
+//   Stack distance    Constant              per-neuron working set
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class RelearnProxy final : public Application {
+ public:
+  std::string name() const override { return "Relearn"; }
+  std::string description() const override {
+    return "structural plasticity proxy (octree partner search, synapse "
+           "exchange)";
+  }
+  std::string problem_size_meaning() const override {
+    return "neurons per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+};
+
+}  // namespace exareq::apps

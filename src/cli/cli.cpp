@@ -1,0 +1,281 @@
+#include "cli/cli.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "codesign/strawman.hpp"
+#include "codesign/upgrade.hpp"
+#include "memtrace/locality.hpp"
+#include "model/serialize.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/codesign_bridge.hpp"
+#include "pipeline/report.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace exareq::cli {
+namespace {
+
+/// Parsed flags: everything after the subcommand and app name.
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  std::optional<std::string> get(const std::string& name) const {
+    const auto it = values.find(name);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+
+  double number(const std::string& name, double fallback) const {
+    const auto value = get(name);
+    if (!value.has_value()) return fallback;
+    double parsed = 0.0;
+    const char* begin = value->data();
+    const char* end = value->data() + value->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    exareq::require(ec == std::errc{} && ptr == end,
+                    "flag --" + name + " expects a number, got '" + *value + "'");
+    return parsed;
+  }
+};
+
+Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
+  Flags flags;
+  for (std::size_t i = first; i < args.size(); ++i) {
+    exareq::require(args[i].rfind("--", 0) == 0,
+                    "expected a --flag, got '" + args[i] + "'");
+    exareq::require(i + 1 < args.size(), "flag " + args[i] + " needs a value");
+    flags.values[args[i].substr(2)] = args[i + 1];
+    ++i;
+  }
+  return flags;
+}
+
+pipeline::CampaignConfig campaign_config(const Flags& flags) {
+  pipeline::CampaignConfig config;
+  if (const auto processes = flags.get("processes")) {
+    config.process_counts.clear();
+    for (std::int64_t p : parse_int_list(*processes)) {
+      config.process_counts.push_back(static_cast<int>(p));
+    }
+  }
+  if (const auto sizes = flags.get("sizes")) {
+    config.problem_sizes = parse_int_list(*sizes);
+  }
+  return config;
+}
+
+/// Loads a campaign from --in or measures one on the fly.
+pipeline::CampaignData obtain_campaign(const apps::Application& app,
+                                       const Flags& flags, std::ostream& err) {
+  if (const auto path = flags.get("in")) {
+    std::ifstream file(*path);
+    exareq::require(file.good(), "cannot open campaign file '" + *path + "'");
+    return pipeline::CampaignData::from_csv(exareq::CsvDocument::parse(file),
+                                            app.name());
+  }
+  err << "[measuring " << app.name() << " ...]\n";
+  return pipeline::run_campaign(app, campaign_config(flags));
+}
+
+int cmd_list(std::ostream& out) {
+  TextTable table({"App", "Problem size meaning", "Description"});
+  table.set_alignment({Align::kLeft, Align::kLeft, Align::kLeft});
+  for (apps::AppId id : apps::all_app_ids()) {
+    const apps::Application& app = apps::application(id);
+    table.add_row({app.name(), app.problem_size_meaning(), app.description()});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_measure(const apps::Application& app, const Flags& flags,
+                std::ostream& out, std::ostream& err) {
+  const pipeline::CampaignData data = obtain_campaign(app, flags, err);
+  const exareq::CsvDocument csv = data.to_csv();
+  if (const auto path = flags.get("out")) {
+    std::ofstream file(*path);
+    exareq::require(file.good(), "cannot write campaign file '" + *path + "'");
+    csv.write(file);
+    err << "wrote " << data.measurements.size() << " configurations to "
+        << *path << "\n";
+  } else {
+    out << csv.to_string();
+  }
+  return 0;
+}
+
+int cmd_model(const apps::Application& app, const Flags& flags,
+              std::ostream& out, std::ostream& err) {
+  const pipeline::CampaignData data = obtain_campaign(app, flags, err);
+  const pipeline::RequirementModels models = pipeline::model_requirements(data);
+  out << "Requirement models for " << app.name() << ":\n";
+  out << pipeline::render_models(models);
+  out << pipeline::render_assessment(models) << "\n";
+  if (const auto path = flags.get("models-out")) {
+    std::ofstream file(*path);
+    exareq::require(file.good(), "cannot write model file '" + *path + "'");
+    const codesign::AppRequirements req = pipeline::to_requirements(models);
+    file << "# exareq requirement models: " << app.name() << "\n";
+    for (const auto& [label, m] :
+         {std::pair<const char*, const model::Model*>{"footprint", &req.footprint},
+          {"flops", &req.flops},
+          {"comm_bytes", &req.comm_bytes},
+          {"loads_stores", &req.loads_stores},
+          {"stack_distance", &req.stack_distance}}) {
+      file << "# " << label << "\n" << model::serialize_model(*m);
+    }
+    err << "wrote serialized models to " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_upgrade(const apps::Application& app, const Flags& flags,
+                std::ostream& out, std::ostream& err) {
+  const pipeline::CampaignData data = obtain_campaign(app, flags, err);
+  const codesign::AppRequirements req =
+      pipeline::to_requirements(pipeline::model_requirements(data));
+  const codesign::SystemSkeleton base{
+      flags.number("base-processes", 65536.0),
+      flags.number("base-memory", 2147483648.0)};
+  out << "Upgrade study for " << app.name() << " (baseline: "
+      << format_compact(base.processes) << " processes, "
+      << format_bytes(base.memory_per_process) << " each)\n";
+  TextTable table({"Upgrade", "n'/n", "Overall", "Compute", "Comm",
+                   "Mem access"});
+  for (const auto& upgrade : codesign::paper_upgrades()) {
+    const auto outcome = codesign::evaluate_upgrade(req, base, upgrade).outcome;
+    table.add_row({upgrade.label, format_fixed(outcome.problem_size_ratio, 2),
+                   format_fixed(outcome.overall_problem_ratio, 2),
+                   format_fixed(outcome.computation_ratio, 2),
+                   format_fixed(outcome.communication_ratio, 2),
+                   format_fixed(outcome.memory_access_ratio, 2)});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_strawman(const apps::Application& app, const Flags& flags,
+                 std::ostream& out, std::ostream& err) {
+  const pipeline::CampaignData data = obtain_campaign(app, flags, err);
+  const codesign::AppRequirements req =
+      pipeline::to_requirements(pipeline::model_requirements(data));
+  const auto systems = codesign::paper_strawmen();
+  TextTable table({"System", "Fits?", "Max overall problem",
+                   "Benchmark wall time [s]"});
+  std::optional<double> benchmark;
+  try {
+    benchmark = codesign::common_benchmark_problem(req, systems);
+  } catch (const exareq::NumericError&) {
+    benchmark = std::nullopt;
+  }
+  for (const auto& system : systems) {
+    const auto outcome = codesign::evaluate_strawman(req, system);
+    std::string time_cell = "-";
+    if (outcome.feasible && benchmark.has_value()) {
+      const auto seconds =
+          codesign::wall_time_lower_bound(req, system, *benchmark);
+      if (seconds.has_value()) time_cell = format_sci(*seconds, 1);
+    }
+    table.add_row({system.name, outcome.feasible ? "yes" : "no",
+                   outcome.feasible ? format_sci(outcome.max_overall_problem, 1)
+                                    : "-",
+                   time_cell});
+  }
+  out << "Exascale straw-man study for " << app.name() << ":\n"
+      << table.render();
+  return 0;
+}
+
+int cmd_locality(const apps::Application& app, const Flags& flags,
+                 std::ostream& out) {
+  const auto n = static_cast<std::int64_t>(flags.number("size", 256.0));
+  exareq::require(n >= 1, "--size must be >= 1");
+  const memtrace::AccessTrace trace = app.locality_trace(n);
+  memtrace::LocalityConfig config;
+  config.sampler = memtrace::SamplerConfig{64, 512, 0};
+  const auto report = memtrace::analyze_locality(
+      trace, config, static_cast<double>(trace.size()));
+  out << "Locality report for " << app.name() << " at n = " << n << ":\n";
+  TextTable table({"Group", "Samples", "Median SD", "Median RD", "Reliable"});
+  for (const auto& group : report.groups) {
+    table.add_row({group.name, std::to_string(group.samples),
+                   group.samples ? format_compact(group.median_stack_distance)
+                                 : "-",
+                   group.samples ? format_compact(group.median_reuse_distance)
+                                 : "-",
+                   group.reliable ? "yes" : "no"});
+  }
+  out << table.render();
+  out << "Weighted median stack distance: "
+      << format_compact(report.weighted_median_stack_distance) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: exareq <command> [...]\n"
+         "  list                                     list the bundled applications\n"
+         "  measure <app> [--processes L] [--sizes L] [--out FILE]\n"
+         "  model   <app> [--in FILE] [--models-out FILE]\n"
+         "  upgrade <app> [--in FILE] [--base-processes P] [--base-memory B]\n"
+         "  strawman <app> [--in FILE]\n"
+         "  locality <app> [--size N]\n"
+         "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64.\n"
+         "Analysis commands measure on the fly unless --in supplies a campaign\n"
+         "CSV written by `measure`.\n";
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> values;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    std::int64_t value = 0;
+    const char* begin = item.data();
+    const char* end = item.data() + item.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    exareq::require(ec == std::errc{} && ptr == end && value > 0,
+                    "expected a positive integer list, got '" + text + "'");
+    values.push_back(value);
+  }
+  exareq::require(!values.empty(), "empty integer list");
+  return values;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      out << usage();
+      return args.empty() ? 1 : 0;
+    }
+    const std::string& command = args[0];
+    if (command == "list") return cmd_list(out);
+
+    const bool known = command == "measure" || command == "model" ||
+                       command == "upgrade" || command == "strawman" ||
+                       command == "locality";
+    exareq::require(known, "unknown command '" + command + "'");
+    exareq::require(args.size() >= 2, "command '" + command + "' needs an app name");
+    const apps::Application& app = apps::application(apps::app_id_from_name(args[1]));
+    const Flags flags = parse_flags(args, 2);
+
+    if (command == "measure") return cmd_measure(app, flags, out, err);
+    if (command == "model") return cmd_model(app, flags, out, err);
+    if (command == "upgrade") return cmd_upgrade(app, flags, out, err);
+    if (command == "strawman") return cmd_strawman(app, flags, out, err);
+    return cmd_locality(app, flags, out);
+  } catch (const std::exception& error) {
+    err << "error: " << error.what() << "\n" << usage();
+    return 1;
+  }
+}
+
+}  // namespace exareq::cli

@@ -1,0 +1,36 @@
+// The `exareq` command-line driver: the paper's workflow as a tool.
+//
+//   exareq list
+//   exareq measure <app> [--processes 4,8,16,32,64] [--sizes 64,...,1024]
+//                        [--out campaign.csv]
+//   exareq model   <app> [--in campaign.csv] [--models-out models.txt]
+//   exareq upgrade <app> [--in campaign.csv] [--base-processes P]
+//                        [--base-memory BYTES]
+//   exareq strawman <app> [--in campaign.csv]
+//   exareq locality <app> [--size N]
+//
+// `measure` writes a campaign CSV; the analysis commands either read one
+// (--in) or measure on the fly. Implemented as a library so the argument
+// handling and command logic are unit-testable; the binary in tools/ is a
+// two-line shim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exareq::cli {
+
+/// Executes one driver invocation. `args` excludes the program name.
+/// Returns a process exit code; never throws (errors are printed to `err`).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// Usage text (also printed on bad invocations).
+std::string usage();
+
+/// Parses a comma-separated list of positive integers ("4,8,16").
+/// Throws InvalidArgument on malformed input.
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+}  // namespace exareq::cli

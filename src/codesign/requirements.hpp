@@ -1,0 +1,56 @@
+// Application requirement bundles — the co-design methodology's view of an
+// application (paper Sec. II-E): a set of requirement models r_i(p, n) that
+// can be evaluated for any system skeleton (process count + memory per
+// process).
+#pragma once
+
+#include <string>
+
+#include "model/inversion.hpp"
+#include "model/model.hpp"
+
+namespace exareq::codesign {
+
+/// Requirement models of one application. All two-parameter models use the
+/// parameter order (p, n); the stack-distance model is a function of n.
+struct AppRequirements {
+  std::string name;
+  model::Model footprint;       ///< bytes used per process, r(p, n)
+  model::Model flops;           ///< floating-point operations, r(p, n)
+  model::Model comm_bytes;      ///< bytes sent + received, r(p, n)
+  model::Model loads_stores;    ///< memory accesses, r(p, n)
+  model::Model stack_distance;  ///< locality, r(n)
+
+  /// Throws InvalidArgument unless the parameter layouts are as documented.
+  void validate() const;
+};
+
+/// The "system skeleton" of Sec. II-E: a system characterized initially
+/// only by the process count it runs and the memory available per process.
+struct SystemSkeleton {
+  double processes = 0.0;
+  double memory_per_process = 0.0;  ///< bytes
+
+  friend bool operator==(const SystemSkeleton&, const SystemSkeleton&) = default;
+};
+
+/// Result of filling the memory of a skeleton ("inflating the input
+/// problem until it completely occupies the available memory", Sec. II-E).
+struct FilledSystem {
+  SystemSkeleton skeleton;
+  double problem_size_per_process = 0.0;  ///< n
+  double overall_problem_size = 0.0;      ///< p * n
+};
+
+/// Inverts the footprint model at fixed p to find the largest per-process
+/// problem size that fits in memory (paper Table IV, step IV). Throws
+/// NumericError when even the smallest problem does not fit (the icoFoam
+/// situation in Table VII) or the footprint never reaches the memory bound.
+FilledSystem fill_memory(const AppRequirements& app, const SystemSkeleton& system,
+                         const model::InversionOptions& options = {});
+
+/// True if the application can run on the skeleton at all, i.e. the
+/// minimum-size problem fits into the per-process memory.
+bool fits_in_memory(const AppRequirements& app, const SystemSkeleton& system);
+
+}  // namespace exareq::codesign

@@ -1,0 +1,48 @@
+// Space-sharing co-design (paper Sec. II-E): "our approach can map more
+// than one application on a given system simultaneously... shared between
+// two applications in space according to a certain ratio as long as we can
+// derive our model parameters p and n for each of them."
+//
+// A share splits the machine's processes among applications; each partition
+// keeps the full per-process memory and is filled independently.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+
+namespace exareq::codesign {
+
+/// One application's slice of the machine.
+struct ShareRequest {
+  const AppRequirements* app = nullptr;
+  double fraction = 0.0;  ///< fraction of the machine's processes, (0, 1]
+};
+
+/// Outcome for one application under space sharing.
+struct ShareOutcome {
+  std::string app_name;
+  SystemSkeleton partition;   ///< the processes this application received
+  bool feasible = false;      ///< the minimum problem fits the partition
+  double problem_size_per_process = 0.0;
+  double overall_problem_size = 0.0;
+};
+
+/// Splits `system` among the requested applications and fills each
+/// partition's memory. Fractions must be positive and sum to at most 1
+/// (within rounding); every partition must retain at least one process.
+/// Applications whose minimum problem does not fit are reported infeasible
+/// rather than throwing — sharing studies compare many configurations.
+std::vector<ShareOutcome> space_share(std::span<const ShareRequest> requests,
+                                      const SystemSkeleton& system);
+
+/// Convenience for the paper's two-application scenario: returns the ratio
+/// split {fraction, 1 - fraction}.
+std::vector<ShareOutcome> space_share_pair(const AppRequirements& first,
+                                           const AppRequirements& second,
+                                           double first_fraction,
+                                           const SystemSkeleton& system);
+
+}  // namespace exareq::codesign

@@ -1,0 +1,137 @@
+#include "codesign/strawman.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace exareq::codesign {
+
+std::vector<StrawmanSystem> paper_strawmen() {
+  // Paper Table VI; memory per processor converted from the paper's
+  // element counts to bytes (10 PB total / processors).
+  std::vector<StrawmanSystem> systems(3);
+  systems[0] = {"Massively parallel", 2e4, 2e9, 1e5, 5e6, 5e8};
+  systems[1] = {"Vector", 5e4, 5e7, 1e3, 2e8, 2e10};
+  systems[2] = {"Hybrid", 1e4, 1e8, 1e4, 1e8, 1e10};
+  return systems;
+}
+
+StrawmanOutcome evaluate_strawman(const AppRequirements& app,
+                                  const StrawmanSystem& system) {
+  app.validate();
+  StrawmanOutcome outcome;
+  outcome.system_name = system.name;
+  const SystemSkeleton skeleton = system.skeleton();
+  if (!fits_in_memory(app, skeleton)) {
+    outcome.feasible = false;
+    return outcome;
+  }
+  const FilledSystem filled = fill_memory(app, skeleton);
+  outcome.feasible = true;
+  outcome.problem_size_per_process = filled.problem_size_per_process;
+  outcome.max_overall_problem = filled.overall_problem_size;
+  return outcome;
+}
+
+std::optional<double> wall_time_lower_bound(const AppRequirements& app,
+                                            const StrawmanSystem& system,
+                                            double overall_problem) {
+  exareq::require(overall_problem > 0.0,
+                  "wall_time_lower_bound: problem size must be positive");
+  const double p = system.processors;
+  const double n = std::max(overall_problem / p, 1.0);
+  const double footprint = app.footprint.evaluate2(p, n);
+  // Small relative slack: the common benchmark problem sits exactly on the
+  // memory boundary of the tightest system, where the bisection-derived
+  // maximum can overshoot by rounding.
+  if (footprint > system.memory_per_processor * (1.0 + 1e-6)) {
+    return std::nullopt;
+  }
+  const double flops = app.flops.evaluate2(p, n);
+  return flops / system.flops_per_processor;
+}
+
+double common_benchmark_problem(const AppRequirements& app,
+                                std::span<const StrawmanSystem> systems) {
+  double smallest_max = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+  for (const StrawmanSystem& system : systems) {
+    const StrawmanOutcome outcome = evaluate_strawman(app, system);
+    if (!outcome.feasible) continue;
+    any_feasible = true;
+    smallest_max = std::min(smallest_max, outcome.max_overall_problem);
+  }
+  if (!any_feasible) {
+    throw exareq::NumericError("common_benchmark_problem: application '" +
+                               app.name + "' fits none of the systems");
+  }
+  return smallest_max;
+}
+
+std::optional<RefinedTimeBound> refined_wall_time_bound(
+    const AppRequirements& app, const StrawmanSystem& system,
+    const SatisfactionRates& rates, double overall_problem) {
+  exareq::require(rates.flops_per_second > 0.0 &&
+                      rates.network_bytes_per_second > 0.0 &&
+                      rates.memory_bytes_per_second > 0.0 &&
+                      rates.bytes_per_access > 0.0,
+                  "refined_wall_time_bound: rates must be positive");
+  exareq::require(overall_problem > 0.0,
+                  "refined_wall_time_bound: problem size must be positive");
+  const double p = system.processors;
+  const double n = std::max(overall_problem / p, 1.0);
+  if (app.footprint.evaluate2(p, n) >
+      system.memory_per_processor * (1.0 + 1e-6)) {
+    return std::nullopt;
+  }
+  RefinedTimeBound bound;
+  bound.compute_seconds = app.flops.evaluate2(p, n) / rates.flops_per_second;
+  bound.network_seconds =
+      app.comm_bytes.evaluate2(p, n) / rates.network_bytes_per_second;
+  bound.memory_seconds = app.loads_stores.evaluate2(p, n) *
+                         rates.bytes_per_access / rates.memory_bytes_per_second;
+  bound.bound_seconds = bound.compute_seconds;
+  bound.bottleneck = "computation";
+  if (bound.network_seconds > bound.bound_seconds) {
+    bound.bound_seconds = bound.network_seconds;
+    bound.bottleneck = "communication";
+  }
+  if (bound.memory_seconds > bound.bound_seconds) {
+    bound.bound_seconds = bound.memory_seconds;
+    bound.bottleneck = "memory access";
+  }
+  return bound;
+}
+
+model::Model make_additive(const model::Model& m) {
+  exareq::require(m.parameter_names().size() == 2,
+                  "make_additive: need a two-parameter model");
+  std::vector<model::Term> terms;
+  for (const model::Term& term : m.terms()) {
+    const bool couples = term.depends_on(0) && term.depends_on(1);
+    if (!couples) {
+      terms.push_back(term);
+      continue;
+    }
+    // Split c * f(x0) * g(x1) into c * g(x1) + f(x0), following the paper's
+    // LULESH example where the n-part keeps the coefficient and the p-part
+    // gets coefficient one.
+    model::Term n_part;
+    model::Term p_part;
+    n_part.coefficient = term.coefficient;
+    p_part.coefficient = 1.0;
+    for (const model::Factor& factor : term.factors) {
+      if (factor.parameter == 0) {
+        p_part.factors.push_back(factor);
+      } else {
+        n_part.factors.push_back(factor);
+      }
+    }
+    terms.push_back(std::move(n_part));
+    terms.push_back(std::move(p_part));
+  }
+  return model::Model(m.parameter_names(), m.constant(), std::move(terms));
+}
+
+}  // namespace exareq::codesign

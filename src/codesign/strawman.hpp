@@ -1,0 +1,102 @@
+// Exascale system-design study (paper Sec. III-B, Tables VI-VII): map each
+// application onto three straw-man exaflop systems, determine the maximum
+// overall problem each can solve, and lower-bound the wall time of a common
+// benchmark problem by FLOP-requirement / FLOP-rate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+
+namespace exareq::codesign {
+
+/// One straw-man system (paper Table VI). All systems reach 1 exaflop/s:
+/// processors * flops_per_processor == 1e18.
+struct StrawmanSystem {
+  std::string name;
+  double nodes = 0.0;
+  double processors = 0.0;            ///< total (one MPI process each)
+  double processors_per_node = 0.0;
+  double memory_per_processor = 0.0;  ///< bytes
+  double flops_per_processor = 0.0;   ///< flop/s
+
+  double total_flops() const { return processors * flops_per_processor; }
+  SystemSkeleton skeleton() const { return {processors, memory_per_processor}; }
+};
+
+/// The paper's three candidates (massively parallel / vector / hybrid),
+/// 10 PB of total memory divided equally among the processors.
+std::vector<StrawmanSystem> paper_strawmen();
+
+/// Outcome of mapping one application onto one straw-man system.
+struct StrawmanOutcome {
+  std::string system_name;
+  /// False when the application cannot use the full machine because even
+  /// the smallest problem exceeds the per-processor memory (icoFoam in the
+  /// paper).
+  bool feasible = false;
+  double problem_size_per_process = 0.0;
+  double max_overall_problem = 0.0;
+};
+
+/// Fills the system's memory with the application (Table VII upper rows).
+StrawmanOutcome evaluate_strawman(const AppRequirements& app,
+                                  const StrawmanSystem& system);
+
+/// Lower-bound wall time for solving an overall problem of size N on the
+/// system using all processors: FLOP(p, N/p) / flops_per_processor
+/// (perfect parallelization, no communication — paper Sec. III-B). Returns
+/// nullopt when the problem does not fit in memory.
+std::optional<double> wall_time_lower_bound(const AppRequirements& app,
+                                            const StrawmanSystem& system,
+                                            double overall_problem);
+
+/// The largest overall problem solvable on *all* feasible systems — the
+/// paper's common benchmark problem for the wall-time comparison. Throws
+/// NumericError when no system can run the application.
+double common_benchmark_problem(const AppRequirements& app,
+                                std::span<const StrawmanSystem> systems);
+
+/// Hardware satisfaction rates for the refined time bound (the paper's
+/// suggested extension in Sec. III-B: "take other requirements such as
+/// communication into account, which is feasible as long as the system
+/// designer can specify the rates at which the hardware can satisfy
+/// them"). Rates are per processor.
+struct SatisfactionRates {
+  double flops_per_second = 0.0;
+  double network_bytes_per_second = 0.0;
+  double memory_bytes_per_second = 0.0;
+  /// Bytes moved per load/store the memory system must serve (word size).
+  double bytes_per_access = 8.0;
+};
+
+/// Per-requirement time components of the refined bound.
+struct RefinedTimeBound {
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  double memory_seconds = 0.0;
+  /// max of the components — requirements are served concurrently at best
+  /// (a roofline-style bound).
+  double bound_seconds = 0.0;
+  /// Which requirement dominates: "computation", "communication", or
+  /// "memory access".
+  std::string bottleneck;
+};
+
+/// Refined lower bound on the time to solve an overall problem of size N
+/// using all of the system's processors: each requirement divided by its
+/// satisfaction rate, combined by max. Returns nullopt when the problem
+/// does not fit in memory. Rates must be positive.
+std::optional<RefinedTimeBound> refined_wall_time_bound(
+    const AppRequirements& app, const StrawmanSystem& system,
+    const SatisfactionRates& rates, double overall_problem);
+
+/// The paper's Sec. III-B optimization what-if: rewrite every term that
+/// couples p and n multiplicatively as an additive pair (f(n)*g(p) becomes
+/// c*f(n) + g(p)), as in the LULESH example
+/// "#FLOP = 10^5 * n log n + p^0.25 log p".
+model::Model make_additive(const model::Model& m);
+
+}  // namespace exareq::codesign

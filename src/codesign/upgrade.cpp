@@ -1,0 +1,67 @@
+#include "codesign/upgrade.hpp"
+
+#include "support/error.hpp"
+
+namespace exareq::codesign {
+
+std::vector<UpgradeScenario> paper_upgrades() {
+  return {
+      {"A: Double the racks", 2.0, 1.0},
+      {"B: Double the sockets", 2.0, 0.5},
+      {"C: Double the memory", 1.0, 2.0},
+  };
+}
+
+UpgradeWalkthrough evaluate_upgrade(const AppRequirements& app,
+                                    const SystemSkeleton& baseline,
+                                    const UpgradeScenario& upgrade) {
+  app.validate();
+  exareq::require(upgrade.process_factor > 0.0 && upgrade.memory_factor > 0.0,
+                  "evaluate_upgrade: factors must be positive");
+
+  UpgradeWalkthrough walk;
+  walk.baseline = fill_memory(app, baseline);
+
+  SystemSkeleton upgraded = baseline;
+  upgraded.processes *= upgrade.process_factor;
+  upgraded.memory_per_process *= upgrade.memory_factor;
+  walk.upgraded = fill_memory(app, upgraded);
+
+  const double p0 = walk.baseline.skeleton.processes;
+  const double n0 = walk.baseline.problem_size_per_process;
+  const double p1 = walk.upgraded.skeleton.processes;
+  const double n1 = walk.upgraded.problem_size_per_process;
+
+  walk.footprint_old = app.footprint.evaluate2(p0, n0);
+  walk.footprint_new = app.footprint.evaluate2(p1, n1);
+
+  UpgradeOutcome& outcome = walk.outcome;
+  outcome.upgrade_label = upgrade.label;
+  outcome.problem_size_ratio = n1 / n0;
+  outcome.overall_problem_ratio = (p1 * n1) / (p0 * n0);
+  outcome.computation_ratio =
+      app.flops.evaluate2(p1, n1) / app.flops.evaluate2(p0, n0);
+  outcome.communication_ratio =
+      app.comm_bytes.evaluate2(p1, n1) / app.comm_bytes.evaluate2(p0, n0);
+  outcome.memory_access_ratio =
+      app.loads_stores.evaluate2(p1, n1) / app.loads_stores.evaluate2(p0, n0);
+  return walk;
+}
+
+UpgradeOutcome baseline_expectation(const UpgradeScenario& upgrade) {
+  // The paper's baseline column assumes requirements scale linearly with
+  // the problem size per process: doubling memory doubles n and every
+  // requirement; doubling sockets halves n and every requirement; doubling
+  // racks keeps n and the requirements constant while doubling the overall
+  // problem.
+  UpgradeOutcome outcome;
+  outcome.upgrade_label = upgrade.label;
+  outcome.problem_size_ratio = upgrade.memory_factor;
+  outcome.overall_problem_ratio = upgrade.memory_factor * upgrade.process_factor;
+  outcome.computation_ratio = upgrade.memory_factor;
+  outcome.communication_ratio = upgrade.memory_factor;
+  outcome.memory_access_ratio = upgrade.memory_factor;
+  return outcome;
+}
+
+}  // namespace exareq::codesign

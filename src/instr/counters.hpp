@@ -1,0 +1,38 @@
+// Operation counters (the PAPI substitute).
+//
+// The paper's requirement metrics (Table I) count floating-point operations
+// and load/store instructions per process. Real PAPI reads hardware
+// counters; our kernels increment these counters at the exact program
+// points where the operations happen, which sidesteps the counter
+// non-determinism the paper works around (Sec. II-B) while producing the
+// same per-process totals.
+#pragma once
+
+#include <cstdint>
+
+namespace exareq::instr {
+
+/// Per-process (or per-call-path) operation totals.
+struct OpCounters {
+  std::uint64_t flops = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+
+  std::uint64_t loads_stores() const { return loads + stores; }
+
+  OpCounters& operator+=(const OpCounters& other) {
+    flops += other.flops;
+    loads += other.loads;
+    stores += other.stores;
+    return *this;
+  }
+
+  friend OpCounters operator+(OpCounters a, const OpCounters& b) {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const OpCounters&, const OpCounters&) = default;
+};
+
+}  // namespace exareq::instr

@@ -1,0 +1,18 @@
+#include "instr/memory.hpp"
+
+#include <algorithm>
+
+namespace exareq::instr {
+
+void MemoryTracker::allocate(std::uint64_t bytes) {
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryTracker::deallocate(std::uint64_t bytes) {
+  exareq::require(bytes <= current_,
+                  "MemoryTracker::deallocate: freeing more than tracked");
+  current_ -= bytes;
+}
+
+}  // namespace exareq::instr

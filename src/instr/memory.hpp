@@ -1,0 +1,94 @@
+// Tracked memory (the getrusage substitute).
+//
+// The paper uses the resident set size as the memory-footprint requirement;
+// our applications allocate their data through TrackedBuffer so the peak
+// tracked size plays that role exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace exareq::instr {
+
+/// Byte accounting for one process.
+class MemoryTracker {
+ public:
+  /// Registers an allocation of `bytes`.
+  void allocate(std::uint64_t bytes);
+
+  /// Registers a deallocation; must not exceed the currently tracked size.
+  void deallocate(std::uint64_t bytes);
+
+  std::uint64_t current_bytes() const { return current_; }
+
+  /// High-water mark — the "resident memory size" requirement.
+  std::uint64_t peak_bytes() const { return peak_; }
+
+ private:
+  std::uint64_t current_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// A fixed-size array whose lifetime is reported to a MemoryTracker.
+/// Move-only; elements are value-initialized.
+template <typename T>
+class TrackedBuffer {
+ public:
+  TrackedBuffer(std::size_t count, MemoryTracker& tracker)
+      : data_(count), tracker_(&tracker) {
+    tracker_->allocate(bytes());
+  }
+
+  TrackedBuffer(const TrackedBuffer&) = delete;
+  TrackedBuffer& operator=(const TrackedBuffer&) = delete;
+
+  TrackedBuffer(TrackedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), tracker_(other.tracker_) {
+    other.tracker_ = nullptr;
+    other.data_.clear();
+  }
+
+  TrackedBuffer& operator=(TrackedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::move(other.data_);
+      tracker_ = other.tracker_;
+      other.tracker_ = nullptr;
+      other.data_.clear();
+    }
+    return *this;
+  }
+
+  ~TrackedBuffer() { release(); }
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t bytes() const { return data_.size() * sizeof(T); }
+
+  T& operator[](std::size_t i) {
+    exareq::require(i < data_.size(), "TrackedBuffer: index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    exareq::require(i < data_.size(), "TrackedBuffer: index out of range");
+    return data_[i];
+  }
+
+  std::span<T> span() { return data_; }
+  std::span<const T> span() const { return data_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+ private:
+  void release() {
+    if (tracker_ != nullptr) tracker_->deallocate(bytes());
+    tracker_ = nullptr;
+  }
+
+  std::vector<T> data_;
+  MemoryTracker* tracker_;
+};
+
+}  // namespace exareq::instr

@@ -1,0 +1,82 @@
+#include "memtrace/cache_model.hpp"
+
+#include <algorithm>
+
+#include "memtrace/distance.hpp"
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+MissProfile predict_miss_ratios(const AccessTrace& trace,
+                                const LocalityConfig& config,
+                                std::span<const std::uint64_t> capacities) {
+  exareq::require(!capacities.empty(),
+                  "predict_miss_ratios: need at least one capacity");
+  for (std::size_t i = 1; i < capacities.size(); ++i) {
+    exareq::require(capacities[i] > capacities[i - 1],
+                    "predict_miss_ratios: capacities must strictly increase");
+  }
+
+  MissProfile profile;
+  profile.capacities.assign(capacities.begin(), capacities.end());
+
+  const std::size_t group_count = trace.group_count();
+  // misses[g][c]: sampled accesses of group g with SD >= capacities[c]
+  // (cold accesses miss every capacity).
+  std::vector<std::vector<std::uint64_t>> misses(
+      group_count, std::vector<std::uint64_t>(capacities.size(), 0));
+  std::vector<std::uint64_t> sampled(group_count, 0);
+
+  DistanceAnalyzer analyzer(trace.size());
+  std::size_t position = 0;
+  for (const Access& access : trace.accesses()) {
+    const AccessDistances distances = analyzer.observe(access.address);
+    if (config.sampler.sampled(position)) {
+      ++sampled[access.group];
+      for (std::size_t c = 0; c < capacities.size(); ++c) {
+        if (distances.cold || distances.stack_distance >= capacities[c]) {
+          ++misses[access.group][c];
+        }
+      }
+    }
+    ++position;
+  }
+
+  profile.groups.resize(group_count);
+  std::vector<std::uint64_t> total_misses(capacities.size(), 0);
+  std::uint64_t total_sampled = 0;
+  for (GroupId g = 0; g < group_count; ++g) {
+    GroupMissProfile& group = profile.groups[g];
+    group.group = g;
+    group.name = trace.group_name(g);
+    group.samples = sampled[g];
+    group.miss_ratio.resize(capacities.size(), 0.0);
+    total_sampled += sampled[g];
+    for (std::size_t c = 0; c < capacities.size(); ++c) {
+      total_misses[c] += misses[g][c];
+      if (sampled[g] > 0) {
+        group.miss_ratio[c] = static_cast<double>(misses[g][c]) /
+                              static_cast<double>(sampled[g]);
+      }
+    }
+  }
+  profile.total_miss_ratio.resize(capacities.size(), 0.0);
+  for (std::size_t c = 0; c < capacities.size(); ++c) {
+    if (total_sampled > 0) {
+      profile.total_miss_ratio[c] = static_cast<double>(total_misses[c]) /
+                                    static_cast<double>(total_sampled);
+    }
+  }
+  return profile;
+}
+
+std::uint64_t capacity_for_miss_ratio(const MissProfile& profile, double target) {
+  exareq::require(target >= 0.0 && target <= 1.0,
+                  "capacity_for_miss_ratio: target outside [0, 1]");
+  for (std::size_t c = 0; c < profile.capacities.size(); ++c) {
+    if (profile.total_miss_ratio[c] <= target) return profile.capacities[c];
+  }
+  return UINT64_MAX;
+}
+
+}  // namespace exareq::memtrace

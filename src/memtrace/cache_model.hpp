@@ -1,0 +1,55 @@
+// Cache-behaviour prediction from stack-distance distributions.
+//
+// Sec. II-D of the paper argues that stack-distance models predict *when*
+// an application's memory pressure will grow as the problem scales: an
+// access misses a fully-associative LRU cache of capacity C exactly when
+// its stack distance is >= C (Mattson's classic stack-algorithm result).
+// This module turns the sampled distance distributions of a trace into
+// predicted miss ratios for arbitrary capacities — making the paper's
+// "accesses to B will be the first to fail to find the data in the cache"
+// statement quantitative.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memtrace/locality.hpp"
+
+namespace exareq::memtrace {
+
+/// Predicted miss behaviour of one instruction group.
+struct GroupMissProfile {
+  GroupId group = 0;
+  std::string name;
+  /// Sampled accesses considered (cold accesses count as misses).
+  std::size_t samples = 0;
+  /// Predicted miss ratio per requested capacity (same order as the
+  /// capacities passed in).
+  std::vector<double> miss_ratio;
+};
+
+/// Predicted miss behaviour of a whole trace.
+struct MissProfile {
+  std::vector<std::uint64_t> capacities;   ///< cache sizes in *locations*
+  std::vector<GroupMissProfile> groups;    ///< indexed by group id
+  /// Trace-wide miss ratio per capacity (all sampled accesses pooled).
+  std::vector<double> total_miss_ratio;
+};
+
+/// Computes LRU miss ratios for the given capacities from the (sampled)
+/// stack distances of `trace`. Capacities must be non-empty and strictly
+/// increasing. Sampling follows `config.sampler`; cold accesses are always
+/// misses.
+MissProfile predict_miss_ratios(const AccessTrace& trace,
+                                const LocalityConfig& config,
+                                std::span<const std::uint64_t> capacities);
+
+/// The smallest of the given capacities for which the predicted total miss
+/// ratio drops below `target` (e.g. 0.05); returns nullopt-like UINT64_MAX
+/// when none qualifies. Useful for "how much cache does this working set
+/// need" questions.
+std::uint64_t capacity_for_miss_ratio(const MissProfile& profile, double target);
+
+}  // namespace exareq::memtrace

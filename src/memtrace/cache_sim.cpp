@@ -1,0 +1,71 @@
+#include "memtrace/cache_sim.hpp"
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  exareq::require(config.sets >= 1 && config.ways >= 1 && config.line_size >= 1,
+                  "CacheSim: sets, ways and line_size must be >= 1");
+  ways_.resize(config.sets * config.ways);
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++clock_;
+  const std::uint64_t line = address / config_.line_size;
+  const std::uint64_t set = line % config_.sets;
+  const std::uint64_t tag = line / config_.sets;
+  Way* begin = ways_.data() + set * config_.ways;
+  Way* end = begin + config_.ways;
+
+  Way* victim = begin;
+  for (Way* way = begin; way != end; ++way) {
+    if (way->valid && way->tag == tag) {
+      way->last_use = clock_;
+      return true;
+    }
+    // Track the LRU (or first invalid) way as the replacement victim.
+    if (!way->valid) {
+      if (victim->valid) victim = way;
+    } else if (victim->valid && way->last_use < victim->last_use) {
+      victim = way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+std::uint64_t CacheSim::resident_lines() const {
+  std::uint64_t count = 0;
+  for (const Way& way : ways_) {
+    if (way.valid) ++count;
+  }
+  return count;
+}
+
+CacheSimResult simulate_cache(const AccessTrace& trace,
+                              const CacheConfig& config) {
+  CacheSim cache(config);
+  CacheSimResult result;
+  result.groups.resize(trace.group_count());
+  for (GroupId g = 0; g < trace.group_count(); ++g) {
+    result.groups[g].group = g;
+    result.groups[g].name = trace.group_name(g);
+  }
+  for (const Access& access : trace.accesses()) {
+    const bool hit = cache.access(access.address);
+    auto& group = result.groups[access.group];
+    if (hit) {
+      ++group.hits;
+      ++result.hits;
+    } else {
+      ++group.misses;
+      ++result.misses;
+    }
+  }
+  return result;
+}
+
+}  // namespace exareq::memtrace

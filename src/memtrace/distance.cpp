@@ -1,0 +1,67 @@
+#include "memtrace/distance.hpp"
+
+#include <unordered_set>
+
+namespace exareq::memtrace {
+
+DistanceAnalyzer::DistanceAnalyzer(std::size_t expected_trace_length)
+    : marks_(expected_trace_length) {
+  last_access_.reserve(expected_trace_length / 4 + 16);
+}
+
+AccessDistances DistanceAnalyzer::observe(std::uint64_t address) {
+  AccessDistances distances;
+  const std::size_t now = position_++;
+  const auto it = last_access_.find(address);
+  if (it != last_access_.end()) {
+    const std::size_t previous = it->second;
+    distances.cold = false;
+    distances.reuse_distance = now - previous - 1;
+    // Every distinct address accessed strictly between `previous` and `now`
+    // has its most-recent-access mark inside (previous, now); the mark at
+    // `previous` is this address itself and is excluded.
+    distances.stack_distance =
+        now > previous + 1 ? marks_.range_count(previous + 1, now - 1) : 0;
+    marks_.clear(previous);
+    it->second = now;
+  } else {
+    last_access_.emplace(address, now);
+  }
+  marks_.set(now);
+  return distances;
+}
+
+std::vector<AccessDistances> compute_distances(const AccessTrace& trace) {
+  DistanceAnalyzer analyzer(trace.size());
+  std::vector<AccessDistances> result;
+  result.reserve(trace.size());
+  for (const Access& access : trace.accesses()) {
+    result.push_back(analyzer.observe(access.address));
+  }
+  return result;
+}
+
+std::vector<AccessDistances> compute_distances_reference(const AccessTrace& trace) {
+  const auto accesses = trace.accesses();
+  std::vector<AccessDistances> result(accesses.size());
+  std::unordered_map<std::uint64_t, std::size_t> last_access;
+  for (std::size_t now = 0; now < accesses.size(); ++now) {
+    const auto it = last_access.find(accesses[now].address);
+    if (it != last_access.end()) {
+      const std::size_t previous = it->second;
+      result[now].cold = false;
+      result[now].reuse_distance = now - previous - 1;
+      std::unordered_set<std::uint64_t> unique;
+      for (std::size_t k = previous + 1; k < now; ++k) {
+        unique.insert(accesses[k].address);
+      }
+      result[now].stack_distance = unique.size();
+      it->second = now;
+    } else {
+      last_access.emplace(accesses[now].address, now);
+    }
+  }
+  return result;
+}
+
+}  // namespace exareq::memtrace

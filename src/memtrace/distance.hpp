@@ -1,0 +1,62 @@
+// Exact reuse- and stack-distance computation (paper Sec. II-A, Fig. 1).
+//
+// Definitions used throughout this library, matching the paper:
+//  * reuse distance of an access = number of accesses that occur strictly
+//    between this access and the previous access to the same address;
+//  * stack distance = number of accesses to *unique other* locations that
+//    occur strictly between the two accesses (i.e. the count of distinct
+//    addresses touched in between).
+// The first access to an address has neither distance (cold access).
+//
+// Stack distances are computed with Olken's algorithm: a Fenwick tree marks
+// the trace position of the most recent access to each live address, so the
+// number of distinct addresses between two positions is a range count —
+// O(log T) per access instead of the naive O(T).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "memtrace/fenwick.hpp"
+#include "memtrace/trace.hpp"
+
+namespace exareq::memtrace {
+
+/// Distances of one access; both unset for the first (cold) access to an
+/// address.
+struct AccessDistances {
+  bool cold = true;
+  std::uint64_t reuse_distance = 0;
+  std::uint64_t stack_distance = 0;
+};
+
+/// Streaming exact distance analyzer (Olken).
+class DistanceAnalyzer {
+ public:
+  explicit DistanceAnalyzer(std::size_t expected_trace_length = 1024);
+
+  /// Processes the next access of the stream and returns its distances.
+  AccessDistances observe(std::uint64_t address);
+
+  /// Number of accesses observed so far.
+  std::size_t position() const { return position_; }
+
+  /// Number of distinct addresses observed so far.
+  std::size_t distinct_addresses() const { return last_access_.size(); }
+
+ private:
+  FenwickTree marks_;
+  std::unordered_map<std::uint64_t, std::size_t> last_access_;
+  std::size_t position_ = 0;
+};
+
+/// Distances of every access of a trace (Olken, O(T log T)).
+std::vector<AccessDistances> compute_distances(const AccessTrace& trace);
+
+/// Reference implementation, O(T^2); used to validate compute_distances in
+/// tests and the ablation bench.
+std::vector<AccessDistances> compute_distances_reference(const AccessTrace& trace);
+
+}  // namespace exareq::memtrace

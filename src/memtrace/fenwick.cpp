@@ -1,0 +1,71 @@
+#include "memtrace/fenwick.hpp"
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+FenwickTree::FenwickTree(std::size_t initial_capacity) {
+  std::size_t capacity = 16;
+  while (capacity < initial_capacity) capacity *= 2;
+  tree_.assign(capacity + 1, 0);
+  marks_.assign(capacity, 0);
+}
+
+void FenwickTree::ensure_capacity(std::size_t position) {
+  if (position < marks_.size()) return;
+  std::size_t capacity = marks_.size();
+  while (capacity <= position) capacity *= 2;
+  // Rebuild the tree from the marks; amortized constant per operation.
+  std::vector<std::uint8_t> old_marks = std::move(marks_);
+  marks_.assign(capacity, 0);
+  tree_.assign(capacity + 1, 0);
+  total_ = 0;
+  for (std::size_t i = 0; i < old_marks.size(); ++i) {
+    if (old_marks[i]) set(i);
+  }
+}
+
+void FenwickTree::add(std::size_t position, int delta) {
+  for (std::size_t i = position + 1; i <= marks_.size(); i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+void FenwickTree::set(std::size_t position) {
+  ensure_capacity(position);
+  exareq::require(!marks_[position], "FenwickTree::set: mark already set");
+  marks_[position] = 1;
+  add(position, +1);
+  ++total_;
+}
+
+void FenwickTree::clear(std::size_t position) {
+  exareq::require(position < marks_.size() && marks_[position],
+                  "FenwickTree::clear: mark not set");
+  marks_[position] = 0;
+  add(position, -1);
+  --total_;
+}
+
+bool FenwickTree::is_set(std::size_t position) const {
+  return position < marks_.size() && marks_[position] != 0;
+}
+
+std::size_t FenwickTree::prefix_count(std::size_t position) const {
+  std::size_t limit = position + 1;
+  if (limit > marks_.size()) limit = marks_.size();
+  std::int64_t count = 0;
+  for (std::size_t i = limit; i > 0; i -= i & (~i + 1)) {
+    count += tree_[i];
+  }
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t FenwickTree::range_count(std::size_t first, std::size_t last) const {
+  if (first > last) return 0;
+  const std::size_t upto_last = prefix_count(last);
+  const std::size_t before_first = first == 0 ? 0 : prefix_count(first - 1);
+  return upto_last - before_first;
+}
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,45 @@
+// Binary indexed tree (Fenwick tree) over 0/1 marks, used by the Olken
+// stack-distance algorithm to count "most recent accesses" between two
+// trace positions in O(log T).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exareq::memtrace {
+
+/// Fenwick tree over boolean marks indexed by trace position. Grows
+/// automatically (amortized O(log n) per operation).
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t initial_capacity = 1024);
+
+  /// Sets the mark at `position` (must currently be unset).
+  void set(std::size_t position);
+
+  /// Clears the mark at `position` (must currently be set).
+  void clear(std::size_t position);
+
+  bool is_set(std::size_t position) const;
+
+  /// Number of set marks in [0, position] (inclusive). Positions beyond the
+  /// current capacity count as unset.
+  std::size_t prefix_count(std::size_t position) const;
+
+  /// Number of set marks in [first, last] (inclusive); 0 if first > last.
+  std::size_t range_count(std::size_t first, std::size_t last) const;
+
+  /// Total number of set marks.
+  std::size_t total() const { return total_; }
+
+ private:
+  void ensure_capacity(std::size_t position);
+  void add(std::size_t position, int delta);
+
+  std::vector<std::int32_t> tree_;    // 1-based Fenwick array
+  std::vector<std::uint8_t> marks_;   // current mark per position
+  std::size_t total_ = 0;
+};
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,72 @@
+#include "memtrace/locality.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace exareq::memtrace {
+
+LocalityReport analyze_locality(const AccessTrace& trace,
+                                const LocalityConfig& config,
+                                double total_memory_accesses) {
+  exareq::require(total_memory_accesses >= 0.0,
+                  "analyze_locality: negative access count");
+  LocalityReport report;
+  report.trace_length = trace.size();
+
+  const std::size_t group_count = trace.group_count();
+  std::vector<std::vector<double>> stack_samples(group_count);
+  std::vector<std::vector<double>> reuse_samples(group_count);
+  std::vector<std::size_t> sampled_accesses(group_count, 0);
+
+  // Exact distances over the full stream; the sampler only selects which
+  // accesses are *reported*, mirroring Threadspotter's burst strategy.
+  DistanceAnalyzer analyzer(trace.size());
+  std::size_t position = 0;
+  for (const Access& access : trace.accesses()) {
+    const AccessDistances distances = analyzer.observe(access.address);
+    if (config.sampler.sampled(position)) {
+      ++sampled_accesses[access.group];
+      ++report.total_sampled;
+      if (!distances.cold) {
+        stack_samples[access.group].push_back(
+            static_cast<double>(distances.stack_distance));
+        reuse_samples[access.group].push_back(
+            static_cast<double>(distances.reuse_distance));
+      }
+    }
+    ++position;
+  }
+
+  report.groups.resize(group_count);
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (GroupId g = 0; g < group_count; ++g) {
+    GroupLocality& stats = report.groups[g];
+    stats.group = g;
+    stats.name = trace.group_name(g);
+    stats.samples = stack_samples[g].size();
+    stats.sampled_accesses = sampled_accesses[g];
+    stats.estimated_accesses =
+        report.total_sampled == 0
+            ? 0.0
+            : total_memory_accesses * static_cast<double>(sampled_accesses[g]) /
+                  static_cast<double>(report.total_sampled);
+    stats.reliable = stats.samples >= config.min_samples;
+    if (stats.samples > 0) {
+      stats.median_stack_distance = exareq::median(stack_samples[g]);
+      stats.median_reuse_distance = exareq::median(reuse_samples[g]);
+      stats.stack_distance_mad = exareq::median_abs_deviation(stack_samples[g]);
+    }
+    if (stats.reliable) {
+      weighted_sum += stats.median_stack_distance * stats.estimated_accesses;
+      weight_total += stats.estimated_accesses;
+    }
+  }
+  report.weighted_median_stack_distance =
+      weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+  return report;
+}
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,23 @@
+#include "memtrace/sampling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace exareq::memtrace {
+
+std::vector<std::uint64_t> sampled_positions(const SamplerConfig& config,
+                                             std::uint64_t trace_length) {
+  std::vector<std::uint64_t> positions;
+  positions.reserve(static_cast<std::size_t>(
+      static_cast<double>(trace_length) * config.duty_cycle() + 16.0));
+  for (std::uint64_t burst = config.offset; burst < trace_length;
+       burst += config.period) {
+    const std::uint64_t end = std::min(burst + config.burst_length, trace_length);
+    for (std::uint64_t position = burst; position < end; ++position) {
+      positions.push_back(position);
+    }
+  }
+  return positions;
+}
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,47 @@
+// Burst sampling of access traces (Threadspotter's measurement strategy,
+// paper Sec. II-B): the execution is sampled "in short bursts where all
+// memory accesses are documented, followed by periods during which no
+// measurements are gathered", keeping runtime dilation near a factor of
+// eight. Distances are exact (computed over the full stream); sampling
+// selects which accesses contribute to the reported statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+/// Deterministic duty-cycled sampler over trace positions.
+struct SamplerConfig {
+  /// Accesses documented per burst.
+  std::uint64_t burst_length = 64;
+  /// Distance from one burst start to the next; burst_length == period
+  /// means "sample everything".
+  std::uint64_t period = 512;
+  /// Position of the first burst start.
+  std::uint64_t offset = 0;
+
+  /// True if the access at `position` falls inside a burst.
+  bool sampled(std::uint64_t position) const {
+    exareq::require(burst_length >= 1 && period >= burst_length,
+                    "SamplerConfig: need 1 <= burst_length <= period");
+    if (position < offset) return false;
+    return (position - offset) % period < burst_length;
+  }
+
+  /// Fraction of accesses documented (burst_length / period).
+  double duty_cycle() const {
+    return static_cast<double>(burst_length) / static_cast<double>(period);
+  }
+
+  /// A configuration that samples every access (exact mode).
+  static SamplerConfig exact() { return {1, 1, 0}; }
+};
+
+/// All sampled positions below trace_length, in increasing order.
+std::vector<std::uint64_t> sampled_positions(const SamplerConfig& config,
+                                             std::uint64_t trace_length);
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,36 @@
+#include "memtrace/trace.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+GroupId AccessTrace::register_group(const std::string& name) {
+  for (GroupId id = 0; id < group_names_.size(); ++id) {
+    if (group_names_[id] == name) return id;
+  }
+  group_names_.push_back(name);
+  return static_cast<GroupId>(group_names_.size() - 1);
+}
+
+const std::string& AccessTrace::group_name(GroupId group) const {
+  exareq::require(group < group_names_.size(),
+                  "AccessTrace::group_name: unknown group id");
+  return group_names_[group];
+}
+
+void AccessTrace::record(std::uint64_t address, GroupId group) {
+  exareq::require(group < group_names_.size(),
+                  "AccessTrace::record: group not registered");
+  accesses_.push_back({address, group});
+}
+
+std::size_t AccessTrace::distinct_addresses() const {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(accesses_.size());
+  for (const Access& a : accesses_) seen.insert(a.address);
+  return seen.size();
+}
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,57 @@
+// Memory access traces tagged with instruction groups.
+//
+// Threadspotter (the paper's locality tool) attributes distance metrics to
+// "instruction groups": the instructions inside a loop that access the same
+// data structure. Our substitute asks the traced kernel to tag each access
+// with a group id obtained from register_group(); the MMM examples of the
+// paper's Sec. II-D use groups "A", "B", "C" for the three matrices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exareq::memtrace {
+
+/// Group id type; dense small integers.
+using GroupId = std::uint32_t;
+
+/// One recorded memory access.
+struct Access {
+  std::uint64_t address = 0;
+  GroupId group = 0;
+};
+
+/// An in-memory access trace. Addresses are abstract locations (byte
+/// addresses or element indices — distance metrics only compare equality).
+class AccessTrace {
+ public:
+  /// Registers an instruction group and returns its id. Re-registering the
+  /// same name returns the existing id.
+  GroupId register_group(const std::string& name);
+
+  /// Name of a registered group; throws InvalidArgument for unknown ids.
+  const std::string& group_name(GroupId group) const;
+
+  std::size_t group_count() const { return group_names_.size(); }
+
+  /// Appends one access; the group must have been registered.
+  void record(std::uint64_t address, GroupId group);
+
+  std::span<const Access> accesses() const { return accesses_; }
+  std::size_t size() const { return accesses_.size(); }
+  bool empty() const { return accesses_.empty(); }
+
+  /// Number of distinct addresses touched by the trace.
+  std::size_t distinct_addresses() const;
+
+  void reserve(std::size_t expected) { accesses_.reserve(expected); }
+  void clear() { accesses_.clear(); }
+
+ private:
+  std::vector<std::string> group_names_;
+  std::vector<Access> accesses_;
+};
+
+}  // namespace exareq::memtrace

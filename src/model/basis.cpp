@@ -1,0 +1,124 @@
+#include "model/basis.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace exareq::model {
+namespace {
+
+double log2_clamped(double x) {
+  // Requirement model parameters satisfy x >= 1; log2(1) == 0 is the exact
+  // value and negative logs never arise.
+  return std::log2(x);
+}
+
+std::string exponent_suffix(double exponent) {
+  if (exponent == 1.0) return "";
+  if (std::floor(exponent) == exponent) {
+    return "^" + exareq::format_fixed(exponent, 0);
+  }
+  // Render fractional exponents compactly (0.25, 1.5, 0.375, ...).
+  std::string s = exareq::format_fixed(exponent, 3);
+  while (s.back() == '0') s.pop_back();
+  if (s.back() == '.') s.pop_back();
+  return "^" + s;
+}
+
+}  // namespace
+
+std::string special_fn_name(SpecialFn fn) {
+  switch (fn) {
+    case SpecialFn::kNone:
+      return "";
+    case SpecialFn::kAllreduce:
+      return "Allreduce";
+    case SpecialFn::kBcast:
+      return "Bcast";
+    case SpecialFn::kAlltoall:
+      return "Alltoall";
+  }
+  return "";
+}
+
+double eval_special_fn(SpecialFn fn, double x) {
+  exareq::require(x >= 1.0, "eval_special_fn: parameter must be >= 1");
+  switch (fn) {
+    case SpecialFn::kNone:
+      return 1.0;
+    case SpecialFn::kAllreduce:
+      return 2.0 * log2_clamped(x);
+    case SpecialFn::kBcast:
+      return log2_clamped(x);
+    case SpecialFn::kAlltoall:
+      return 2.0 * (x - 1.0);
+  }
+  return 1.0;
+}
+
+bool Factor::is_identity() const {
+  return special == SpecialFn::kNone && poly_exponent == 0.0 && log_exponent == 0.0;
+}
+
+double Factor::evaluate(double x) const {
+  exareq::require(x >= 1.0, "Factor::evaluate: parameter must be >= 1");
+  if (special != SpecialFn::kNone) return eval_special_fn(special, x);
+  double value = 1.0;
+  if (poly_exponent != 0.0) value *= std::pow(x, poly_exponent);
+  if (log_exponent != 0.0) value *= std::pow(log2_clamped(x), log_exponent);
+  return value;
+}
+
+double Factor::complexity() const {
+  if (special != SpecialFn::kNone) {
+    // Collectives count like their asymptotic PMNF equivalents, nudged
+    // slightly below them so that among exactly tied hypotheses (a
+    // collective's cost curve IS a PMNF shape) the semantically meaningful
+    // collective basis wins the tie-break.
+    switch (special) {
+      case SpecialFn::kAllreduce:
+      case SpecialFn::kBcast:
+        return 0.45;  // ~ log term
+      case SpecialFn::kAlltoall:
+        return 0.95;  // ~ linear term
+      case SpecialFn::kNone:
+        break;
+    }
+  }
+  return poly_exponent + 0.5 * log_exponent;
+}
+
+std::string Factor::to_string(const std::string& parameter_name) const {
+  if (special != SpecialFn::kNone) {
+    return special_fn_name(special) + "(" + parameter_name + ")";
+  }
+  if (is_identity()) return "1";
+  std::string out;
+  if (poly_exponent != 0.0) {
+    out = parameter_name + exponent_suffix(poly_exponent);
+  }
+  if (log_exponent != 0.0) {
+    if (!out.empty()) out += " * ";
+    out += "log2(" + parameter_name + ")" + exponent_suffix(log_exponent);
+  }
+  return out;
+}
+
+Factor pmnf_factor(std::size_t parameter, double poly_exponent, double log_exponent) {
+  Factor f;
+  f.parameter = parameter;
+  f.poly_exponent = poly_exponent;
+  f.log_exponent = log_exponent;
+  return f;
+}
+
+Factor special_factor(std::size_t parameter, SpecialFn fn) {
+  exareq::require(fn != SpecialFn::kNone, "special_factor: kNone is not special");
+  Factor f;
+  f.parameter = parameter;
+  f.special = fn;
+  return f;
+}
+
+}  // namespace exareq::model

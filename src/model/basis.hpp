@@ -1,0 +1,57 @@
+// Basis functions of the performance model normal form (PMNF, paper Eq. 1)
+// plus the named collective cost functions that appear in the paper's
+// communication models (Table II: Allreduce(p), Bcast(p), Alltoall(p)).
+//
+// A Factor is a single-parameter building block; a product of factors over
+// distinct parameters forms one term of the expanded PMNF (paper Eq. 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace exareq::model {
+
+/// Named special basis functions. Their closed forms are chosen to match
+/// the byte accounting of the simulated MPI collectives in exareq_simmpi,
+/// so a fitted coefficient equals the per-call payload in bytes:
+///   Allreduce(p) = 2*log2(p)   (recursive doubling, sent+received/rank)
+///   Bcast(p)     = log2(p)     (binomial tree, busiest rank)
+///   Alltoall(p)  = 2*(p-1)     (pairwise exchange, sent+received/rank)
+enum class SpecialFn { kNone, kAllreduce, kBcast, kAlltoall };
+
+/// Human-readable name ("Allreduce" etc.); kNone yields an empty string.
+std::string special_fn_name(SpecialFn fn);
+
+/// Evaluates a special function at x >= 1.
+double eval_special_fn(SpecialFn fn, double x);
+
+/// One single-parameter factor of a PMNF term: either
+///   x^poly_exponent * log2(x)^log_exponent        (special == kNone)
+/// or a named collective function of x.
+struct Factor {
+  std::size_t parameter = 0;  ///< index into the model's parameter list
+  double poly_exponent = 0.0;
+  double log_exponent = 0.0;
+  SpecialFn special = SpecialFn::kNone;
+
+  /// True for x^0 * log2(x)^0, which contributes nothing.
+  bool is_identity() const;
+
+  /// Evaluates the factor at x; requires x >= 1.
+  double evaluate(double x) const;
+
+  /// Complexity proxy used for tie-breaking during model selection:
+  /// simpler shapes (smaller exponents) are preferred among equals.
+  double complexity() const;
+
+  /// Rendering such as "n^1.5 * log2(n)" or "Allreduce(p)".
+  std::string to_string(const std::string& parameter_name) const;
+
+  friend bool operator==(const Factor& a, const Factor& b) = default;
+};
+
+/// Convenience constructors.
+Factor pmnf_factor(std::size_t parameter, double poly_exponent, double log_exponent);
+Factor special_factor(std::size_t parameter, SpecialFn fn);
+
+}  // namespace exareq::model

@@ -1,0 +1,107 @@
+// Empirical model fitting (the Extra-P substitute's core).
+//
+// The fitter mirrors the paper's iterative procedure (Sec. II-C): starting
+// from the constant hypothesis, candidate terms from a pool are added one
+// at a time; each enlarged hypothesis is refit by (weighted) least squares
+// and scored by leave-one-out cross-validation on relative errors; growth
+// stops when no candidate improves the score significantly or the maximum
+// number of terms is reached. Among near-equal candidates the structurally
+// simplest wins, which keeps models interpretable.
+#pragma once
+
+#include <vector>
+
+#include "model/linalg.hpp"
+#include "model/measurement.hpp"
+#include "model/model.hpp"
+#include "model/search_space.hpp"
+
+namespace exareq::model {
+
+/// Tuning knobs of the fitting procedure.
+struct FitOptions {
+  /// Maximum number of non-constant terms in a hypothesis.
+  std::size_t max_terms = 3;
+  /// A term is only added if it shrinks the cross-validation score by at
+  /// least this fraction (the paper's "no significant improvement" rule).
+  /// Genuine terms on counter-precision data improve the score by 50-100%;
+  /// terms chasing measurement noise rarely exceed ~30%, so the bar sits
+  /// between the two.
+  double improvement_threshold = 0.35;
+  /// Hypothesis growth stops once the score falls below this bound — the
+  /// model already explains the data to measurement precision, and further
+  /// terms would chase sub-noise residuals. The default corresponds to a
+  /// 0.05% relative error, well below the reproducibility of real hardware
+  /// counters.
+  double score_tolerance = 5e-4;
+  /// Reject hypotheses whose fitted term coefficients are negative;
+  /// requirement metrics are counts and cannot shrink below zero.
+  bool require_nonnegative = true;
+  /// Minimize relative rather than absolute residuals. Relative residuals
+  /// make small-scale configurations count as much as large ones, which is
+  /// what an extrapolating model needs.
+  bool relative_residuals = true;
+  /// Candidates scoring within this fraction of the best are considered
+  /// ties and resolved toward lower structural complexity. Generous on
+  /// purpose: the PMNF grid contains many shapes that only differ beyond
+  /// measurement precision, and the paper's workflow values interpretable
+  /// (simple) models.
+  double tie_tolerance = 0.05;
+  /// Terms whose largest relative contribution over the measured points
+  /// falls below this share are dropped from the final model: they fit
+  /// sub-noise residuals in-sample yet can dominate (and wreck) the
+  /// extrapolation — a p^3 term with a 0.2% in-sample share is invisible to
+  /// cross-validation but grows 8x per process-count doubling.
+  double min_term_contribution = 0.01;
+  /// Hypotheses whose term coefficients vary by more than this relative
+  /// spread (stddev / |mean|) across the leave-one-out folds are rejected:
+  /// a genuine requirement term is estimable from any subset of the
+  /// measurements, while a noise-chasing term's coefficient is dictated by
+  /// whichever points happen to be in the fold.
+  double max_coefficient_spread = 0.5;
+  /// Number of first-term candidates the search branches on. PMNF grids
+  /// contain near-degenerate shapes (x^1.125 vs x * log2(x) over narrow
+  /// ranges); a purely greedy first pick can trap the search in a mixture
+  /// that fits well but extrapolates badly. Branching on the best few first
+  /// terms and keeping the best final hypothesis resolves this.
+  std::size_t beam_width = 6;
+};
+
+/// Quality summary of a fitted model over its training data.
+struct FitQuality {
+  double cv_score = 0.0;  ///< leave-one-out mean relative error
+  double smape = 0.0;     ///< symmetric MAPE of the final fit
+  double r_squared = 0.0; ///< R^2 of the final fit (1 if constant data)
+  std::vector<double> relative_errors;  ///< per measurement point
+};
+
+/// A fitted model together with its quality metrics.
+struct FitResult {
+  Model model;
+  FitQuality quality;
+};
+
+/// Fits the best hypothesis built from `pool` (terms whose coefficients are
+/// ignored; only the basis matters) to `data`. The pool may reference any
+/// of data's parameters. Throws InvalidArgument on an empty data set.
+FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& pool,
+                        const FitOptions& options = {});
+
+/// Single-parameter fit over the full search space (paper Eq. 1).
+FitResult fit_single_parameter(const MeasurementSet& data,
+                               const SearchSpace& space = SearchSpace::paper_default(),
+                               const FitOptions& options = {});
+
+/// Scores one fixed hypothesis (list of basis terms) by refitting its
+/// coefficients: returns the fitted model and quality without any search.
+/// Useful for comparing externally supplied hypotheses (ablation benches).
+FitResult refit_hypothesis(const MeasurementSet& data, const std::vector<Term>& basis,
+                           const FitOptions& options = {});
+
+/// Leave-one-out cross-validation score of a fixed basis (lower is better;
+/// +inf when the hypothesis is inadmissible for this data).
+double cross_validation_score(const MeasurementSet& data,
+                              const std::vector<Term>& basis,
+                              const FitOptions& options = {});
+
+}  // namespace exareq::model

@@ -1,0 +1,55 @@
+// Small dense linear algebra for the model fitter.
+//
+// The fitter solves least-squares problems with at most a handful of
+// columns (one per model term) and a few dozen rows (one per measurement),
+// so a straightforward Householder QR is both fast and numerically robust;
+// basis columns can differ by many orders of magnitude (n^3 vs log n), so
+// columns are equilibrated before factorization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace exareq::model {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  std::vector<double> multiply(std::span<const double> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Result of a least-squares solve.
+struct LeastSquaresResult {
+  std::vector<double> solution;    ///< coefficient vector x
+  double residual_norm = 0.0;      ///< ||A x - b||_2
+  bool rank_deficient = false;     ///< a pivot column collapsed numerically
+};
+
+/// Minimizes ||A x - b||_2 via column-equilibrated Householder QR.
+/// Requires rows >= cols >= 1. Rank-deficient columns get coefficient 0 and
+/// set the rank_deficient flag.
+LeastSquaresResult least_squares(const Matrix& a, std::span<const double> b);
+
+/// Weighted least squares: minimizes ||diag(w) (A x - b)||_2.
+/// Weights must be non-negative and match b's size.
+LeastSquaresResult weighted_least_squares(const Matrix& a,
+                                          std::span<const double> b,
+                                          std::span<const double> weights);
+
+}  // namespace exareq::model

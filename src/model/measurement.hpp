@@ -1,0 +1,66 @@
+// Measurement containers fed into the model generator.
+//
+// A MeasurementSet holds observations of one metric over a grid of model
+// parameters (in this paper: number of processes p and problem size per
+// process n). The generator needs at least five distinct values per
+// parameter (paper Sec. II-C rule of thumb), which `validate_for_modeling`
+// enforces.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exareq::model {
+
+/// One point of the parameter space, e.g. (p, n) = (16, 1024).
+using Coordinate = std::vector<double>;
+
+/// Observations y_k at coordinates x_k for a single metric.
+class MeasurementSet {
+ public:
+  /// Creates an empty set over the named parameters (e.g. {"p", "n"}).
+  explicit MeasurementSet(std::vector<std::string> parameter_names);
+
+  const std::vector<std::string>& parameter_names() const {
+    return parameter_names_;
+  }
+  std::size_t parameter_count() const { return parameter_names_.size(); }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Adds one observation. The coordinate width must match the parameter
+  /// count and every component must be >= 1.
+  void add(Coordinate coordinate, double value);
+
+  /// Convenience for the common two-parameter case.
+  void add2(double first, double second, double value);
+
+  const std::vector<Coordinate>& coordinates() const { return coordinates_; }
+  const std::vector<double>& values() const { return values_; }
+  const Coordinate& coordinate(std::size_t index) const;
+  double value(std::size_t index) const;
+
+  /// Sorted distinct values taken by parameter `parameter`.
+  std::vector<double> distinct_values(std::size_t parameter) const;
+
+  /// Restriction to points where every parameter except `parameter` equals
+  /// the given anchor coordinate (the anchor value of `parameter` itself is
+  /// ignored); the result is a single-parameter set.
+  MeasurementSet slice(std::size_t parameter, const Coordinate& anchor) const;
+
+  /// Index of the named parameter; throws InvalidArgument if absent.
+  std::size_t parameter_index(const std::string& name) const;
+
+  /// Throws InvalidArgument unless each parameter takes at least
+  /// `min_distinct` distinct values.
+  void validate_for_modeling(std::size_t min_distinct = 5) const;
+
+ private:
+  std::vector<std::string> parameter_names_;
+  std::vector<Coordinate> coordinates_;
+  std::vector<double> values_;
+};
+
+}  // namespace exareq::model

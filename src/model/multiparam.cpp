@@ -1,0 +1,186 @@
+#include "model/multiparam.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace exareq::model {
+namespace {
+
+/// Chooses the anchor coordinate whose slice along `parameter` contains the
+/// most points, preferring small values in the other parameters (cheap runs,
+/// as in the paper's measurement methodology).
+Coordinate best_anchor(const MeasurementSet& data, std::size_t parameter) {
+  Coordinate best;
+  std::size_t best_size = 0;
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    const Coordinate& candidate = data.coordinate(k);
+    const std::size_t size = data.slice(parameter, candidate).size();
+    bool better = size > best_size;
+    if (size == best_size && !best.empty()) {
+      // Tie: prefer lexicographically smaller other-parameter values.
+      for (std::size_t l = 0; l < candidate.size(); ++l) {
+        if (l == parameter) continue;
+        if (candidate[l] != best[l]) {
+          better = candidate[l] < best[l];
+          break;
+        }
+      }
+    }
+    if (better) {
+      best = candidate;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+bool contains_factor(const std::vector<Factor>& factors, const Factor& f) {
+  // Ranking happens on single-parameter slices (parameter index 0), so
+  // compare shape only.
+  for (const Factor& existing : factors) {
+    if (existing.poly_exponent == f.poly_exponent &&
+        existing.log_exponent == f.log_exponent && existing.special == f.special) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
+                                           std::size_t parameter,
+                                           const MultiParamOptions& options) {
+  exareq::require(slice.parameter_count() == 1,
+                  "rank_candidate_factors: slice must be single-parameter");
+  SearchSpace space = options.space;
+  space.include_collectives =
+      std::find(options.collective_parameters.begin(),
+                options.collective_parameters.end(),
+                parameter) != options.collective_parameters.end();
+
+  struct Scored {
+    Factor factor;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (const Factor& factor : space.factors_for(0)) {
+    if (factor.special != SpecialFn::kNone &&
+        std::find(options.allowed_collectives.begin(),
+                  options.allowed_collectives.end(),
+                  factor.special) == options.allowed_collectives.end()) {
+      continue;
+    }
+    Term term;
+    term.coefficient = 1.0;
+    term.factors = {factor};
+    const double score = cross_validation_score(slice, {term}, options.fit);
+    if (std::isfinite(score)) scored.push_back({factor, score});
+  }
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score < b.score;
+  });
+
+  std::vector<Factor> ranked;
+  for (const Scored& s : scored) {
+    if (ranked.size() >= options.top_factors_per_parameter) break;
+    ranked.push_back(s.factor);
+  }
+
+  // The slice may be an additive mixture of shapes that no single factor
+  // explains; a greedy multi-term fit on the slice surfaces exactly those
+  // component factors, so merge them in.
+  if (slice.size() >= 4) {
+    const FitResult slice_fit = fit_single_parameter(slice, space, options.fit);
+    for (const Term& term : slice_fit.model.terms()) {
+      for (const Factor& factor : term.factors) {
+        if (!contains_factor(ranked, factor)) ranked.push_back(factor);
+      }
+    }
+  }
+
+  // Canonical shapes are always admitted: when a parameter's effect on the
+  // slice is near the noise floor, the ranking above is essentially random,
+  // yet the joint fit over the full grid may still identify a clean linear
+  // or logarithmic dependence — provided the factor is in the pool.
+  for (const Factor& canonical :
+       {pmnf_factor(0, 1.0, 0.0), pmnf_factor(0, 0.0, 1.0),
+        pmnf_factor(0, 0.5, 0.0), pmnf_factor(0, 1.0, 1.0)}) {
+    if (!contains_factor(ranked, canonical)) ranked.push_back(canonical);
+  }
+
+  for (Factor& factor : ranked) factor.parameter = parameter;
+  return ranked;
+}
+
+std::vector<Term> build_joint_pool(
+    const std::vector<std::vector<Factor>>& factors_per_parameter) {
+  std::vector<Term> pool;
+  const std::size_t m = factors_per_parameter.size();
+
+  const auto add_term = [&pool](std::vector<Factor> factors) {
+    Term term;
+    term.coefficient = 1.0;
+    term.factors = std::move(factors);
+    for (const Term& existing : pool) {
+      if (existing.same_basis(term)) return;
+    }
+    pool.push_back(std::move(term));
+  };
+
+  for (const auto& factors : factors_per_parameter) {
+    for (const Factor& f : factors) add_term({f});
+  }
+  for (std::size_t l1 = 0; l1 < m; ++l1) {
+    for (std::size_t l2 = l1 + 1; l2 < m; ++l2) {
+      for (const Factor& f1 : factors_per_parameter[l1]) {
+        for (const Factor& f2 : factors_per_parameter[l2]) {
+          add_term({f1, f2});
+        }
+      }
+    }
+  }
+  if (m >= 3) {
+    // Full product of each parameter's best factor; higher-order mixed
+    // products explode combinatorially and rarely win cross-validation.
+    std::vector<Factor> best;
+    for (const auto& factors : factors_per_parameter) {
+      if (factors.empty()) {
+        best.clear();
+        break;
+      }
+      best.push_back(factors.front());
+    }
+    if (!best.empty()) add_term(std::move(best));
+  }
+  return pool;
+}
+
+FitResult fit_multi_parameter(const MeasurementSet& data,
+                              const MultiParamOptions& options) {
+  exareq::require(!data.empty(), "fit_multi_parameter: empty measurement set");
+  const std::size_t m = data.parameter_count();
+  if (m == 1) {
+    SearchSpace space = options.space;
+    space.include_collectives =
+        std::find(options.collective_parameters.begin(),
+                  options.collective_parameters.end(),
+                  std::size_t{0}) != options.collective_parameters.end();
+    return fit_single_parameter(data, space, options.fit);
+  }
+
+  std::vector<std::vector<Factor>> factors_per_parameter(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    const Coordinate anchor = best_anchor(data, l);
+    const MeasurementSet slice = data.slice(l, anchor);
+    factors_per_parameter[l] = rank_candidate_factors(slice, l, options);
+  }
+
+  const std::vector<Term> pool = build_joint_pool(factors_per_parameter);
+  return fit_with_pool(data, pool, options.fit);
+}
+
+}  // namespace exareq::model

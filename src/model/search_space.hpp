@@ -1,0 +1,39 @@
+// Hypothesis search space of the model generator.
+//
+// The paper (Sec. III) generates models "considering polynomial and
+// logarithmic exponents. The polynomial exponents take values between 0 and
+// 3, including all fractions of the types i/8 and i/3. For logarithms, we
+// used the exponents {0; 0.5; 1; 1.5; 2}." This module materializes exactly
+// that grid, optionally extended by the named collective functions used for
+// communication metrics.
+#pragma once
+
+#include <vector>
+
+#include "model/basis.hpp"
+
+namespace exareq::model {
+
+/// The exponent grid from which candidate factors are drawn.
+struct SearchSpace {
+  std::vector<double> poly_exponents;
+  std::vector<double> log_exponents;
+  bool include_collectives = false;
+
+  /// The paper's grid: poly {i/8} U {i/3} for 0 <= value <= 3,
+  /// log {0, 0.5, 1, 1.5, 2}; no collectives.
+  static SearchSpace paper_default();
+
+  /// A coarser grid (integer and half-integer poly exponents) for quick
+  /// fits and for ablation benchmarks.
+  static SearchSpace coarse();
+
+  /// All candidate factors for one parameter (identity excluded, sorted by
+  /// ascending complexity). Collectives are appended when enabled.
+  std::vector<Factor> factors_for(std::size_t parameter) const;
+
+  /// Number of factors factors_for() would return.
+  std::size_t factor_count() const;
+};
+
+}  // namespace exareq::model

@@ -1,0 +1,28 @@
+// Model persistence: a line-oriented, full-precision text format so fitted
+// requirement models can be written to disk by one tool invocation and
+// consumed by another (the Extra-P workflow separates model generation
+// from model use).
+//
+// Format (one model per block):
+//   model v1
+//   params p n
+//   constant 4.2e+01
+//   term 3.5e+00 pmnf 0 1 0.5 special 1 allreduce
+//   end
+// Each `term` line carries the coefficient followed by factor descriptors:
+// `pmnf <param> <poly> <log>` or `special <param> <name>`.
+#pragma once
+
+#include <string>
+
+#include "model/model.hpp"
+
+namespace exareq::model {
+
+/// Serializes a model (round-trips bit-exactly through parse_model).
+std::string serialize_model(const Model& m);
+
+/// Parses a serialized model; throws InvalidArgument on malformed input.
+Model parse_model(const std::string& text);
+
+}  // namespace exareq::model

@@ -1,0 +1,321 @@
+#include "pipeline/campaign.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace exareq::pipeline {
+
+std::vector<Metric> all_metrics() {
+  return {Metric::kBytesUsed, Metric::kFlops, Metric::kBytesSentReceived,
+          Metric::kLoadsStores, Metric::kStackDistance};
+}
+
+std::string metric_label(Metric metric) {
+  switch (metric) {
+    case Metric::kBytesUsed:
+      return "#Bytes used";
+    case Metric::kFlops:
+      return "#FLOP";
+    case Metric::kBytesSentReceived:
+      return "#Bytes sent & received";
+    case Metric::kLoadsStores:
+      return "#Loads & stores";
+    case Metric::kStackDistance:
+      return "Stack distance";
+  }
+  return "?";
+}
+
+namespace {
+
+double metric_value(const AppMeasurement& m, Metric metric) {
+  switch (metric) {
+    case Metric::kBytesUsed:
+      return m.bytes_used;
+    case Metric::kFlops:
+      return m.flops;
+    case Metric::kBytesSentReceived:
+      return m.bytes_sent_received;
+    case Metric::kLoadsStores:
+      return m.loads_stores;
+    case Metric::kStackDistance:
+      return m.stack_distance;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+model::MeasurementSet CampaignData::metric_data(Metric metric) const {
+  if (metric == Metric::kStackDistance) {
+    // Locality depends on the problem size only; deduplicate over p.
+    model::MeasurementSet data({"n"});
+    std::vector<std::int64_t> seen;
+    for (const AppMeasurement& m : measurements) {
+      if (std::find(seen.begin(), seen.end(), m.problem_size) != seen.end()) {
+        continue;
+      }
+      seen.push_back(m.problem_size);
+      data.add({static_cast<double>(m.problem_size)}, metric_value(m, metric));
+    }
+    return data;
+  }
+  model::MeasurementSet data({"p", "n"});
+  for (const AppMeasurement& m : measurements) {
+    data.add2(static_cast<double>(m.processes),
+              static_cast<double>(m.problem_size), metric_value(m, metric));
+  }
+  return data;
+}
+
+std::vector<std::string> CampaignData::channel_names() const {
+  std::vector<std::string> names;
+  for (const AppMeasurement& m : measurements) {
+    for (const auto& [name, channel] : m.channels) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+model::MeasurementSet CampaignData::channel_data(const std::string& name) const {
+  model::MeasurementSet data({"p", "n"});
+  for (const AppMeasurement& m : measurements) {
+    const auto it = m.channels.find(name);
+    const double bytes = it == m.channels.end() ? 0.0 : it->second.bytes;
+    data.add2(static_cast<double>(m.processes),
+              static_cast<double>(m.problem_size), bytes);
+  }
+  return data;
+}
+
+ChannelMeasurement CampaignData::channel_traits(const std::string& name) const {
+  ChannelMeasurement traits;
+  for (const AppMeasurement& m : measurements) {
+    const auto it = m.channels.find(name);
+    if (it == m.channels.end()) continue;
+    traits.uses_allreduce |= it->second.uses_allreduce;
+    traits.uses_bcast |= it->second.uses_bcast;
+    traits.uses_alltoall |= it->second.uses_alltoall;
+  }
+  return traits;
+}
+
+exareq::CsvDocument CampaignData::to_csv() const {
+  // Channel columns are named "chan:<flags>:<name>" where flags encode
+  // which collectives the call path uses (a/b/t).
+  std::vector<std::string> header{"p",
+                                  "n",
+                                  "bytes_used",
+                                  "flops",
+                                  "loads_stores",
+                                  "bytes_sent_received",
+                                  "stack_distance"};
+  const std::vector<std::string> channels = channel_names();
+  for (const std::string& name : channels) {
+    const ChannelMeasurement traits = channel_traits(name);
+    std::string flags;
+    if (traits.uses_allreduce) flags += 'a';
+    if (traits.uses_bcast) flags += 'b';
+    if (traits.uses_alltoall) flags += 't';
+    header.push_back("chan:" + flags + ":" + name);
+  }
+  exareq::CsvDocument doc(header);
+  for (const AppMeasurement& m : measurements) {
+    std::vector<std::string> row{std::to_string(m.processes),
+                                 std::to_string(m.problem_size),
+                                 exareq::format_sci(m.bytes_used, 17),
+                                 exareq::format_sci(m.flops, 17),
+                                 exareq::format_sci(m.loads_stores, 17),
+                                 exareq::format_sci(m.bytes_sent_received, 17),
+                                 exareq::format_sci(m.stack_distance, 17)};
+    for (const std::string& name : channels) {
+      const auto it = m.channels.find(name);
+      row.push_back(
+          exareq::format_sci(it == m.channels.end() ? 0.0 : it->second.bytes, 17));
+    }
+    doc.add_row(std::move(row));
+  }
+  return doc;
+}
+
+CampaignData CampaignData::from_csv(const exareq::CsvDocument& doc,
+                                    std::string app_name) {
+  CampaignData data;
+  data.app_name = std::move(app_name);
+  const std::size_t p_col = doc.column_index("p");
+  const std::size_t n_col = doc.column_index("n");
+  const std::size_t bytes_col = doc.column_index("bytes_used");
+  const std::size_t flops_col = doc.column_index("flops");
+  const std::size_t ls_col = doc.column_index("loads_stores");
+  const std::size_t comm_col = doc.column_index("bytes_sent_received");
+  const std::size_t sd_col = doc.column_index("stack_distance");
+  struct ChannelColumn {
+    std::size_t column;
+    std::string name;
+    ChannelMeasurement traits;
+  };
+  std::vector<ChannelColumn> channel_columns;
+  for (std::size_t c = 0; c < doc.header().size(); ++c) {
+    const std::string& title = doc.header()[c];
+    if (title.rfind("chan:", 0) != 0) continue;
+    const std::size_t second_colon = title.find(':', 5);
+    exareq::require(second_colon != std::string::npos,
+                    "CampaignData::from_csv: malformed channel column '" +
+                        title + "'");
+    ChannelColumn column;
+    column.column = c;
+    column.name = title.substr(second_colon + 1);
+    const std::string flags = title.substr(5, second_colon - 5);
+    column.traits.uses_allreduce = flags.find('a') != std::string::npos;
+    column.traits.uses_bcast = flags.find('b') != std::string::npos;
+    column.traits.uses_alltoall = flags.find('t') != std::string::npos;
+    channel_columns.push_back(std::move(column));
+  }
+  for (std::size_t row = 0; row < doc.rows().size(); ++row) {
+    AppMeasurement m;
+    m.processes = static_cast<int>(doc.number_at(row, p_col));
+    m.problem_size = static_cast<std::int64_t>(doc.number_at(row, n_col));
+    m.bytes_used = doc.number_at(row, bytes_col);
+    m.flops = doc.number_at(row, flops_col);
+    m.loads_stores = doc.number_at(row, ls_col);
+    m.bytes_sent_received = doc.number_at(row, comm_col);
+    m.stack_distance = doc.number_at(row, sd_col);
+    for (const ChannelColumn& column : channel_columns) {
+      ChannelMeasurement entry = column.traits;
+      entry.bytes = doc.number_at(row, column.column);
+      m.channels.emplace(column.name, entry);
+    }
+    data.measurements.push_back(m);
+  }
+  return data;
+}
+
+CampaignData run_campaign(const apps::Application& app,
+                          const CampaignConfig& config) {
+  exareq::require(!config.process_counts.empty() && !config.problem_sizes.empty(),
+                  "run_campaign: empty campaign grid");
+  CampaignData data;
+  data.app_name = app.name();
+  data.measurements.reserve(config.process_counts.size() *
+                            config.problem_sizes.size());
+  for (std::int64_t n : config.problem_sizes) {
+    // Locality traces depend on n only; measure once per problem size.
+    bool locality_done = false;
+    for (int p : config.process_counts) {
+      LocalityOptions locality = config.locality;
+      locality.enabled = config.locality.enabled && !locality_done;
+      AppMeasurement m = measure_app(app, p, n, locality);
+      if (locality.enabled) {
+        locality_done = true;
+      } else if (config.locality.enabled && !data.measurements.empty()) {
+        // Reuse the stack distance measured at this n.
+        for (auto it = data.measurements.rbegin(); it != data.measurements.rend();
+             ++it) {
+          if (it->problem_size == n) {
+            m.stack_distance = it->stack_distance;
+            break;
+          }
+        }
+      }
+      data.measurements.push_back(m);
+    }
+  }
+  return data;
+}
+
+const model::FitResult& RequirementModels::result(Metric metric) const {
+  switch (metric) {
+    case Metric::kBytesUsed:
+      return bytes_used;
+    case Metric::kFlops:
+      return flops;
+    case Metric::kBytesSentReceived:
+      return bytes_sent_received;
+    case Metric::kLoadsStores:
+      return loads_stores;
+    case Metric::kStackDistance:
+      return stack_distance;
+  }
+  throw exareq::InvalidArgument("RequirementModels::result: unknown metric");
+}
+
+RequirementModels model_requirements(const CampaignData& data,
+                                     const model::GeneratorOptions& options) {
+  exareq::require(!data.measurements.empty(),
+                  "model_requirements: empty campaign");
+  const model::ModelGenerator generator(options);
+  RequirementModels models;
+  models.app_name = data.app_name;
+
+  model::MetricTraits plain;
+  model::MetricTraits communication;
+  communication.is_communication = true;
+
+  models.bytes_used = generator.generate(data.metric_data(Metric::kBytesUsed), plain);
+  models.flops = generator.generate(data.metric_data(Metric::kFlops), plain);
+  models.bytes_sent_received = generator.generate(
+      data.metric_data(Metric::kBytesSentReceived), communication);
+  models.loads_stores =
+      generator.generate(data.metric_data(Metric::kLoadsStores), plain);
+  models.stack_distance =
+      generator.generate(data.metric_data(Metric::kStackDistance), plain);
+
+  for (const std::string& name : data.channel_names()) {
+    ChannelModel channel;
+    channel.name = name;
+    channel.traits = data.channel_traits(name);
+    model::MetricTraits traits;
+    traits.is_communication = true;
+    traits.collectives.clear();
+    if (channel.traits.uses_allreduce) {
+      traits.collectives.push_back(model::SpecialFn::kAllreduce);
+    }
+    if (channel.traits.uses_bcast) {
+      traits.collectives.push_back(model::SpecialFn::kBcast);
+    }
+    if (channel.traits.uses_alltoall) {
+      traits.collectives.push_back(model::SpecialFn::kAlltoall);
+    }
+    channel.fit = generator.generate(data.channel_data(name), traits);
+    models.comm_channels.push_back(std::move(channel));
+  }
+  return models;
+}
+
+double RequirementModels::comm_bytes_at(double p, double n) const {
+  if (comm_channels.empty()) {
+    return bytes_sent_received.model.evaluate2(p, n);
+  }
+  double total = 0.0;
+  for (const ChannelModel& channel : comm_channels) {
+    total += channel.fit.model.evaluate2(p, n);
+  }
+  return total;
+}
+
+std::vector<double> all_relative_errors(const RequirementModels& models) {
+  std::vector<double> errors;
+  for (Metric metric : all_metrics()) {
+    if (metric == Metric::kBytesSentReceived && !models.comm_channels.empty()) {
+      // Communication is modeled per call path (paper Sec. III); the
+      // histogram population uses those models, not the program total.
+      continue;
+    }
+    const auto& fit = models.result(metric);
+    errors.insert(errors.end(), fit.quality.relative_errors.begin(),
+                  fit.quality.relative_errors.end());
+  }
+  for (const ChannelModel& channel : models.comm_channels) {
+    errors.insert(errors.end(), channel.fit.quality.relative_errors.begin(),
+                  channel.fit.quality.relative_errors.end());
+  }
+  return errors;
+}
+
+}  // namespace exareq::pipeline

@@ -1,0 +1,108 @@
+// Measurement campaigns and requirement-model generation — the paper's
+// workflow (Sec. II): run the application over a grid of at least five
+// process counts and five problem sizes (25 configurations), then fit one
+// requirement model per metric with the Extra-P substitute.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "model/modelgen.hpp"
+#include "pipeline/measure.hpp"
+#include "support/csv.hpp"
+
+namespace exareq::pipeline {
+
+/// The requirement metrics of the paper's Table I.
+enum class Metric {
+  kBytesUsed,
+  kFlops,
+  kBytesSentReceived,
+  kLoadsStores,
+  kStackDistance,
+};
+
+/// All metrics, in Table II row order.
+std::vector<Metric> all_metrics();
+
+/// Table-I style label ("#Bytes used", ...).
+std::string metric_label(Metric metric);
+
+/// Campaign grid. Defaults follow the paper's rule of thumb: five values
+/// per parameter. Powers of two keep the discrete log2-based iteration
+/// counts of the proxies aligned with the continuous model functions.
+struct CampaignConfig {
+  std::vector<int> process_counts{4, 8, 16, 32, 64};
+  std::vector<std::int64_t> problem_sizes{64, 128, 256, 512, 1024};
+  LocalityOptions locality;
+};
+
+/// All measurements of one application over the campaign grid.
+struct CampaignData {
+  std::string app_name;
+  std::vector<AppMeasurement> measurements;
+
+  /// Measurement set for one metric: parameters (p, n) for the four
+  /// process-level metrics; parameter (n) for the stack distance, whose
+  /// model depends on the problem size only (paper Table II).
+  model::MeasurementSet metric_data(Metric metric) const;
+
+  /// Names of all communication call paths observed, sorted.
+  std::vector<std::string> channel_names() const;
+
+  /// Measurement set of one communication call path over (p, n); missing
+  /// configurations (e.g. p = 1 where no traffic occurs) count as 0 bytes.
+  model::MeasurementSet channel_data(const std::string& name) const;
+
+  /// Union of the collective-use flags of one call path over all
+  /// configurations.
+  ChannelMeasurement channel_traits(const std::string& name) const;
+
+  /// CSV round trip for persisting campaigns (one row per configuration).
+  exareq::CsvDocument to_csv() const;
+  static CampaignData from_csv(const exareq::CsvDocument& doc,
+                               std::string app_name);
+};
+
+/// Runs the full grid. Throws if the grid is degenerate (empty axes).
+CampaignData run_campaign(const apps::Application& app,
+                          const CampaignConfig& config = {});
+
+/// Fitted model of one communication call path.
+struct ChannelModel {
+  std::string name;
+  ChannelMeasurement traits;  ///< which collectives the call path uses
+  model::FitResult fit;
+};
+
+/// One fitted model per metric, plus one per communication call path —
+/// Table II lists the communication requirement as separate per-call-path
+/// models ("10^4 * Allreduce(p)", "10^4 * Bcast(p)", "10^9 * n" for MILC).
+struct RequirementModels {
+  std::string app_name;
+  model::FitResult bytes_used;
+  model::FitResult flops;
+  model::FitResult bytes_sent_received;  ///< whole-program total
+  model::FitResult loads_stores;
+  model::FitResult stack_distance;
+  std::vector<ChannelModel> comm_channels;
+
+  const model::FitResult& result(Metric metric) const;
+
+  /// Sum of the per-call-path communication models at (p, n) — the
+  /// communication requirement used by the co-design studies.
+  double comm_bytes_at(double p, double n) const;
+};
+
+/// Fits all five metrics. Communication models search over the collective
+/// basis functions (Allreduce/Bcast/Alltoall of p).
+RequirementModels model_requirements(
+    const CampaignData& data,
+    const model::GeneratorOptions& options = model::GeneratorOptions{});
+
+/// Relative errors of every measurement under its fitted model, across all
+/// five metrics — the population of the paper's Fig. 3 histogram.
+std::vector<double> all_relative_errors(const RequirementModels& models);
+
+}  // namespace exareq::pipeline

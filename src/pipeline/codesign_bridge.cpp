@@ -1,0 +1,28 @@
+#include "pipeline/codesign_bridge.hpp"
+
+#include <vector>
+
+namespace exareq::pipeline {
+
+codesign::AppRequirements to_requirements(const RequirementModels& models) {
+  codesign::AppRequirements requirements;
+  requirements.name = models.app_name;
+  requirements.footprint = models.bytes_used.model;
+  requirements.flops = models.flops.model;
+  requirements.loads_stores = models.loads_stores.model;
+  requirements.stack_distance = models.stack_distance.model;
+  if (models.comm_channels.empty()) {
+    requirements.comm_bytes = models.bytes_sent_received.model;
+  } else {
+    std::vector<model::Model> channels;
+    channels.reserve(models.comm_channels.size());
+    for (const ChannelModel& channel : models.comm_channels) {
+      channels.push_back(channel.fit.model);
+    }
+    requirements.comm_bytes = model::Model::sum(channels);
+  }
+  requirements.validate();
+  return requirements;
+}
+
+}  // namespace exareq::pipeline

@@ -1,0 +1,16 @@
+// Bridges fitted requirement models into the co-design library's
+// application bundle (the hand-off between the paper's modeling step and
+// its co-design studies).
+#pragma once
+
+#include "codesign/requirements.hpp"
+#include "pipeline/campaign.hpp"
+
+namespace exareq::pipeline {
+
+/// Converts a full set of fitted models into the co-design bundle. The
+/// communication requirement is the sum of the per-call-path models (or
+/// the whole-program fit when no channels were measured).
+codesign::AppRequirements to_requirements(const RequirementModels& models);
+
+}  // namespace exareq::pipeline

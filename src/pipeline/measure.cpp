@@ -1,0 +1,66 @@
+#include "pipeline/measure.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "support/error.hpp"
+
+namespace exareq::pipeline {
+
+AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
+                           const LocalityOptions& locality) {
+  exareq::require(p >= 1, "measure_app: need at least one process");
+  exareq::require(n >= app.min_problem_size(),
+                  "measure_app: problem size below the application minimum");
+
+  // One instrumentation context per rank, owned here so the rank threads
+  // only ever touch their own slot.
+  std::vector<std::unique_ptr<instr::ProcessInstrumentation>> contexts;
+  contexts.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    contexts.push_back(std::make_unique<instr::ProcessInstrumentation>());
+  }
+
+  const simmpi::RunResult run_result =
+      simmpi::run(p, [&app, &contexts, n](simmpi::Communicator& comm) {
+        app.run_rank(comm, *contexts[static_cast<std::size_t>(comm.rank())], n);
+      });
+
+  AppMeasurement measurement;
+  measurement.processes = p;
+  measurement.problem_size = n;
+  for (int r = 0; r < p; ++r) {
+    const instr::ProcessReport report = contexts[static_cast<std::size_t>(r)]->report();
+    measurement.bytes_used = std::max(
+        measurement.bytes_used, static_cast<double>(report.peak_bytes));
+    measurement.flops =
+        std::max(measurement.flops, static_cast<double>(report.ops.flops));
+    measurement.loads_stores =
+        std::max(measurement.loads_stores,
+                 static_cast<double>(report.ops.loads_stores()));
+  }
+  measurement.bytes_sent_received =
+      static_cast<double>(run_result.max_bytes_per_rank());
+  for (const simmpi::CommStats& stats : run_result.stats) {
+    for (const auto& [name, channel] : stats.channels) {
+      ChannelMeasurement& entry = measurement.channels[name];
+      entry.bytes = std::max(entry.bytes,
+                             static_cast<double>(channel.bytes_total()));
+      entry.uses_allreduce |= channel.allreduce_calls > 0;
+      entry.uses_bcast |= channel.bcast_calls > 0;
+      entry.uses_alltoall |= channel.alltoall_calls > 0;
+    }
+  }
+
+  if (locality.enabled) {
+    const memtrace::AccessTrace trace = app.locality_trace(n);
+    const memtrace::LocalityReport report = memtrace::analyze_locality(
+        trace, locality.config, measurement.loads_stores);
+    measurement.stack_distance = report.weighted_median_stack_distance;
+  }
+  return measurement;
+}
+
+}  // namespace exareq::pipeline

@@ -1,0 +1,56 @@
+// Single-configuration measurement of an application proxy — the paper's
+// data-acquisition step (Sec. II-B) over the simulated substrate:
+//   Score-P/PAPI  -> instr::ProcessInstrumentation (flops, loads/stores)
+//   getrusage     -> instr::MemoryTracker peak (bytes used)
+//   Score-P (MPI) -> simmpi::CommStats (bytes sent+received)
+//   Threadspotter -> memtrace locality analysis (median stack distance)
+//
+// All metrics are reported per process; following the paper we take the
+// busiest rank as the per-process requirement (symmetric applications make
+// max and mean nearly identical).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/application.hpp"
+#include "memtrace/locality.hpp"
+
+namespace exareq::pipeline {
+
+/// Per-communication-call-path measurement (paper: communication
+/// requirements are obtained at the granularity of function calls).
+struct ChannelMeasurement {
+  double bytes = 0.0;          ///< sent+received, busiest rank
+  bool uses_allreduce = false;
+  bool uses_bcast = false;
+  bool uses_alltoall = false;
+};
+
+/// Requirements of one (p, n) configuration.
+struct AppMeasurement {
+  int processes = 0;
+  std::int64_t problem_size = 0;
+  double bytes_used = 0.0;            ///< peak tracked bytes, busiest rank
+  double flops = 0.0;                 ///< busiest rank
+  double loads_stores = 0.0;          ///< busiest rank
+  double bytes_sent_received = 0.0;   ///< busiest rank
+  double stack_distance = 0.0;        ///< weighted median (0 if not measured)
+  /// Per-call-path communication (channel name -> bytes + collective use).
+  std::map<std::string, ChannelMeasurement> channels;
+};
+
+/// Options for the locality part of a measurement.
+struct LocalityOptions {
+  bool enabled = true;
+  memtrace::LocalityConfig config = {memtrace::SamplerConfig{64, 512, 0}, 100};
+};
+
+/// Runs the application on `p` simulated ranks with per-process problem
+/// size `n` and collects all requirement metrics. Throws on invalid
+/// configurations (p < 1, n below the app's minimum).
+AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
+                           const LocalityOptions& locality = {});
+
+}  // namespace exareq::pipeline

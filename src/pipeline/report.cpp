@@ -1,0 +1,94 @@
+#include "pipeline/report.hpp"
+
+#include <sstream>
+
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace exareq::pipeline {
+namespace {
+
+std::string model_text(const model::FitResult& fit, const ReportOptions& options) {
+  return options.rounded ? fit.model.to_string_rounded() : fit.model.to_string();
+}
+
+/// True when any term couples both parameters multiplicatively — the
+/// pattern the paper marks with warning signs in Table II.
+bool has_pn_coupling(const model::Model& m) {
+  if (m.parameter_names().size() < 2) return false;
+  for (const model::Term& term : m.terms()) {
+    if (term.depends_on(0) && term.depends_on(1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string render_models(const RequirementModels& models,
+                          const ReportOptions& options) {
+  std::vector<std::string> header{"Metric", "Model"};
+  if (options.show_cv) header.push_back("CV error");
+  TextTable table(header);
+  std::vector<Align> alignment{Align::kLeft, Align::kLeft};
+  if (options.show_cv) alignment.push_back(Align::kRight);
+  table.set_alignment(alignment);
+
+  const auto add = [&](const std::string& label, const model::FitResult& fit,
+                       bool coupled) {
+    std::vector<std::string> row{label + (coupled ? " (!)" : ""),
+                                 model_text(fit, options)};
+    if (options.show_cv) row.push_back(format_sci(fit.quality.cv_score, 1));
+    table.add_row(std::move(row));
+  };
+
+  for (Metric metric : all_metrics()) {
+    if (metric == Metric::kBytesSentReceived &&
+        options.per_channel_communication && !models.comm_channels.empty()) {
+      for (const ChannelModel& channel : models.comm_channels) {
+        add("#Bytes sent & recv [" + channel.name + "]", channel.fit,
+            has_pn_coupling(channel.fit.model));
+      }
+      continue;
+    }
+    const model::FitResult& fit = models.result(metric);
+    const bool coupled =
+        metric != Metric::kStackDistance && has_pn_coupling(fit.model);
+    add(metric_label(metric), fit, coupled);
+  }
+  return table.render();
+}
+
+std::string render_assessment(const RequirementModels& models) {
+  std::ostringstream os;
+  std::vector<std::string> coupled;
+  for (Metric metric : all_metrics()) {
+    if (metric == Metric::kStackDistance) continue;
+    if (has_pn_coupling(models.result(metric).model)) {
+      coupled.push_back(metric_label(metric));
+    }
+  }
+  if (coupled.empty()) {
+    os << models.app_name
+       << ": no requirement couples the process count and the problem size "
+          "multiplicatively; the code can be retargeted across system "
+          "shapes by adjusting the problem size per process.";
+  } else {
+    os << models.app_name << ": ";
+    for (std::size_t i = 0; i < coupled.size(); ++i) {
+      if (i != 0) os << (i + 1 == coupled.size() ? " and " : ", ");
+      os << coupled[i];
+    }
+    os << (coupled.size() == 1 ? " couples" : " couple")
+       << " the process count and the problem size per process "
+          "multiplicatively — scaling the machine raises the per-process "
+          "cost even at constant n (the paper's warning-sign pattern).";
+  }
+  if (!models.stack_distance.model.is_constant()) {
+    os << " The stack distance grows with the problem size: memory "
+          "pressure will increase as the problem is scaled up unless the "
+          "algorithm's locality is improved.";
+  }
+  return os.str();
+}
+
+}  // namespace exareq::pipeline

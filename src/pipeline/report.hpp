@@ -1,0 +1,32 @@
+// Human-readable reporting of fitted requirement models — the Table-II
+// presentation layer shared by the CLI driver and the bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "pipeline/campaign.hpp"
+
+namespace exareq::pipeline {
+
+/// Rendering options.
+struct ReportOptions {
+  /// Round coefficients to powers of ten (the paper's Table II style);
+  /// false prints full precision.
+  bool rounded = true;
+  /// Include the leave-one-out cross-validation error column.
+  bool show_cv = true;
+  /// Report communication per call path (when channels were measured)
+  /// instead of the whole-program total.
+  bool per_channel_communication = true;
+};
+
+/// One application's models as a text table (Table II row block).
+std::string render_models(const RequirementModels& models,
+                          const ReportOptions& options = {});
+
+/// One-paragraph textual assessment of an application's scalability: which
+/// requirements carry multiplicative p-n coupling (the paper's warning
+/// signs) and which parameter dominates each metric at scale.
+std::string render_assessment(const RequirementModels& models);
+
+}  // namespace exareq::pipeline

@@ -1,0 +1,43 @@
+// Per-rank mailbox with (source, tag) matching.
+//
+// send() is buffered and never blocks (like an eager-protocol MPI_Send),
+// which makes the collective algorithms deadlock-free without requiring
+// carefully ordered send/recv pairs. recv() blocks until a matching
+// envelope arrives. Messages from the same (source, tag) pair are delivered
+// in FIFO order (MPI's non-overtaking rule).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "simmpi/message.hpp"
+
+namespace exareq::simmpi {
+
+/// Wildcard source for receive matching.
+inline constexpr Rank kAnySource = -1;
+
+class Mailbox {
+ public:
+  /// Enqueues an envelope; wakes one waiting receiver.
+  void put(Envelope envelope);
+
+  /// Blocks until an envelope with matching source and tag is available and
+  /// removes it. The earliest matching envelope is returned. A source of
+  /// kAnySource matches any sender.
+  Envelope get(Rank source, Tag tag);
+
+  /// Non-blocking probe: true if a matching envelope is queued.
+  bool probe(Rank source, Tag tag) const;
+
+  /// Number of queued envelopes (any source/tag).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace exareq::simmpi

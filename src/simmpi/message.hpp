@@ -1,0 +1,27 @@
+// Message envelope of the simulated MPI runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace exareq::simmpi {
+
+/// Rank index type (matches MPI's int convention).
+using Rank = int;
+
+/// Message tag; collectives use reserved tags above kUserTagLimit.
+using Tag = int;
+
+/// User code must keep tags below this bound; the collective
+/// implementations reserve the range above it.
+inline constexpr Tag kUserTagLimit = 1 << 20;
+
+/// One in-flight message.
+struct Envelope {
+  Rank source = 0;
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace exareq::simmpi

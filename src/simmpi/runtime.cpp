@@ -1,0 +1,58 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace exareq::simmpi {
+
+Runtime::Runtime(int size) : size_(size) {
+  exareq::require(size >= 1, "Runtime: size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  stats_.resize(static_cast<std::size_t>(size));
+}
+
+Mailbox& Runtime::mailbox(Rank r) {
+  exareq::require(r >= 0 && r < size_, "Runtime::mailbox: rank out of range");
+  return *mailboxes_[static_cast<std::size_t>(r)];
+}
+
+CommStats& Runtime::stats(Rank r) {
+  exareq::require(r >= 0 && r < size_, "Runtime::stats: rank out of range");
+  return stats_[static_cast<std::size_t>(r)];
+}
+
+RunResult run(int size, const RankFunction& rank_function) {
+  exareq::require(size >= 1 && size <= 512,
+                  "run: rank count must be in [1, 512]");
+  exareq::require(static_cast<bool>(rank_function), "run: null rank function");
+
+  Runtime runtime(size);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size));
+  for (Rank r = 0; r < size; ++r) {
+    threads.emplace_back([&runtime, &rank_function, &errors, r] {
+      try {
+        Communicator comm(r, runtime);
+        rank_function(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  RunResult result;
+  result.stats = runtime.all_stats();
+  return result;
+}
+
+}  // namespace exareq::simmpi

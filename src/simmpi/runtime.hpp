@@ -1,0 +1,55 @@
+// The simulated MPI runtime: one OS thread per rank, shared mailboxes,
+// per-rank statistics. Substitutes the paper's real MPI machines (JUQUEEN,
+// Lichtenberg) for requirement measurement — the counted metrics (bytes,
+// messages) are architecture independent, which is the paper's own premise.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/mailbox.hpp"
+#include "simmpi/stats.hpp"
+
+namespace exareq::simmpi {
+
+/// Shared state of one job (mailboxes, counters, barrier generation).
+class Runtime {
+ public:
+  explicit Runtime(int size);
+
+  int size() const { return size_; }
+  Mailbox& mailbox(Rank r);
+  CommStats& stats(Rank r);
+  const std::vector<CommStats>& all_stats() const { return stats_; }
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CommStats> stats_;
+};
+
+/// Per-rank entry point.
+using RankFunction = std::function<void(Communicator&)>;
+
+/// Result of a completed job.
+struct RunResult {
+  std::vector<CommStats> stats;  ///< per-rank communication counters
+
+  std::uint64_t max_bytes_per_rank() const { return max_bytes_total(stats); }
+};
+
+/// Runs `rank_function` on `size` ranks, one thread each, and returns the
+/// collected statistics. If any rank throws, the first exception (by rank
+/// order) is rethrown after all threads have been joined. `size` must be
+/// >= 1; sizes beyond 512 are rejected to catch runaway configurations.
+///
+/// Failure semantics: a throwing rank simply stops participating; there is
+/// no fault tolerance. Peers that subsequently block on messages from the
+/// dead rank deadlock the job (as a real MPI job would hang), so failure
+/// paths must not be followed by communication that involves the failed
+/// rank.
+RunResult run(int size, const RankFunction& rank_function);
+
+}  // namespace exareq::simmpi

@@ -1,0 +1,23 @@
+#include "simmpi/stats.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace exareq::simmpi {
+
+std::uint64_t max_bytes_total(std::span<const CommStats> stats) {
+  exareq::require(!stats.empty(), "max_bytes_total: empty stats");
+  std::uint64_t best = 0;
+  for (const CommStats& s : stats) best = std::max(best, s.bytes_total());
+  return best;
+}
+
+double mean_bytes_total(std::span<const CommStats> stats) {
+  exareq::require(!stats.empty(), "mean_bytes_total: empty stats");
+  double total = 0.0;
+  for (const CommStats& s : stats) total += static_cast<double>(s.bytes_total());
+  return total / static_cast<double>(stats.size());
+}
+
+}  // namespace exareq::simmpi

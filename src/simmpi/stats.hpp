@@ -1,0 +1,51 @@
+// Per-rank communication statistics — the Score-P substitute's view of the
+// network requirement (paper Table I: "# Bytes sent / received").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+namespace exareq::simmpi {
+
+/// Which collective operations a communication channel invoked. The
+/// modeling pipeline uses this to pick the admissible collective basis
+/// functions per call path, just as Score-P knows which MPI function a call
+/// path ends in.
+struct ChannelStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t allreduce_calls = 0;
+  std::uint64_t bcast_calls = 0;
+  std::uint64_t alltoall_calls = 0;
+  std::uint64_t other_collective_calls = 0;
+
+  std::uint64_t bytes_total() const { return bytes_sent + bytes_received; }
+};
+
+/// Byte and message counters of one rank. Collectives are implemented on
+/// top of point-to-point, so their traffic is counted at the send/recv
+/// boundary automatically. Traffic is additionally attributed to the
+/// rank's current channel (communication call path); see
+/// Communicator::set_channel.
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t collective_calls = 0;
+  std::map<std::string, ChannelStats> channels;
+
+  std::uint64_t bytes_total() const { return bytes_sent + bytes_received; }
+};
+
+/// Maximum bytes_total over all ranks — the per-process communication
+/// requirement of the busiest process (the paper reports per-process
+/// requirements; the bottleneck rank is what a designer must provision for).
+std::uint64_t max_bytes_total(std::span<const CommStats> stats);
+
+/// Mean bytes_total over all ranks.
+double mean_bytes_total(std::span<const CommStats> stats);
+
+}  // namespace exareq::simmpi

@@ -1,0 +1,47 @@
+// Minimal CSV reading/writing so measurement campaigns can be persisted and
+// re-loaded (the paper's workflow separates data acquisition from model
+// generation; this is the on-disk interchange format between the two).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exareq {
+
+/// An in-memory CSV document: one header row plus data rows of equal width.
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  explicit CsvDocument(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Index of the named column; throws InvalidArgument if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: numeric cell access with locale-independent parsing.
+  double number_at(std::size_t row, std::size_t column) const;
+
+  /// Serializes with RFC-4180 quoting where needed.
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Parses a document; throws Error on structural problems (ragged rows).
+  static CsvDocument parse(std::istream& is);
+  static CsvDocument parse_string(const std::string& text);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a single CSV field if it contains separators, quotes or newlines.
+std::string csv_escape(const std::string& field);
+
+}  // namespace exareq

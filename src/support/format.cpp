@@ -1,0 +1,72 @@
+#include "support/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace exareq {
+
+int nearest_power_of_ten_exponent(double value) {
+  require(value > 0.0, "nearest_power_of_ten_exponent: value must be positive");
+  return static_cast<int>(std::lround(std::log10(value)));
+}
+
+double round_to_power_of_ten(double value) {
+  return std::pow(10.0, nearest_power_of_ten_exponent(value));
+}
+
+std::string power_of_ten_string(double value) {
+  return "10^" + std::to_string(nearest_power_of_ten_exponent(value));
+}
+
+std::string format_fixed(double value, int digits) {
+  require(digits >= 0 && digits <= 17, "format_fixed: digits out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_sci(double value, int digits) {
+  require(digits >= 0 && digits <= 17, "format_sci: digits out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", digits, value);
+  return buffer;
+}
+
+std::string format_compact(double value) {
+  if (value == 0.0) return "0";
+  const double magnitude = std::fabs(value);
+  if (magnitude >= 1e7 || magnitude < 1e-3) return format_sci(value, 2);
+  if (std::floor(value) == value && magnitude < 1e7) {
+    return format_fixed(value, 0);
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
+  double value = bytes;
+  std::size_t suffix = 0;
+  while (std::fabs(value) >= 1024.0 && suffix + 1 < std::size(suffixes)) {
+    value /= 1024.0;
+    ++suffix;
+  }
+  return format_fixed(value, suffix == 0 ? 0 : 1) + " " + suffixes[suffix];
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace exareq

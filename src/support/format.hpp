@@ -1,0 +1,41 @@
+// Number and model-text formatting helpers.
+//
+// The paper presents model coefficients "rounded to the nearest power of
+// ten" (Table II) and requirement ratios rounded to one decimal (Table V);
+// these helpers implement exactly those presentation rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace exareq {
+
+/// Rounds a positive value to the nearest power of ten (in log10 space):
+/// 3.2e4 -> 1e4, 6.8e4 -> 1e5. Requires value > 0.
+double round_to_power_of_ten(double value);
+
+/// Exponent of round_to_power_of_ten, e.g. 6.8e4 -> 5.
+int nearest_power_of_ten_exponent(double value);
+
+/// Renders a coefficient as "10^k" using the nearest power of ten.
+std::string power_of_ten_string(double value);
+
+/// Fixed formatting with `digits` fraction digits, e.g. format_fixed(1.234, 1)
+/// == "1.2".
+std::string format_fixed(double value, int digits);
+
+/// Scientific formatting with `digits` significant mantissa digits after the
+/// leading one, e.g. format_sci(12345.0, 2) == "1.23e+04".
+std::string format_sci(double value, int digits);
+
+/// Compact human formatting: integers without decimals, small values with up
+/// to 4 significant digits, very large/small values in scientific notation.
+std::string format_compact(double value);
+
+/// Formats byte counts with binary suffixes ("1.5 GiB").
+std::string format_bytes(double bytes);
+
+/// Formats a count with thousands separators ("12,345,678").
+std::string format_count(std::uint64_t value);
+
+}  // namespace exareq

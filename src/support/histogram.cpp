@@ -1,0 +1,56 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/format.hpp"
+
+namespace exareq {
+
+std::vector<HistogramBin> classify_relative_errors(std::span<const double> errors) {
+  static const struct {
+    double upper;
+    const char* label;
+  } kBins[] = {
+      {0.01, "< 1%"},  {0.025, "< 2.5%"}, {0.05, "< 5%"},  {0.10, "< 10%"},
+      {0.20, "< 20%"}, {0.50, "< 50%"},   {1e300, ">= 50%"},
+  };
+  std::vector<HistogramBin> bins;
+  for (const auto& spec : kBins) bins.push_back({spec.label, 0});
+  for (double e : errors) {
+    for (std::size_t i = 0; i < std::size(kBins); ++i) {
+      if (e < kBins[i].upper) {
+        ++bins[i].count;
+        break;
+      }
+    }
+  }
+  return bins;
+}
+
+std::string render_histogram(std::span<const HistogramBin> bins, std::size_t width) {
+  require(width >= 1, "render_histogram: width must be positive");
+  std::size_t max_count = 0;
+  std::size_t total = 0;
+  std::size_t label_width = 0;
+  for (const auto& bin : bins) {
+    max_count = std::max(max_count, bin.count);
+    total += bin.count;
+    label_width = std::max(label_width, bin.label.size());
+  }
+  std::ostringstream os;
+  for (const auto& bin : bins) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : bin.count * width / std::max<std::size_t>(max_count, 1);
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(bin.count) /
+                               static_cast<double>(total);
+    os << bin.label << std::string(label_width - bin.label.size(), ' ') << " |"
+       << std::string(bar, '#') << std::string(width - bar, ' ') << "| "
+       << format_count(bin.count) << " (" << format_fixed(pct, 1) << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace exareq

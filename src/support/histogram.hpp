@@ -1,0 +1,26 @@
+// Text histogram rendering (paper Fig. 3: measurements classified by
+// percentile relative error over all generated models).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exareq {
+
+/// A labeled histogram bin with its absolute count.
+struct HistogramBin {
+  std::string label;
+  std::size_t count = 0;
+};
+
+/// Builds Fig.-3-style bins from relative errors using the paper's
+/// thresholds: <1%, <2.5%, <5%, <10%, <20%, <50%, >=50%.
+std::vector<HistogramBin> classify_relative_errors(std::span<const double> errors);
+
+/// Renders bins as a horizontal bar chart with percentages, `width` being
+/// the number of character cells for the largest bar.
+std::string render_histogram(std::span<const HistogramBin> bins, std::size_t width = 50);
+
+}  // namespace exareq

@@ -1,0 +1,133 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace exareq {
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean: empty range");
+  return compensated_sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require(values.size() >= 2, "variance: need at least two values");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+double quantile(std::span<const double> values, double q) {
+  require(!values.empty(), "quantile: empty range");
+  require(q >= 0.0 && q <= 1.0, "quantile: q outside [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median_abs_deviation(std::span<const double> values) {
+  const double med = median(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - med));
+  return median(deviations);
+}
+
+double compensated_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double rms(std::span<const double> values) {
+  require(!values.empty(), "rms: empty range");
+  double acc = 0.0;
+  for (double v : values) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  require(observed.size() == predicted.size(), "r_squared: size mismatch");
+  require(observed.size() >= 2, "r_squared: need at least two points");
+  const double mean_obs = mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean_obs) * (observed[i] - mean_obs);
+  }
+  require(ss_tot > 0.0, "r_squared: observations are constant");
+  return 1.0 - ss_res / ss_tot;
+}
+
+double smape(std::span<const double> observed, std::span<const double> predicted) {
+  require(observed.size() == predicted.size(), "smape: size mismatch");
+  require(!observed.empty(), "smape: empty range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double denom = (std::fabs(observed[i]) + std::fabs(predicted[i])) / 2.0;
+    if (denom > 0.0) acc += std::fabs(predicted[i] - observed[i]) / denom;
+  }
+  return acc / static_cast<double>(observed.size());
+}
+
+std::vector<double> relative_errors(std::span<const double> observed,
+                                    std::span<const double> predicted) {
+  require(observed.size() == predicted.size(), "relative_errors: size mismatch");
+  std::vector<double> errors;
+  errors.reserve(observed.size());
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double diff = std::fabs(predicted[i] - observed[i]);
+    if (observed[i] != 0.0) {
+      errors.push_back(diff / std::fabs(observed[i]));
+    } else {
+      errors.push_back(diff == 0.0 ? 0.0 : std::numeric_limits<double>::infinity());
+    }
+  }
+  return errors;
+}
+
+std::vector<std::size_t> bin_counts(std::span<const double> values,
+                                    std::span<const double> edges) {
+  require(edges.size() >= 2, "bin_counts: need at least two edges");
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    require(edges[i] > edges[i - 1], "bin_counts: edges must strictly increase");
+  }
+  std::vector<std::size_t> counts(edges.size() - 1, 0);
+  for (double v : values) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    std::size_t bin;
+    if (it == edges.begin()) {
+      bin = 0;  // below range: clamp into first bin
+    } else {
+      bin = static_cast<std::size_t>(it - edges.begin()) - 1;
+      if (bin >= counts.size()) bin = counts.size() - 1;  // clamp at/above top edge
+    }
+    ++counts[bin];
+  }
+  return counts;
+}
+
+}  // namespace exareq

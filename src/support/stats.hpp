@@ -1,0 +1,56 @@
+// Descriptive statistics used throughout the measurement and modeling
+// pipeline (median-based locality summaries, cross-validation errors,
+// error histograms).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace exareq {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> values);
+
+/// Sample variance (Bessel-corrected). Requires >= 2 values.
+double variance(std::span<const double> values);
+
+/// Sample standard deviation. Requires >= 2 values.
+double stddev(std::span<const double> values);
+
+/// Median (average of the two middle elements for even sizes).
+/// Requires a non-empty range. Copies the input; does not reorder it.
+double median(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires a non-empty range.
+double quantile(std::span<const double> values, double q);
+
+/// Median absolute deviation (raw, not scaled to sigma).
+double median_abs_deviation(std::span<const double> values);
+
+/// Sum with Kahan compensation; exact enough for long metric accumulations.
+double compensated_sum(std::span<const double> values);
+
+/// Root mean square of values. Requires a non-empty range.
+double rms(std::span<const double> values);
+
+/// Coefficient of determination R^2 of predictions vs observations.
+/// Returns 1 for a perfect fit; can be negative for terrible fits.
+/// Requires equally sized, non-empty ranges with non-constant observations.
+double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+/// Symmetric mean absolute percentage error in [0, 2].
+double smape(std::span<const double> observed, std::span<const double> predicted);
+
+/// Relative errors |pred - obs| / |obs| element-wise; obs == 0 yields
+/// 0 when pred is also 0 and +inf otherwise.
+std::vector<double> relative_errors(std::span<const double> observed,
+                                    std::span<const double> predicted);
+
+/// Counts of `values` falling into [edges[i], edges[i+1]) bins; the last bin
+/// is closed on the right. Values outside the edge range are clamped into
+/// the first/last bin. Requires >= 2 strictly increasing edges.
+std::vector<std::size_t> bin_counts(std::span<const double> values,
+                                    std::span<const double> edges);
+
+}  // namespace exareq

@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace exareq {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_.front() = Align::kLeft;
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  require(alignment.size() == headers_.size(),
+          "TextTable::set_alignment: size mismatch with headers");
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "TextTable::add_row: size mismatch with headers");
+  rows_.push_back({Row::Kind::kData, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back({Row::Kind::kSeparator, {}}); }
+
+void TextTable::add_section(std::string title) {
+  rows_.push_back({Row::Kind::kSection, {std::move(title)}});
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.kind != Row::Kind::kData) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  std::size_t total_width =
+      std::accumulate(widths.begin(), widths.end(), std::size_t{0}) +
+      3 * (widths.size() - 1) + 4;
+  // Section titles must fit; widen the last column if any title is longer
+  // than the table.
+  for (const Row& row : rows_) {
+    if (row.kind != Row::Kind::kSection) continue;
+    const std::size_t needed = row.cells.front().size() + 4;
+    if (needed > total_width) {
+      widths.back() += needed - total_width;
+      total_width = needed;
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_rule = [&] { os << std::string(total_width, '-') << '\n'; };
+  const auto emit_cells = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (alignment_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cells[c];
+      if (alignment_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_cells(headers_);
+  emit_rule();
+  for (const Row& row : rows_) {
+    switch (row.kind) {
+      case Row::Kind::kData:
+        emit_cells(row.cells);
+        break;
+      case Row::Kind::kSeparator:
+        emit_rule();
+        break;
+      case Row::Kind::kSection: {
+        const std::string title = " " + row.cells.front() + " ";
+        const std::size_t remaining = total_width - 2 - title.size();
+        os << '|' << std::string(remaining / 2, '=') << title
+           << std::string(remaining - remaining / 2, '=') << "|\n";
+        break;
+      }
+    }
+  }
+  emit_rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+}  // namespace exareq

@@ -1,0 +1,52 @@
+// Plain-text table rendering for the bench harnesses that regenerate the
+// paper's tables (Table II, IV, V, VII) on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exareq {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: header row, data rows, optional separator rows.
+/// Cells are strings; callers format numbers with support/format.hpp.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; default is left for the first column and
+  /// right for the rest. Size must match the header count.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row. Size must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Appends a full-width section row (e.g. "System upgrade A: ...").
+  void add_section(std::string title);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  struct Row {
+    enum class Kind { kData, kSeparator, kSection } kind;
+    std::vector<std::string> cells;  // data: one per column; section: [title]
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace exareq

@@ -1,0 +1,131 @@
+#include "apps/kernel_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "support/error.hpp"
+
+namespace exareq::apps {
+namespace {
+
+TEST(KernelUtilTest, Ilog2KnownValues) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2(1025), 10);
+  EXPECT_THROW(ilog2(0), exareq::InvalidArgument);
+}
+
+TEST(KernelUtilTest, IsqrtKnownValues) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(3), 1);
+  EXPECT_EQ(isqrt(4), 2);
+  EXPECT_EQ(isqrt(1023), 31);
+  EXPECT_EQ(isqrt(1024), 32);
+  EXPECT_EQ(isqrt(1LL << 40), 1LL << 20);
+  EXPECT_THROW(isqrt(-1), exareq::InvalidArgument);
+}
+
+TEST(KernelUtilTest, QuarterPowerLogCycles) {
+  EXPECT_EQ(quarter_power_log_cycles(1), 1);   // log2(1) = 0 -> clamped
+  EXPECT_EQ(quarter_power_log_cycles(16), 8);  // 2 * 4
+  EXPECT_GT(quarter_power_log_cycles(64), quarter_power_log_cycles(16));
+}
+
+TEST(KernelUtilTest, CountedLowerBoundFindsPosition) {
+  instr::ProcessInstrumentation instr;
+  const std::vector<double> sorted{1.0, 3.0, 5.0, 7.0, 9.0};
+  EXPECT_EQ(counted_lower_bound(sorted, 5.0, instr), 2u);
+  EXPECT_EQ(counted_lower_bound(sorted, 0.0, instr), 0u);
+  EXPECT_EQ(counted_lower_bound(sorted, 10.0, instr), 5u);
+  EXPECT_EQ(counted_lower_bound(sorted, 4.0, instr), 2u);
+}
+
+TEST(KernelUtilTest, CountedLowerBoundCountsLogProbes) {
+  instr::ProcessInstrumentation instr;
+  std::vector<double> sorted(1024);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    sorted[i] = static_cast<double>(i);
+  }
+  (void)counted_lower_bound(sorted, 512.0, instr);
+  const auto report = instr.report();
+  EXPECT_EQ(report.ops.loads, 10u);  // log2(1024) probes
+  // Comparisons are not FP arithmetic (PAPI FP_OPS semantics).
+  EXPECT_EQ(report.ops.flops, 0u);
+}
+
+TEST(KernelUtilTest, CountedSortSortsAndCounts) {
+  instr::ProcessInstrumentation instr;
+  std::vector<double> values{5.0, 1.0, 4.0, 2.0, 3.0, 9.0, 0.0, 7.0};
+  counted_sort(values, instr);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  const auto report = instr.report();
+  EXPECT_GT(report.ops.loads, 0u);
+  EXPECT_GT(report.ops.stores, 0u);
+}
+
+TEST(KernelUtilTest, CountedSortOpsGrowAsNLogN) {
+  const auto ops_for = [](std::size_t count) {
+    instr::ProcessInstrumentation instr;
+    std::vector<double> values(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      values[i] = static_cast<double>((i * 7919) % count);
+    }
+    counted_sort(values, instr);
+    return instr.report().ops.loads_stores();
+  };
+  const auto small = static_cast<double>(ops_for(256));
+  const auto large = static_cast<double>(ops_for(1024));
+  // n log n growth: 1024*10 / (256*8) = 5; allow generous slack but reject
+  // quadratic (16x) and linear (4x) growth.
+  EXPECT_GT(large / small, 4.2);
+  EXPECT_LT(large / small, 8.0);
+}
+
+TEST(KernelUtilTest, CountedSortHandlesDegenerateSizes) {
+  instr::ProcessInstrumentation instr;
+  std::vector<double> empty;
+  counted_sort(empty, instr);
+  std::vector<double> one{1.0};
+  counted_sort(one, instr);
+  EXPECT_EQ(instr.report().ops.loads_stores(), 0u);
+}
+
+TEST(KernelUtilTest, RingHaloExchangeMovesBytesBothWays) {
+  const auto result = simmpi::run(4, [](simmpi::Communicator& comm) {
+    const std::vector<double> halo(10, static_cast<double>(comm.rank()));
+    (void)ring_halo_exchange(comm, halo, 10);
+  });
+  for (const auto& stats : result.stats) {
+    EXPECT_EQ(stats.bytes_sent, 160u);      // 2 sends x 80 bytes
+    EXPECT_EQ(stats.bytes_received, 160u);
+  }
+}
+
+TEST(KernelUtilTest, RingHaloExchangeSingleRankIsNoop) {
+  const auto result = simmpi::run(1, [](simmpi::Communicator& comm) {
+    const std::vector<double> halo(10, 1.0);
+    EXPECT_DOUBLE_EQ(ring_halo_exchange(comm, halo, 10), 0.0);
+  });
+  EXPECT_EQ(result.stats[0].bytes_total(), 0u);
+}
+
+TEST(KernelUtilTest, RingHaloExchangeChecksumReflectsNeighbours) {
+  simmpi::run(3, [](simmpi::Communicator& comm) {
+    const std::vector<double> halo(2, static_cast<double>(comm.rank() + 1));
+    const double checksum = ring_halo_exchange(comm, halo, 10);
+    const int p = comm.size();
+    const double prev = static_cast<double>((comm.rank() - 1 + p) % p + 1);
+    const double next = static_cast<double>((comm.rank() + 1) % p + 1);
+    EXPECT_DOUBLE_EQ(checksum, 2.0 * prev - 2.0 * next);
+  });
+}
+
+}  // namespace
+}  // namespace exareq::apps

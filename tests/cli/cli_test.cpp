@@ -1,0 +1,148 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace exareq::cli {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Small grid so CLI tests stay fast.
+const std::vector<std::string> kSmallGrid = {"--processes", "2,4,8", "--sizes",
+                                             "32,64,128"};
+
+std::vector<std::string> with_grid(std::vector<std::string> args) {
+  args.insert(args.end(), kSmallGrid.begin(), kSmallGrid.end());
+  return args;
+}
+
+TEST(CliTest, NoArgumentsPrintsUsageAndFails) {
+  const CliRun result = run({});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  const CliRun result = run({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, ListShowsAllApps) {
+  const CliRun result = run({"list"});
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* name : {"Kripke", "LULESH", "MILC", "Relearn", "icoFoam"}) {
+    EXPECT_NE(result.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(CliTest, UnknownCommandFailsWithMessage) {
+  const CliRun result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownAppFails) {
+  const CliRun result = run({"measure", "nbody"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown application"), std::string::npos);
+}
+
+TEST(CliTest, FlagWithoutValueFails) {
+  const CliRun result = run({"measure", "Kripke", "--out"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("needs a value"), std::string::npos);
+}
+
+TEST(CliTest, MeasureWritesCsvToStdout) {
+  const CliRun result = run(with_grid({"measure", "Kripke"}));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("p,n,bytes_used"), std::string::npos);
+  // 3 x 3 grid -> header + 9 rows.
+  EXPECT_EQ(std::count(result.out.begin(), result.out.end(), '\n'), 10);
+}
+
+TEST(CliTest, MeasureThenAnalyzeFromFile) {
+  const std::string path = "/tmp/exareq_cli_test_campaign.csv";
+  // Five values per axis so the model generator accepts the campaign.
+  const CliRun measured =
+      run({"measure", "Kripke", "--processes", "2,4,8,16,32", "--sizes",
+           "16,32,64,128,256", "--out", path});
+  ASSERT_EQ(measured.exit_code, 0) << measured.err;
+
+  const CliRun modeled = run({"model", "Kripke", "--in", path});
+  EXPECT_EQ(modeled.exit_code, 0) << modeled.err;
+  EXPECT_NE(modeled.out.find("#FLOP"), std::string::npos);
+  EXPECT_NE(modeled.out.find("face_exchange"), std::string::npos);
+  // Loading from a file must not re-measure.
+  EXPECT_EQ(modeled.err.find("[measuring"), std::string::npos);
+
+  const CliRun upgraded = run({"upgrade", "Kripke", "--in", path});
+  EXPECT_EQ(upgraded.exit_code, 0) << upgraded.err;
+  EXPECT_NE(upgraded.out.find("Double the racks"), std::string::npos);
+
+  const CliRun strawman = run({"strawman", "Kripke", "--in", path});
+  EXPECT_EQ(strawman.exit_code, 0) << strawman.err;
+  EXPECT_NE(strawman.out.find("Massively parallel"), std::string::npos);
+  EXPECT_NE(strawman.out.find("yes"), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ModelsOutWritesSerializedModels) {
+  const std::string path = "/tmp/exareq_cli_test_models.txt";
+  const CliRun result = run({"model", "Kripke", "--processes", "2,4,8,16,32",
+                             "--sizes", "16,32,64,128,256", "--models-out",
+                             path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("model v1"), std::string::npos);
+  EXPECT_NE(content.str().find("# footprint"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, LocalityReportsGroups) {
+  const CliRun result = run({"locality", "MILC", "--size", "256"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("lattice_sweep"), std::string::npos);
+  EXPECT_NE(result.out.find("Weighted median stack distance"),
+            std::string::npos);
+}
+
+TEST(CliTest, MissingInputFileFails) {
+  const CliRun result = run({"model", "Kripke", "--in", "/nonexistent.csv"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, ParseIntList) {
+  EXPECT_EQ(parse_int_list("4,8,16"), (std::vector<std::int64_t>{4, 8, 16}));
+  EXPECT_EQ(parse_int_list("7"), (std::vector<std::int64_t>{7}));
+  EXPECT_THROW(parse_int_list(""), exareq::InvalidArgument);
+  EXPECT_THROW(parse_int_list("4,x"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_int_list("4,-2"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_int_list("4,,8"), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::cli

@@ -1,0 +1,204 @@
+#include "codesign/strawman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace exareq::codesign {
+namespace {
+
+model::Model two_param(double coefficient, double p_poly, double p_log,
+                       double n_poly, double n_log, double constant = 0.0) {
+  model::Term term;
+  term.coefficient = coefficient;
+  if (p_poly != 0.0 || p_log != 0.0) {
+    term.factors.push_back(model::pmnf_factor(0, p_poly, p_log));
+  }
+  if (n_poly != 0.0 || n_log != 0.0) {
+    term.factors.push_back(model::pmnf_factor(1, n_poly, n_log));
+  }
+  return model::Model({"p", "n"}, constant, {term});
+}
+
+AppRequirements simple_app(model::Model footprint, model::Model flops) {
+  AppRequirements app;
+  app.name = "app";
+  app.footprint = std::move(footprint);
+  app.flops = std::move(flops);
+  app.comm_bytes = two_param(1.0, 0, 0, 1, 0);
+  app.loads_stores = two_param(1.0, 0, 0, 1, 0);
+  app.stack_distance = model::Model::constant_model({"n"}, 2.0);
+  return app;
+}
+
+TEST(StrawmanTest, PaperSystemsReachOneExaflop) {
+  for (const StrawmanSystem& system : paper_strawmen()) {
+    EXPECT_DOUBLE_EQ(system.total_flops(), 1e18) << system.name;
+    EXPECT_DOUBLE_EQ(system.processors_per_node * system.nodes,
+                     system.processors)
+        << system.name;
+  }
+}
+
+TEST(StrawmanTest, PaperSystemsShareTenPetabytes) {
+  for (const StrawmanSystem& system : paper_strawmen()) {
+    EXPECT_NEAR(system.memory_per_processor * system.processors, 1e16,
+                1e10)
+        << system.name;
+  }
+}
+
+TEST(StrawmanTest, EvaluateFillsMemory) {
+  // footprint 100 * n bytes: n = memory / 100 per process.
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem vector_system = paper_strawmen()[1];
+  const StrawmanOutcome outcome = evaluate_strawman(app, vector_system);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_NEAR(outcome.problem_size_per_process, 2e6, 1.0);
+  EXPECT_NEAR(outcome.max_overall_problem, 2e6 * 5e7, 1e8);
+}
+
+TEST(StrawmanTest, ProcessDependentFootprintIsInfeasible) {
+  // icoFoam-like: footprint has a p log p term that alone exceeds the
+  // per-processor memory at exascale process counts.
+  const AppRequirements app = simple_app(two_param(256.0, 1, 1, 0, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  for (const StrawmanSystem& system : paper_strawmen()) {
+    const StrawmanOutcome outcome = evaluate_strawman(app, system);
+    EXPECT_FALSE(outcome.feasible) << system.name;
+  }
+}
+
+TEST(StrawmanTest, WallTimeLowerBound) {
+  // flops = 10 * n per process; overall problem N split over p processors.
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[1];  // vector
+  const double overall = 1e12;
+  const auto time = wall_time_lower_bound(app, system, overall);
+  ASSERT_TRUE(time.has_value());
+  // n = 1e12 / 5e7 = 2e4; flops = 2e5 per process; rate 2e10 -> 1e-5 s.
+  EXPECT_NEAR(*time, 1e-5, 1e-9);
+}
+
+TEST(StrawmanTest, WallTimeRejectsOversizedProblem) {
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[0];  // 5 MB per processor
+  // n = 1e18 / 2e9 = 5e8 -> footprint 5e10 bytes >> 5e6.
+  EXPECT_FALSE(wall_time_lower_bound(app, system, 1e18).has_value());
+}
+
+TEST(StrawmanTest, CommonBenchmarkProblemIsSmallestMaximum) {
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const auto systems = paper_strawmen();
+  double expected = std::numeric_limits<double>::infinity();
+  for (const auto& system : systems) {
+    expected = std::min(
+        expected, system.processors * system.memory_per_processor / 100.0);
+  }
+  EXPECT_NEAR(common_benchmark_problem(app, systems), expected,
+              expected * 1e-9);
+}
+
+TEST(StrawmanTest, CommonBenchmarkThrowsWhenNothingFits) {
+  const AppRequirements app = simple_app(two_param(256.0, 1, 1, 0, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const auto systems = paper_strawmen();
+  EXPECT_THROW(common_benchmark_problem(app, systems), exareq::NumericError);
+}
+
+TEST(StrawmanTest, MakeAdditiveSplitsCoupledTerms) {
+  // Paper Sec. III-B example: 1e5 * n log n * p^0.25 log p becomes
+  // 1e5 * n log n + p^0.25 log p.
+  model::Term coupled;
+  coupled.coefficient = 1e5;
+  coupled.factors = {model::pmnf_factor(0, 0.25, 1.0),
+                     model::pmnf_factor(1, 1.0, 1.0)};
+  const model::Model original({"p", "n"}, 0.0, {coupled});
+  const model::Model additive = make_additive(original);
+  ASSERT_EQ(additive.terms().size(), 2u);
+  const double p = 1024.0;
+  const double n = 4096.0;
+  const double expected =
+      1e5 * n * std::log2(n) + std::pow(p, 0.25) * std::log2(p);
+  EXPECT_NEAR(additive.evaluate2(p, n), expected, 1e-6 * expected);
+  // The additive variant is dramatically cheaper at scale.
+  EXPECT_LT(additive.evaluate2(p, n), original.evaluate2(p, n));
+}
+
+TEST(StrawmanTest, MakeAdditiveLeavesUncoupledTermsAlone) {
+  const model::Model m = two_param(7.0, 0, 0, 1, 1, 3.0);  // 3 + 7 n log n
+  const model::Model additive = make_additive(m);
+  EXPECT_DOUBLE_EQ(additive.evaluate2(64.0, 128.0), m.evaluate2(64.0, 128.0));
+}
+
+
+TEST(StrawmanTest, RefinedBoundPicksTheSlowestRequirement) {
+  // flops = 10 n, comm = 100 n, loads = n per process.
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[1];  // vector
+  SatisfactionRates rates;
+  rates.flops_per_second = system.flops_per_processor;  // 2e10
+  rates.network_bytes_per_second = 1e9;
+  rates.memory_bytes_per_second = 1e11;
+  const double overall = 1e12;  // n = 2e4 per process
+  const auto bound = refined_wall_time_bound(app, system, rates, overall);
+  ASSERT_TRUE(bound.has_value());
+  // compute: 2e5 / 2e10 = 1e-5; network: 2e4*... comm model is n -> 2e4
+  // bytes / 1e9 = 2e-5; memory: 2e4 accesses * 8 / 1e11 = 1.6e-6.
+  EXPECT_NEAR(bound->compute_seconds, 1e-5, 1e-9);
+  EXPECT_NEAR(bound->network_seconds, 2e-5, 1e-9);
+  EXPECT_NEAR(bound->memory_seconds, 1.6e-6, 1e-10);
+  EXPECT_EQ(bound->bottleneck, "communication");
+  EXPECT_DOUBLE_EQ(bound->bound_seconds, bound->network_seconds);
+}
+
+TEST(StrawmanTest, RefinedBoundAtLeastFlopBound) {
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[1];
+  SatisfactionRates rates;
+  rates.flops_per_second = system.flops_per_processor;
+  rates.network_bytes_per_second = 1e12;
+  rates.memory_bytes_per_second = 1e15;
+  const double overall = 1e12;
+  const auto refined = refined_wall_time_bound(app, system, rates, overall);
+  const auto flop_only = wall_time_lower_bound(app, system, overall);
+  ASSERT_TRUE(refined.has_value());
+  ASSERT_TRUE(flop_only.has_value());
+  EXPECT_GE(refined->bound_seconds, *flop_only * (1.0 - 1e-12));
+}
+
+TEST(StrawmanTest, RefinedBoundRespectsMemoryFeasibility) {
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[0];  // 5 MB per processor
+  SatisfactionRates rates{1e9, 1e9, 1e9, 8.0};
+  EXPECT_FALSE(
+      refined_wall_time_bound(app, system, rates, 1e18).has_value());
+}
+
+TEST(StrawmanTest, RefinedBoundValidatesRates) {
+  const AppRequirements app = simple_app(two_param(100.0, 0, 0, 1, 0),
+                                         two_param(10.0, 0, 0, 1, 0));
+  const StrawmanSystem system = paper_strawmen()[1];
+  SatisfactionRates bad{0.0, 1e9, 1e9, 8.0};
+  EXPECT_THROW(refined_wall_time_bound(app, system, bad, 1e10),
+               exareq::InvalidArgument);
+}
+
+TEST(StrawmanTest, SkeletonConversion) {
+  const StrawmanSystem system = paper_strawmen()[2];
+  const SystemSkeleton skeleton = system.skeleton();
+  EXPECT_DOUBLE_EQ(skeleton.processes, 1e8);
+  EXPECT_DOUBLE_EQ(skeleton.memory_per_process, 1e8);
+}
+
+}  // namespace
+}  // namespace exareq::codesign

@@ -1,0 +1,95 @@
+#include "instr/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace exareq::instr {
+namespace {
+
+TEST(MemoryTrackerTest, TracksCurrentAndPeak) {
+  MemoryTracker tracker;
+  tracker.allocate(100);
+  tracker.allocate(50);
+  EXPECT_EQ(tracker.current_bytes(), 150u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+  tracker.deallocate(120);
+  EXPECT_EQ(tracker.current_bytes(), 30u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);  // peak sticks
+  tracker.allocate(10);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, OverFreeThrows) {
+  MemoryTracker tracker;
+  tracker.allocate(10);
+  EXPECT_THROW(tracker.deallocate(11), exareq::InvalidArgument);
+}
+
+TEST(TrackedBufferTest, RegistersExactByteCount) {
+  MemoryTracker tracker;
+  {
+    TrackedBuffer<double> buffer(100, tracker);
+    EXPECT_EQ(buffer.size(), 100u);
+    EXPECT_EQ(buffer.bytes(), 800u);
+    EXPECT_EQ(tracker.current_bytes(), 800u);
+  }
+  EXPECT_EQ(tracker.current_bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 800u);
+}
+
+TEST(TrackedBufferTest, ElementsValueInitialized) {
+  MemoryTracker tracker;
+  TrackedBuffer<int> buffer(8, tracker);
+  for (std::size_t i = 0; i < buffer.size(); ++i) EXPECT_EQ(buffer[i], 0);
+}
+
+TEST(TrackedBufferTest, IndexBoundsChecked) {
+  MemoryTracker tracker;
+  TrackedBuffer<int> buffer(4, tracker);
+  EXPECT_THROW(buffer[4], exareq::InvalidArgument);
+  const auto& const_buffer = buffer;
+  EXPECT_THROW(const_buffer[4], exareq::InvalidArgument);
+}
+
+TEST(TrackedBufferTest, MoveTransfersOwnership) {
+  MemoryTracker tracker;
+  TrackedBuffer<int> source(10, tracker);
+  source[3] = 7;
+  TrackedBuffer<int> dest = std::move(source);
+  EXPECT_EQ(dest[3], 7);
+  EXPECT_EQ(tracker.current_bytes(), 40u);  // not double-counted
+}
+
+TEST(TrackedBufferTest, MoveAssignReleasesPreviousAllocation) {
+  MemoryTracker tracker;
+  TrackedBuffer<int> a(10, tracker);
+  TrackedBuffer<int> b(20, tracker);
+  EXPECT_EQ(tracker.current_bytes(), 120u);
+  a = std::move(b);
+  EXPECT_EQ(tracker.current_bytes(), 80u);  // a's old 40 bytes released
+  EXPECT_EQ(a.size(), 20u);
+}
+
+TEST(TrackedBufferTest, PeakReflectsOverlappingLifetimes) {
+  MemoryTracker tracker;
+  {
+    TrackedBuffer<char> first(1000, tracker);
+    { TrackedBuffer<char> second(500, tracker); }
+    { TrackedBuffer<char> third(200, tracker); }
+  }
+  EXPECT_EQ(tracker.peak_bytes(), 1500u);
+}
+
+TEST(TrackedBufferTest, SpanCoversAllElements) {
+  MemoryTracker tracker;
+  TrackedBuffer<int> buffer(5, tracker);
+  EXPECT_EQ(buffer.span().size(), 5u);
+  buffer.span()[2] = 42;
+  EXPECT_EQ(buffer[2], 42);
+}
+
+}  // namespace
+}  // namespace exareq::instr

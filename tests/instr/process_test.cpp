@@ -1,0 +1,89 @@
+#include "instr/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exareq::instr {
+namespace {
+
+TEST(ProcessInstrumentationTest, CountsAccumulateIntoReport) {
+  ProcessInstrumentation instr;
+  instr.count_flops(100);
+  instr.count_loads(30);
+  instr.count_stores(20);
+  const ProcessReport report = instr.report();
+  EXPECT_EQ(report.ops.flops, 100u);
+  EXPECT_EQ(report.ops.loads, 30u);
+  EXPECT_EQ(report.ops.stores, 20u);
+  EXPECT_EQ(report.ops.loads_stores(), 50u);
+}
+
+TEST(ProcessInstrumentationTest, FmaCountsTwoFlopsTwoLoadsOneStore) {
+  ProcessInstrumentation instr;
+  instr.count_fma(10);
+  const ProcessReport report = instr.report();
+  EXPECT_EQ(report.ops.flops, 20u);
+  EXPECT_EQ(report.ops.loads, 20u);
+  EXPECT_EQ(report.ops.stores, 10u);
+}
+
+TEST(ProcessInstrumentationTest, PeakBytesInReport) {
+  ProcessInstrumentation instr;
+  { TrackedBuffer<double> buffer(64, instr.memory()); }
+  EXPECT_EQ(instr.report().peak_bytes, 512u);
+}
+
+TEST(ProcessInstrumentationTest, PendingCountersAttributedToOpenRegion) {
+  ProcessInstrumentation instr;
+  {
+    auto region = instr.region("kernel");
+    instr.count_flops(7);
+  }
+  instr.count_flops(3);  // outside -> root
+  const auto paths = instr.regions().flatten();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].inclusive.flops, 10u);
+  EXPECT_EQ(paths[1].path, "kernel");
+  // The 7 flops counted inside the region belong to it...
+  EXPECT_EQ(paths[1].exclusive.flops, 7u);
+  // ...and the 3 counted after it closed belong to the root exclusively.
+  EXPECT_EQ(paths[0].exclusive.flops, 3u);
+}
+
+TEST(ProcessInstrumentationTest, CountersBeforeRegionGoToEnclosingScope) {
+  ProcessInstrumentation instr;
+  instr.count_flops(5);  // before any region: root
+  {
+    auto region = instr.region("r");
+    instr.count_flops(1);
+  }
+  const auto paths = instr.regions().flatten();
+  EXPECT_EQ(paths[0].exclusive.flops, 5u);
+  EXPECT_EQ(paths[1].exclusive.flops, 1u);
+}
+
+TEST(ProcessInstrumentationTest, ReportIsIdempotent) {
+  ProcessInstrumentation instr;
+  instr.count_loads(9);
+  EXPECT_EQ(instr.report().ops.loads, 9u);
+  EXPECT_EQ(instr.report().ops.loads, 9u);
+}
+
+TEST(ProcessInstrumentationTest, IoCountersTrackReadsAndWrites) {
+  ProcessInstrumentation instr;
+  instr.count_io_read(1000);
+  instr.count_io_write(300);
+  instr.count_io_write(200);
+  const ProcessReport report = instr.report();
+  EXPECT_EQ(report.io.bytes_read, 1000u);
+  EXPECT_EQ(report.io.bytes_written, 500u);
+  EXPECT_EQ(report.io.bytes_total(), 1500u);
+  EXPECT_EQ(instr.io().bytes_total(), 1500u);
+}
+
+TEST(ProcessInstrumentationTest, IoCountersStartAtZero) {
+  ProcessInstrumentation instr;
+  EXPECT_EQ(instr.report().io.bytes_total(), 0u);
+}
+
+}  // namespace
+}  // namespace exareq::instr

@@ -1,0 +1,104 @@
+#include "instr/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::instr {
+namespace {
+
+OpCounters ops(std::uint64_t flops, std::uint64_t loads, std::uint64_t stores) {
+  OpCounters c;
+  c.flops = flops;
+  c.loads = loads;
+  c.stores = stores;
+  return c;
+}
+
+TEST(RegionProfilerTest, RootCollectsUnscopedCounters) {
+  RegionProfiler profiler;
+  profiler.add(ops(10, 5, 2));
+  EXPECT_EQ(profiler.totals(), ops(10, 5, 2));
+  const auto paths = profiler.flatten();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].path, "");
+  EXPECT_EQ(paths[0].inclusive, ops(10, 5, 2));
+}
+
+TEST(RegionProfilerTest, NestedRegionsBuildPaths) {
+  RegionProfiler profiler;
+  profiler.enter("solve");
+  profiler.add(ops(1, 0, 0));
+  profiler.enter("dot");
+  profiler.add(ops(2, 0, 0));
+  profiler.exit();
+  profiler.exit();
+  const auto paths = profiler.flatten();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[1].path, "solve");
+  EXPECT_EQ(paths[1].exclusive.flops, 1u);
+  EXPECT_EQ(paths[1].inclusive.flops, 3u);
+  EXPECT_EQ(paths[2].path, "solve/dot");
+  EXPECT_EQ(paths[2].exclusive.flops, 2u);
+}
+
+TEST(RegionProfilerTest, ReenteringRegionAccumulates) {
+  RegionProfiler profiler;
+  for (int i = 0; i < 3; ++i) {
+    profiler.enter("step");
+    profiler.add(ops(5, 0, 0));
+    profiler.exit();
+  }
+  const auto paths = profiler.flatten();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[1].visits, 3u);
+  EXPECT_EQ(paths[1].exclusive.flops, 15u);
+}
+
+TEST(RegionProfilerTest, SiblingsAreDistinct) {
+  RegionProfiler profiler;
+  profiler.enter("a");
+  profiler.add(ops(1, 0, 0));
+  profiler.exit();
+  profiler.enter("b");
+  profiler.add(ops(2, 0, 0));
+  profiler.exit();
+  const auto paths = profiler.flatten();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[1].path, "a");
+  EXPECT_EQ(paths[2].path, "b");
+  EXPECT_EQ(paths[0].inclusive.flops, 3u);
+}
+
+TEST(RegionProfilerTest, ExitWithoutEnterThrows) {
+  RegionProfiler profiler;
+  EXPECT_THROW(profiler.exit(), exareq::InvalidArgument);
+}
+
+TEST(RegionProfilerTest, EmptyNameRejected) {
+  RegionProfiler profiler;
+  EXPECT_THROW(profiler.enter(""), exareq::InvalidArgument);
+}
+
+TEST(RegionProfilerTest, DepthTracksNesting) {
+  RegionProfiler profiler;
+  EXPECT_EQ(profiler.depth(), 0u);
+  profiler.enter("a");
+  profiler.enter("b");
+  EXPECT_EQ(profiler.depth(), 2u);
+  profiler.exit();
+  EXPECT_EQ(profiler.depth(), 1u);
+}
+
+TEST(ScopedRegionTest, ClosesOnDestruction) {
+  RegionProfiler profiler;
+  {
+    ScopedRegion outer(profiler, "outer");
+    { ScopedRegion inner(profiler, "inner"); }
+    EXPECT_EQ(profiler.depth(), 1u);
+  }
+  EXPECT_EQ(profiler.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace exareq::instr

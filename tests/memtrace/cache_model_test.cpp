@@ -1,0 +1,150 @@
+#include "memtrace/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memtrace/mmm.hpp"
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+LocalityConfig exact_config() {
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  return config;
+}
+
+AccessTrace cyclic_trace(std::uint64_t footprint, int rounds) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("cycle");
+  for (int r = 0; r < rounds; ++r) {
+    for (std::uint64_t a = 0; a < footprint; ++a) trace.record(a, g);
+  }
+  return trace;
+}
+
+TEST(CacheModelTest, CyclicScanMissesBelowFootprintHitsAbove) {
+  // Cyclic scan over 16 addresses: every non-cold access has SD = 15.
+  // An LRU cache of >= 16 locations holds the working set; anything
+  // smaller thrashes completely (the classic LRU cliff).
+  const AccessTrace trace = cyclic_trace(16, 50);
+  const std::uint64_t capacities[] = {4, 15, 16, 64};
+  const MissProfile profile =
+      predict_miss_ratios(trace, exact_config(), capacities);
+  ASSERT_EQ(profile.total_miss_ratio.size(), 4u);
+  EXPECT_NEAR(profile.total_miss_ratio[0], 1.0, 1e-12);  // 4 < 16: thrash
+  EXPECT_NEAR(profile.total_miss_ratio[1], 1.0, 1e-12);  // 15 < 16: thrash
+  // Capacity 16: only the 16 cold accesses miss.
+  EXPECT_NEAR(profile.total_miss_ratio[2], 16.0 / 800.0, 1e-12);
+  EXPECT_NEAR(profile.total_miss_ratio[3], 16.0 / 800.0, 1e-12);
+}
+
+TEST(CacheModelTest, ColdAccessesAlwaysMiss) {
+  // Streaming trace: every access cold -> 100% misses at any capacity.
+  AccessTrace trace;
+  const GroupId g = trace.register_group("stream");
+  for (std::uint64_t a = 0; a < 500; ++a) trace.record(a, g);
+  const std::uint64_t capacities[] = {1, 1000000};
+  const MissProfile profile =
+      predict_miss_ratios(trace, exact_config(), capacities);
+  EXPECT_DOUBLE_EQ(profile.total_miss_ratio[0], 1.0);
+  EXPECT_DOUBLE_EQ(profile.total_miss_ratio[1], 1.0);
+}
+
+TEST(CacheModelTest, MissRatioIsMonotoneInCapacity) {
+  const auto a = make_matrix(16, 1.0f);
+  const auto b = make_matrix(16, 2.0f);
+  const auto result = traced_mmm_naive(a, b, 16);
+  const std::uint64_t capacities[] = {8, 32, 128, 512, 2048};
+  const MissProfile profile =
+      predict_miss_ratios(result.trace, exact_config(), capacities);
+  for (std::size_t c = 1; c < profile.capacities.size(); ++c) {
+    EXPECT_LE(profile.total_miss_ratio[c], profile.total_miss_ratio[c - 1]);
+    for (const auto& group : profile.groups) {
+      EXPECT_LE(group.miss_ratio[c], group.miss_ratio[c - 1]);
+    }
+  }
+}
+
+TEST(CacheModelTest, NaiveMmmBMissesBeforeA) {
+  // Paper Sec. II-D: as the cache shrinks relative to the problem, B's
+  // accesses miss first because SD(B) ~ n^2 >> SD(A) ~ 2n.
+  const std::size_t n = 24;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result = traced_mmm_naive(a, b, n);
+  // A capacity between 2n and n^2 holds A's working set but not B's.
+  const std::uint64_t capacities[] = {4 * n};
+  const MissProfile profile =
+      predict_miss_ratios(result.trace, exact_config(), capacities);
+  const double miss_a = profile.groups[result.group_a].miss_ratio[0];
+  const double miss_b = profile.groups[result.group_b].miss_ratio[0];
+  EXPECT_LT(miss_a, 0.1);
+  EXPECT_GT(miss_b, 0.9);
+}
+
+TEST(CacheModelTest, BlockedMmmBeatsNaiveAtEqualCapacity) {
+  // A cache of 64 locations holds the blocked working set (2b^2 + b = 36 at
+  // b = 4) but not the naive one. The blocked kernel still pays the
+  // inherent O(n^3 / b) tile-reload misses, so the right expectations are
+  // relative: far fewer misses than naive, independent of n.
+  const std::uint64_t capacities[] = {64};
+  double naive_ratio[2];
+  double blocked_ratio[2];
+  int index = 0;
+  for (const std::size_t n : {16, 32}) {
+    const auto a = make_matrix(n, 1.0f);
+    const auto b = make_matrix(n, 2.0f);
+    const auto naive = predict_miss_ratios(traced_mmm_naive(a, b, n).trace,
+                                           exact_config(), capacities);
+    const auto blocked = predict_miss_ratios(
+        traced_mmm_blocked(a, b, n, 4).trace, exact_config(), capacities);
+    naive_ratio[index] = naive.total_miss_ratio[0];
+    blocked_ratio[index] = blocked.total_miss_ratio[0];
+    ++index;
+  }
+  EXPECT_LT(blocked_ratio[0], naive_ratio[0] / 2.0);
+  EXPECT_LT(blocked_ratio[1], naive_ratio[1] / 2.0);
+  // Blocked miss ratio does not grow with n (locality-preserving).
+  EXPECT_NEAR(blocked_ratio[1], blocked_ratio[0], 0.05);
+}
+
+TEST(CacheModelTest, CapacityForMissRatio) {
+  const AccessTrace trace = cyclic_trace(16, 50);
+  const std::uint64_t capacities[] = {4, 8, 16, 32};
+  const MissProfile profile =
+      predict_miss_ratios(trace, exact_config(), capacities);
+  EXPECT_EQ(capacity_for_miss_ratio(profile, 0.05), 16u);
+  EXPECT_EQ(capacity_for_miss_ratio(profile, 0.0001), UINT64_MAX);
+}
+
+TEST(CacheModelTest, BurstSamplingApproximatesExactRatios) {
+  const std::size_t n = 24;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result = traced_mmm_naive(a, b, n);
+  const std::uint64_t capacities[] = {4 * n};
+  LocalityConfig burst;
+  burst.sampler = SamplerConfig{64, 512, 0};
+  const MissProfile exact =
+      predict_miss_ratios(result.trace, exact_config(), capacities);
+  const MissProfile sampled =
+      predict_miss_ratios(result.trace, burst, capacities);
+  EXPECT_NEAR(sampled.total_miss_ratio[0], exact.total_miss_ratio[0], 0.05);
+}
+
+TEST(CacheModelTest, ValidatesArguments) {
+  const AccessTrace trace = cyclic_trace(4, 2);
+  const std::uint64_t decreasing[] = {8, 4};
+  EXPECT_THROW(predict_miss_ratios(trace, exact_config(), decreasing),
+               exareq::InvalidArgument);
+  EXPECT_THROW(
+      predict_miss_ratios(trace, exact_config(), std::span<const std::uint64_t>{}),
+      exareq::InvalidArgument);
+  const std::uint64_t one[] = {4};
+  const MissProfile profile = predict_miss_ratios(trace, exact_config(), one);
+  EXPECT_THROW(capacity_for_miss_ratio(profile, 1.5), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

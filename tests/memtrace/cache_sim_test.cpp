@@ -1,0 +1,137 @@
+#include "memtrace/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memtrace/cache_model.hpp"
+#include "memtrace/mmm.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+AccessTrace trace_of(const std::vector<std::uint64_t>& addresses) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  for (std::uint64_t a : addresses) trace.record(a, g);
+  return trace;
+}
+
+TEST(CacheSimTest, HitsAfterColdMiss) {
+  CacheSim cache(CacheConfig{1, 2, 1});
+  EXPECT_FALSE(cache.access(0x10));  // cold
+  EXPECT_TRUE(cache.access(0x10));   // hit
+  EXPECT_EQ(cache.resident_lines(), 1u);
+}
+
+TEST(CacheSimTest, LruEvictionOrder) {
+  CacheSim cache(CacheConfig{1, 2, 1});  // fully associative, 2 lines
+  cache.access(0xA);
+  cache.access(0xB);
+  cache.access(0xA);   // A is now MRU
+  cache.access(0xC);   // evicts B (LRU)
+  EXPECT_TRUE(cache.access(0xA));
+  EXPECT_FALSE(cache.access(0xB));  // was evicted
+}
+
+TEST(CacheSimTest, SetConflictsEvictDespiteFreeCapacity) {
+  // Direct-mapped with 2 sets: addresses 0 and 2 collide in set 0.
+  CacheSim cache(CacheConfig{2, 1, 1});
+  cache.access(0);
+  cache.access(2);                 // evicts 0 (same set)
+  EXPECT_FALSE(cache.access(0));   // conflict miss
+  EXPECT_TRUE(cache.access(1) == false);  // cold in set 1
+  EXPECT_TRUE(cache.access(1));
+}
+
+TEST(CacheSimTest, LineGranularityGivesSpatialLocality) {
+  CacheSim cache(CacheConfig{4, 2, 8});  // 8 locations per line
+  EXPECT_FALSE(cache.access(0));  // loads line [0, 8)
+  for (std::uint64_t a = 1; a < 8; ++a) {
+    EXPECT_TRUE(cache.access(a)) << a;
+  }
+  EXPECT_FALSE(cache.access(8));  // next line
+}
+
+TEST(CacheSimTest, InvalidGeometryRejected) {
+  EXPECT_THROW(CacheSim(CacheConfig{0, 1, 1}), exareq::InvalidArgument);
+  EXPECT_THROW(CacheSim(CacheConfig{1, 0, 1}), exareq::InvalidArgument);
+  EXPECT_THROW(CacheSim(CacheConfig{1, 1, 0}), exareq::InvalidArgument);
+}
+
+TEST(CacheSimTest, FullyAssociativeMatchesStackDistancePrediction) {
+  // Mattson: for fully-associative LRU, an access misses iff its stack
+  // distance >= capacity. The simulator and the analytic prediction must
+  // agree exactly on any trace.
+  exareq::Rng rng(99);
+  std::vector<std::uint64_t> addresses;
+  for (int i = 0; i < 5000; ++i) {
+    addresses.push_back(static_cast<std::uint64_t>(rng.uniform_int(0, 127)));
+  }
+  const AccessTrace trace = trace_of(addresses);
+
+  for (const std::uint64_t capacity : {8u, 32u, 64u, 128u}) {
+    const CacheSimResult simulated =
+        simulate_cache(trace, CacheConfig::fully_associative(capacity));
+    LocalityConfig config;
+    config.sampler = SamplerConfig::exact();
+    const std::uint64_t capacities[] = {capacity};
+    const MissProfile predicted = predict_miss_ratios(trace, config, capacities);
+    EXPECT_DOUBLE_EQ(simulated.miss_ratio(), predicted.total_miss_ratio[0])
+        << "capacity " << capacity;
+  }
+}
+
+TEST(CacheSimTest, StridedConflictsPunishLowAssociativity) {
+  // Four addresses that all map to set 0 of a 64-set cache (stride 64):
+  // the direct-mapped cache thrashes, 4-way associativity absorbs the
+  // conflicts, and fully-associative LRU only pays the cold misses. (Note
+  // that "more associativity is never worse" does NOT hold for arbitrary
+  // traces — the LRU inclusion property applies within one set mapping,
+  // not across geometries — so the test uses an engineered conflict
+  // pattern where the ordering is guaranteed.)
+  std::vector<std::uint64_t> addresses;
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint64_t a : {0u, 64u, 128u, 192u}) addresses.push_back(a);
+  }
+  const AccessTrace trace = trace_of(addresses);
+  const auto full = simulate_cache(trace, CacheConfig::fully_associative(64));
+  const auto assoc4 = simulate_cache(trace, CacheConfig{16, 4, 1});
+  const auto direct = simulate_cache(trace, CacheConfig{64, 1, 1});
+  EXPECT_EQ(full.misses, 4u);    // cold only
+  EXPECT_EQ(assoc4.misses, 4u);  // 4 ways hold all 4 conflicting lines
+  EXPECT_EQ(direct.misses, 400u);  // every access conflicts
+}
+
+TEST(CacheSimTest, BlockedMmmBeatsNaiveOnRealCacheToo) {
+  // The Sec. II-D conclusion must hold on a realistic cache geometry, not
+  // just the fully-associative model: 8-way, 64 lines of 8 locations.
+  const std::size_t n = 24;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const CacheConfig config{8, 8, 8};
+  const auto naive = simulate_cache(traced_mmm_naive(a, b, n).trace, config);
+  const auto blocked =
+      simulate_cache(traced_mmm_blocked(a, b, n, 4).trace, config);
+  EXPECT_LT(blocked.miss_ratio(), naive.miss_ratio());
+}
+
+TEST(CacheSimTest, PerGroupCountsSumToTotals) {
+  const std::size_t n = 16;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result =
+      simulate_cache(traced_mmm_naive(a, b, n).trace, CacheConfig{8, 4, 2});
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& group : result.groups) {
+    hits += group.hits;
+    misses += group.misses;
+  }
+  EXPECT_EQ(hits, result.hits);
+  EXPECT_EQ(misses, result.misses);
+  EXPECT_EQ(hits + misses, 2 * n * n * n + n * n);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

@@ -1,0 +1,155 @@
+#include "memtrace/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+AccessTrace trace_of(const std::vector<std::uint64_t>& addresses) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  for (std::uint64_t a : addresses) trace.record(a, g);
+  return trace;
+}
+
+TEST(DistanceTest, FirstAccessesAreCold) {
+  const auto trace = trace_of({1, 2, 3});
+  const auto distances = compute_distances(trace);
+  for (const auto& d : distances) EXPECT_TRUE(d.cold);
+}
+
+TEST(DistanceTest, ImmediateReuseHasZeroDistances) {
+  const auto trace = trace_of({1, 1});
+  const auto distances = compute_distances(trace);
+  EXPECT_FALSE(distances[1].cold);
+  EXPECT_EQ(distances[1].reuse_distance, 0u);
+  EXPECT_EQ(distances[1].stack_distance, 0u);
+}
+
+TEST(DistanceTest, ReuseCountsAllAccessesStackCountsUnique) {
+  // Paper Fig. 1 semantics: between the two accesses to `a` lie three
+  // accesses (b, b, c) to two unique locations.
+  const auto trace = trace_of({0xA, 0xB, 0xB, 0xC, 0xA});
+  const auto distances = compute_distances(trace);
+  EXPECT_FALSE(distances[4].cold);
+  EXPECT_EQ(distances[4].reuse_distance, 3u);
+  EXPECT_EQ(distances[4].stack_distance, 2u);
+}
+
+TEST(DistanceTest, RepeatedReuseTracksMostRecentAccess) {
+  const auto trace = trace_of({1, 2, 1, 3, 4, 1});
+  const auto distances = compute_distances(trace);
+  // Second access to 1 (index 2): {2} in between.
+  EXPECT_EQ(distances[2].reuse_distance, 1u);
+  EXPECT_EQ(distances[2].stack_distance, 1u);
+  // Third access to 1 (index 5): {3, 4} in between.
+  EXPECT_EQ(distances[5].reuse_distance, 2u);
+  EXPECT_EQ(distances[5].stack_distance, 2u);
+}
+
+TEST(DistanceTest, StackDistanceIgnoresDuplicatesOfSameAddress) {
+  const auto trace = trace_of({7, 8, 8, 8, 8, 7});
+  const auto distances = compute_distances(trace);
+  EXPECT_EQ(distances[5].reuse_distance, 4u);
+  EXPECT_EQ(distances[5].stack_distance, 1u);
+}
+
+TEST(DistanceTest, StreamingAnalyzerMatchesBatch) {
+  const auto trace = trace_of({1, 2, 3, 2, 1, 3, 3, 2, 1});
+  const auto batch = compute_distances(trace);
+  DistanceAnalyzer analyzer;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto d = analyzer.observe(trace.accesses()[i].address);
+    EXPECT_EQ(d.cold, batch[i].cold);
+    EXPECT_EQ(d.reuse_distance, batch[i].reuse_distance);
+    EXPECT_EQ(d.stack_distance, batch[i].stack_distance);
+  }
+  EXPECT_EQ(analyzer.position(), trace.size());
+  EXPECT_EQ(analyzer.distinct_addresses(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the Fenwick-based Olken implementation must agree with the
+// quadratic reference on random traces of varying footprint and length, and
+// both must satisfy the structural invariants SD <= RD and
+// SD < distinct addresses.
+// ---------------------------------------------------------------------------
+
+using TraceShape = std::tuple<int, int, int>;  // (#addresses, length, seed)
+
+std::string trace_shape_name(const ::testing::TestParamInfo<TraceShape>& info) {
+  return "a" + std::to_string(std::get<0>(info.param)) + "_t" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+class DistancePropertyTest : public ::testing::TestWithParam<TraceShape> {};
+
+TEST_P(DistancePropertyTest, OlkenMatchesReferenceAndInvariantsHold) {
+  const int address_count = std::get<0>(GetParam());
+  const int length = std::get<1>(GetParam());
+  const int seed = std::get<2>(GetParam());
+
+  exareq::Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    addresses.push_back(
+        static_cast<std::uint64_t>(rng.uniform_int(0, address_count - 1)));
+  }
+  const auto trace = trace_of(addresses);
+
+  const auto fast = compute_distances(trace);
+  const auto reference = compute_distances_reference(trace);
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i].cold, reference[i].cold) << "at " << i;
+    ASSERT_EQ(fast[i].reuse_distance, reference[i].reuse_distance) << "at " << i;
+    ASSERT_EQ(fast[i].stack_distance, reference[i].stack_distance) << "at " << i;
+    if (!fast[i].cold) {
+      EXPECT_LE(fast[i].stack_distance, fast[i].reuse_distance);
+      EXPECT_LT(fast[i].stack_distance,
+                static_cast<std::uint64_t>(address_count));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, DistancePropertyTest,
+                         ::testing::Values(TraceShape{2, 100, 1},
+                                           TraceShape{8, 500, 2},
+                                           TraceShape{32, 1000, 3},
+                                           TraceShape{256, 2000, 4},
+                                           TraceShape{1000, 3000, 5},
+                                           TraceShape{4, 2000, 6}),
+                         trace_shape_name);
+
+TEST(DistanceTest, SequentialScanHasAllColdAccesses) {
+  std::vector<std::uint64_t> addresses(1000);
+  for (std::size_t i = 0; i < addresses.size(); ++i) addresses[i] = i;
+  const auto distances = compute_distances(trace_of(addresses));
+  for (const auto& d : distances) EXPECT_TRUE(d.cold);
+}
+
+TEST(DistanceTest, CyclicScanHasFullStackDistance) {
+  // Scanning k addresses cyclically: every non-cold access has SD = RD =
+  // k - 1 (all other addresses touched exactly once in between).
+  constexpr std::uint64_t k = 17;
+  std::vector<std::uint64_t> addresses;
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t a = 0; a < k; ++a) addresses.push_back(a);
+  }
+  const auto distances = compute_distances(trace_of(addresses));
+  for (std::size_t i = k; i < distances.size(); ++i) {
+    EXPECT_FALSE(distances[i].cold);
+    EXPECT_EQ(distances[i].stack_distance, k - 1);
+    EXPECT_EQ(distances[i].reuse_distance, k - 1);
+  }
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

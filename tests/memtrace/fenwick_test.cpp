@@ -1,0 +1,94 @@
+#include "memtrace/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+TEST(FenwickTest, SetAndPrefixCount) {
+  FenwickTree tree(16);
+  tree.set(3);
+  tree.set(7);
+  tree.set(8);
+  EXPECT_EQ(tree.prefix_count(2), 0u);
+  EXPECT_EQ(tree.prefix_count(3), 1u);
+  EXPECT_EQ(tree.prefix_count(7), 2u);
+  EXPECT_EQ(tree.prefix_count(100), 3u);
+  EXPECT_EQ(tree.total(), 3u);
+}
+
+TEST(FenwickTest, ClearRemovesMark) {
+  FenwickTree tree(16);
+  tree.set(5);
+  EXPECT_TRUE(tree.is_set(5));
+  tree.clear(5);
+  EXPECT_FALSE(tree.is_set(5));
+  EXPECT_EQ(tree.prefix_count(10), 0u);
+  EXPECT_EQ(tree.total(), 0u);
+}
+
+TEST(FenwickTest, RangeCount) {
+  FenwickTree tree(32);
+  for (std::size_t i : {0u, 4u, 9u, 15u, 16u}) tree.set(i);
+  EXPECT_EQ(tree.range_count(0, 31), 5u);
+  EXPECT_EQ(tree.range_count(1, 15), 3u);
+  EXPECT_EQ(tree.range_count(5, 8), 0u);
+  EXPECT_EQ(tree.range_count(16, 16), 1u);
+  EXPECT_EQ(tree.range_count(10, 5), 0u);  // inverted range
+}
+
+TEST(FenwickTest, GrowsBeyondInitialCapacity) {
+  FenwickTree tree(4);
+  tree.set(2);
+  tree.set(1000);
+  tree.set(100000);
+  EXPECT_EQ(tree.total(), 3u);
+  EXPECT_EQ(tree.prefix_count(999), 1u);
+  EXPECT_EQ(tree.prefix_count(1000), 2u);
+  EXPECT_EQ(tree.prefix_count(100000), 3u);
+  EXPECT_TRUE(tree.is_set(2));  // survived the rebuild
+}
+
+TEST(FenwickTest, DoubleSetThrows) {
+  FenwickTree tree;
+  tree.set(1);
+  EXPECT_THROW(tree.set(1), exareq::InvalidArgument);
+}
+
+TEST(FenwickTest, ClearUnsetThrows) {
+  FenwickTree tree;
+  EXPECT_THROW(tree.clear(1), exareq::InvalidArgument);
+}
+
+TEST(FenwickTest, MatchesNaiveCounterUnderRandomWorkload) {
+  exareq::Rng rng(77);
+  FenwickTree tree(64);
+  std::vector<bool> reference(4096, false);
+  for (int step = 0; step < 20000; ++step) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(0, 4095));
+    if (reference[pos]) {
+      tree.clear(pos);
+      reference[pos] = false;
+    } else {
+      tree.set(pos);
+      reference[pos] = true;
+    }
+    if (step % 500 == 0) {
+      const auto lo = static_cast<std::size_t>(rng.uniform_int(0, 4095));
+      const auto hi = static_cast<std::size_t>(rng.uniform_int(0, 4095));
+      std::size_t expected = 0;
+      for (std::size_t i = std::min(lo, hi); i <= std::max(lo, hi); ++i) {
+        if (reference[i]) ++expected;
+      }
+      ASSERT_EQ(tree.range_count(std::min(lo, hi), std::max(lo, hi)), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

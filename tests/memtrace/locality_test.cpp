@@ -1,0 +1,119 @@
+#include "memtrace/locality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+// A trace with two groups: group "hot" cycles over 4 addresses (SD = 3),
+// group "cold" streams fresh addresses (never reused).
+AccessTrace hot_cold_trace(std::size_t rounds) {
+  AccessTrace trace;
+  const GroupId hot = trace.register_group("hot");
+  const GroupId cold = trace.register_group("cold");
+  std::uint64_t fresh = 0x100000;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::uint64_t a = 0; a < 4; ++a) trace.record(a, hot);
+    trace.record(fresh++, cold);
+  }
+  return trace;
+}
+
+TEST(LocalityTest, ExactSamplingComputesMediansPerGroup) {
+  const AccessTrace trace = hot_cold_trace(200);
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  config.min_samples = 100;
+  const auto report =
+      analyze_locality(trace, config, static_cast<double>(trace.size()));
+
+  ASSERT_EQ(report.groups.size(), 2u);
+  const GroupLocality& hot = report.groups[0];
+  EXPECT_EQ(hot.name, "hot");
+  EXPECT_TRUE(hot.reliable);
+  // Cycling over 4 addresses with one interleaved cold access: between two
+  // accesses to the same hot address lie the 3 other hot ones plus the one
+  // cold access of the round -> stack distance 4 for every hot reuse.
+  EXPECT_DOUBLE_EQ(hot.median_stack_distance, 4.0);
+
+  const GroupLocality& cold = report.groups[1];
+  EXPECT_EQ(cold.samples, 0u);  // never reused -> no distances
+  EXPECT_FALSE(cold.reliable);
+}
+
+TEST(LocalityTest, AccessEstimationUsesSampleShares) {
+  const AccessTrace trace = hot_cold_trace(100);  // 4 hot : 1 cold per round
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  const double papi_total = 1e9;  // externally measured loads+stores
+  const auto report = analyze_locality(trace, config, papi_total);
+  EXPECT_NEAR(report.groups[0].estimated_accesses, 0.8e9, 1e3);
+  EXPECT_NEAR(report.groups[1].estimated_accesses, 0.2e9, 1e3);
+}
+
+TEST(LocalityTest, MinSamplesRuleMarksGroupsUnreliable) {
+  const AccessTrace trace = hot_cold_trace(20);  // hot gets 80 samples < 100
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  config.min_samples = 100;
+  const auto report = analyze_locality(trace, config, 1.0);
+  EXPECT_FALSE(report.groups[0].reliable);
+  // With no reliable group the weighted summary collapses to zero.
+  EXPECT_DOUBLE_EQ(report.weighted_median_stack_distance, 0.0);
+}
+
+TEST(LocalityTest, BurstSamplingReducesSampleCountsNotDistances) {
+  const AccessTrace trace = hot_cold_trace(2000);
+  LocalityConfig exact;
+  exact.sampler = SamplerConfig::exact();
+  LocalityConfig burst;
+  burst.sampler = SamplerConfig{64, 512, 0};
+
+  const auto exact_report = analyze_locality(trace, exact, 1.0);
+  const auto burst_report = analyze_locality(trace, burst, 1.0);
+  EXPECT_LT(burst_report.total_sampled, exact_report.total_sampled);
+  // Distances are exact regardless of sampling; medians agree.
+  EXPECT_DOUBLE_EQ(burst_report.groups[0].median_stack_distance,
+                   exact_report.groups[0].median_stack_distance);
+}
+
+TEST(LocalityTest, WeightedMedianFollowsDominantGroup) {
+  // Two reliable groups with different medians; the group with more
+  // accesses dominates the weighted summary.
+  AccessTrace trace;
+  const GroupId big = trace.register_group("big");    // SD 1 (ping-pong)
+  const GroupId small = trace.register_group("small");  // SD 9 (cycle of 10)
+  for (int r = 0; r < 400; ++r) {
+    trace.record(0x1, big);
+    trace.record(0x2, big);
+  }
+  for (int r = 0; r < 30; ++r) {
+    for (std::uint64_t a = 0; a < 10; ++a) trace.record(0x100 + a, small);
+  }
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  const auto report = analyze_locality(trace, config, 1e6);
+  EXPECT_LT(report.weighted_median_stack_distance, 4.0);
+  EXPECT_GT(report.weighted_median_stack_distance, 0.5);
+}
+
+TEST(LocalityTest, EmptyTraceYieldsEmptyReport) {
+  AccessTrace trace;
+  trace.register_group("g");
+  LocalityConfig config;
+  const auto report = analyze_locality(trace, config, 0.0);
+  EXPECT_EQ(report.trace_length, 0u);
+  EXPECT_EQ(report.total_sampled, 0u);
+  EXPECT_DOUBLE_EQ(report.groups[0].estimated_accesses, 0.0);
+}
+
+TEST(LocalityTest, NegativeAccessCountRejected) {
+  AccessTrace trace;
+  LocalityConfig config;
+  EXPECT_THROW(analyze_locality(trace, config, -1.0), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

@@ -1,0 +1,149 @@
+#include "memtrace/mmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memtrace/locality.hpp"
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+void expect_matrices_close(const std::vector<float>& a,
+                           const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-2f * std::max(1.0f, std::fabs(b[i]))) << i;
+  }
+}
+
+LocalityReport analyze(const AccessTrace& trace) {
+  LocalityConfig config;
+  config.sampler = SamplerConfig::exact();
+  config.min_samples = 100;
+  return analyze_locality(trace, config, static_cast<double>(trace.size()));
+}
+
+TEST(MmmTest, NaiveComputesCorrectProduct) {
+  const std::size_t n = 12;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result = traced_mmm_naive(a, b, n);
+  expect_matrices_close(result.c, mmm_reference(a, b, n));
+}
+
+TEST(MmmTest, BlockedComputesCorrectProduct) {
+  const std::size_t n = 12;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 2.0f);
+  const auto result = traced_mmm_blocked(a, b, n, 4);
+  expect_matrices_close(result.c, mmm_reference(a, b, n));
+}
+
+TEST(MmmTest, BlockedMatchesNaiveProduct) {
+  const std::size_t n = 16;
+  const auto a = make_matrix(n, 0.5f);
+  const auto b = make_matrix(n, 1.5f);
+  const auto naive = traced_mmm_naive(a, b, n);
+  const auto blocked = traced_mmm_blocked(a, b, n, 4);
+  expect_matrices_close(blocked.c, naive.c);
+}
+
+TEST(MmmTest, BlockSizeMustDivideN) {
+  const std::size_t n = 10;
+  const auto a = make_matrix(n, 1.0f);
+  const auto b = make_matrix(n, 1.0f);
+  EXPECT_THROW(traced_mmm_blocked(a, b, n, 3), exareq::InvalidArgument);
+}
+
+TEST(MmmTest, NaiveTraceLengthIsExact) {
+  const std::size_t n = 8;
+  const auto result =
+      traced_mmm_naive(make_matrix(n, 1.0f), make_matrix(n, 1.0f), n);
+  // 2 reads per innermost iteration + 1 write of C per (i, j).
+  EXPECT_EQ(result.trace.size(), 2 * n * n * n + n * n);
+}
+
+TEST(MmmTest, NaiveStackDistanceOfAIsAbout2N) {
+  // Paper Sec. II-D: reuse and stack distance of A in the naive kernel are
+  // ~2n (the next j iteration re-reads A's row after touching n B elements).
+  const std::size_t n = 24;
+  const auto result =
+      traced_mmm_naive(make_matrix(n, 1.0f), make_matrix(n, 1.0f), n);
+  const auto report = analyze(result.trace);
+  const double sd_a = report.groups[result.group_a].median_stack_distance;
+  EXPECT_GE(sd_a, 1.5 * static_cast<double>(n));
+  EXPECT_LE(sd_a, 2.5 * static_cast<double>(n));
+}
+
+TEST(MmmTest, NaiveStackDistanceOfBIsAboutNSquared) {
+  // Paper: SD(B) = n^2 + 2n - 1 in the naive kernel.
+  const std::size_t n = 24;
+  const auto result =
+      traced_mmm_naive(make_matrix(n, 1.0f), make_matrix(n, 1.0f), n);
+  const auto report = analyze(result.trace);
+  const double sd_b = report.groups[result.group_b].median_stack_distance;
+  const double expected = static_cast<double>(n * n + 2 * n - 1);
+  EXPECT_GE(sd_b, 0.7 * expected);
+  EXPECT_LE(sd_b, 1.3 * expected);
+}
+
+TEST(MmmTest, NaiveCIsNeverReused) {
+  const std::size_t n = 16;
+  const auto result =
+      traced_mmm_naive(make_matrix(n, 1.0f), make_matrix(n, 1.0f), n);
+  const auto report = analyze(result.trace);
+  EXPECT_EQ(report.groups[result.group_c].samples, 0u);
+}
+
+TEST(MmmTest, BlockedStackDistancesDependOnBlockNotN) {
+  // Paper: with blocking, SD(A) ~ 2b + 1, SD(B) ~ 2b^2 + b, SD(C) ~ 2;
+  // crucially they are independent of the matrix size n.
+  const std::size_t block = 4;
+  double sd_a_small = 0.0, sd_a_large = 0.0;
+  double sd_b_small = 0.0, sd_b_large = 0.0;
+  double sd_c_small = 0.0, sd_c_large = 0.0;
+  for (const std::size_t n : {16, 32}) {
+    const auto result =
+        traced_mmm_blocked(make_matrix(n, 1.0f), make_matrix(n, 1.0f), n, block);
+    const auto report = analyze(result.trace);
+    double& sd_a = n == 16 ? sd_a_small : sd_a_large;
+    double& sd_b = n == 16 ? sd_b_small : sd_b_large;
+    double& sd_c = n == 16 ? sd_c_small : sd_c_large;
+    sd_a = report.groups[result.group_a].median_stack_distance;
+    sd_b = report.groups[result.group_b].median_stack_distance;
+    sd_c = report.groups[result.group_c].median_stack_distance;
+  }
+  EXPECT_DOUBLE_EQ(sd_a_small, sd_a_large);
+  EXPECT_DOUBLE_EQ(sd_b_small, sd_b_large);
+  EXPECT_DOUBLE_EQ(sd_c_small, sd_c_large);
+  // Magnitudes match the paper's closed forms up to small constants.
+  EXPECT_LE(sd_a_small, 3.0 * static_cast<double>(block));
+  EXPECT_LE(sd_c_small, 4.0);
+  EXPECT_GE(sd_b_small, static_cast<double>(block * block));
+  EXPECT_LE(sd_b_small, 3.0 * static_cast<double>(block * block) +
+                            static_cast<double>(block));
+}
+
+TEST(MmmTest, NaiveLocalityDegradesWithNButBlockedDoesNot) {
+  const std::size_t block = 4;
+  double naive_small = 0.0, naive_large = 0.0;
+  double blocked_small = 0.0, blocked_large = 0.0;
+  for (const std::size_t n : {16, 32}) {
+    const auto a = make_matrix(n, 1.0f);
+    const auto b = make_matrix(n, 1.0f);
+    const auto naive_report = analyze(traced_mmm_naive(a, b, n).trace);
+    const auto blocked_report =
+        analyze(traced_mmm_blocked(a, b, n, block).trace);
+    (n == 16 ? naive_small : naive_large) =
+        naive_report.weighted_median_stack_distance;
+    (n == 16 ? blocked_small : blocked_large) =
+        blocked_report.weighted_median_stack_distance;
+  }
+  EXPECT_GT(naive_large, 2.0 * naive_small);  // degrades superlinearly
+  EXPECT_NEAR(blocked_large, blocked_small, 0.3 * blocked_small + 1.0);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

@@ -1,0 +1,74 @@
+#include "memtrace/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+TEST(SamplingTest, ExactConfigSamplesEverything) {
+  const SamplerConfig config = SamplerConfig::exact();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(config.sampled(i));
+  }
+  EXPECT_DOUBLE_EQ(config.duty_cycle(), 1.0);
+}
+
+TEST(SamplingTest, BurstBoundaries) {
+  const SamplerConfig config{4, 10, 0};
+  // Positions 0..3 sampled, 4..9 not, 10..13 sampled, ...
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(config.sampled(i)) << i;
+  for (std::uint64_t i = 4; i < 10; ++i) EXPECT_FALSE(config.sampled(i)) << i;
+  EXPECT_TRUE(config.sampled(10));
+  EXPECT_TRUE(config.sampled(13));
+  EXPECT_FALSE(config.sampled(14));
+}
+
+TEST(SamplingTest, OffsetDelaysFirstBurst) {
+  const SamplerConfig config{2, 8, 5};
+  EXPECT_FALSE(config.sampled(0));
+  EXPECT_FALSE(config.sampled(4));
+  EXPECT_TRUE(config.sampled(5));
+  EXPECT_TRUE(config.sampled(6));
+  EXPECT_FALSE(config.sampled(7));
+  EXPECT_TRUE(config.sampled(13));
+}
+
+TEST(SamplingTest, InvalidConfigThrows) {
+  const SamplerConfig zero_burst{0, 10, 0};
+  EXPECT_THROW(zero_burst.sampled(0), exareq::InvalidArgument);
+  const SamplerConfig period_smaller{8, 4, 0};
+  EXPECT_THROW(period_smaller.sampled(0), exareq::InvalidArgument);
+}
+
+TEST(SamplingTest, DutyCycle) {
+  const SamplerConfig config{64, 512, 0};
+  EXPECT_DOUBLE_EQ(config.duty_cycle(), 0.125);
+}
+
+TEST(SamplingTest, SampledPositionsMatchPredicate) {
+  const SamplerConfig config{3, 7, 2};
+  const auto positions = sampled_positions(config, 50);
+  std::size_t expected = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    if (config.sampled(i)) ++expected;
+  }
+  EXPECT_EQ(positions.size(), expected);
+  for (std::uint64_t p : positions) {
+    EXPECT_TRUE(config.sampled(p));
+    EXPECT_LT(p, 50u);
+  }
+}
+
+TEST(SamplingTest, SampledPositionsTruncatedBurstAtEnd) {
+  const SamplerConfig config{4, 10, 8};
+  const auto positions = sampled_positions(config, 10);
+  // Burst starts at 8 but trace ends at 10: only positions 8, 9.
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_EQ(positions[0], 8u);
+  EXPECT_EQ(positions[1], 9u);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

@@ -1,0 +1,60 @@
+#include "memtrace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+TEST(TraceTest, RegisterGroupReturnsStableIds) {
+  AccessTrace trace;
+  const GroupId a = trace.register_group("A");
+  const GroupId b = trace.register_group("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace.register_group("A"), a);
+  EXPECT_EQ(trace.group_count(), 2u);
+  EXPECT_EQ(trace.group_name(a), "A");
+  EXPECT_EQ(trace.group_name(b), "B");
+}
+
+TEST(TraceTest, GroupNameRejectsUnknownId) {
+  const AccessTrace trace;
+  EXPECT_THROW(trace.group_name(0), exareq::InvalidArgument);
+}
+
+TEST(TraceTest, RecordRejectsUnregisteredGroup) {
+  AccessTrace trace;
+  EXPECT_THROW(trace.record(0x10, 0), exareq::InvalidArgument);
+}
+
+TEST(TraceTest, RecordsAccessesInOrder) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  trace.record(10, g);
+  trace.record(20, g);
+  trace.record(10, g);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.accesses()[0].address, 10u);
+  EXPECT_EQ(trace.accesses()[1].address, 20u);
+  EXPECT_EQ(trace.accesses()[2].address, 10u);
+}
+
+TEST(TraceTest, DistinctAddresses) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  for (std::uint64_t a : {1, 2, 3, 2, 1, 4}) trace.record(a, g);
+  EXPECT_EQ(trace.distinct_addresses(), 4u);
+}
+
+TEST(TraceTest, ClearEmptiesAccessesButKeepsGroups) {
+  AccessTrace trace;
+  const GroupId g = trace.register_group("g");
+  trace.record(1, g);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.group_count(), 1u);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

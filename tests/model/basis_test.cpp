@@ -1,0 +1,89 @@
+#include "model/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace exareq::model {
+namespace {
+
+TEST(BasisTest, PmnfFactorEvaluatesPowerTimesLog) {
+  const Factor f = pmnf_factor(0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(8.0), 64.0 * 3.0);  // 8^2 * log2(8)
+}
+
+TEST(BasisTest, FractionalExponents) {
+  const Factor f = pmnf_factor(0, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(16.0), 4.0);
+  const Factor g = pmnf_factor(0, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(g.evaluate(16.0), 2.0);  // sqrt(log2(16)) = 2
+}
+
+TEST(BasisTest, IdentityFactor) {
+  const Factor f = pmnf_factor(0, 0.0, 0.0);
+  EXPECT_TRUE(f.is_identity());
+  EXPECT_DOUBLE_EQ(f.evaluate(123.0), 1.0);
+}
+
+TEST(BasisTest, EvaluationAtOneIsWellDefined) {
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 1.0, 0.0).evaluate(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 0.0, 1.0).evaluate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 0.0, 0.5).evaluate(1.0), 0.0);
+}
+
+TEST(BasisTest, RejectsParameterBelowOne) {
+  EXPECT_THROW(pmnf_factor(0, 1.0, 0.0).evaluate(0.5), exareq::InvalidArgument);
+}
+
+TEST(BasisTest, AllreduceMatchesRecursiveDoublingCost) {
+  const Factor f = special_factor(0, SpecialFn::kAllreduce);
+  EXPECT_DOUBLE_EQ(f.evaluate(16.0), 8.0);  // 2 * log2(16)
+  EXPECT_DOUBLE_EQ(f.evaluate(1.0), 0.0);   // no communication alone
+}
+
+TEST(BasisTest, BcastMatchesBinomialTreeCost) {
+  const Factor f = special_factor(0, SpecialFn::kBcast);
+  EXPECT_DOUBLE_EQ(f.evaluate(8.0), 3.0);
+}
+
+TEST(BasisTest, AlltoallMatchesPairwiseCost) {
+  const Factor f = special_factor(0, SpecialFn::kAlltoall);
+  EXPECT_DOUBLE_EQ(f.evaluate(5.0), 8.0);  // 2 * (5 - 1)
+}
+
+TEST(BasisTest, SpecialFactorRejectsNone) {
+  EXPECT_THROW(special_factor(0, SpecialFn::kNone), exareq::InvalidArgument);
+}
+
+TEST(BasisTest, ToStringFormats) {
+  EXPECT_EQ(pmnf_factor(0, 1.0, 0.0).to_string("n"), "n");
+  EXPECT_EQ(pmnf_factor(0, 2.0, 0.0).to_string("n"), "n^2");
+  EXPECT_EQ(pmnf_factor(0, 1.5, 0.0).to_string("p"), "p^1.5");
+  EXPECT_EQ(pmnf_factor(0, 0.25, 1.0).to_string("p"), "p^0.25 * log2(p)");
+  EXPECT_EQ(pmnf_factor(0, 0.0, 2.0).to_string("n"), "log2(n)^2");
+  EXPECT_EQ(pmnf_factor(0, 0.375, 0.0).to_string("p"), "p^0.375");
+  EXPECT_EQ(pmnf_factor(0, 0.0, 0.0).to_string("n"), "1");
+  EXPECT_EQ(special_factor(0, SpecialFn::kAllreduce).to_string("p"),
+            "Allreduce(p)");
+}
+
+TEST(BasisTest, ComplexityOrdersSimplerFirst) {
+  EXPECT_LT(pmnf_factor(0, 0.0, 1.0).complexity(),
+            pmnf_factor(0, 1.0, 0.0).complexity());
+  EXPECT_LT(pmnf_factor(0, 1.0, 0.0).complexity(),
+            pmnf_factor(0, 1.0, 1.0).complexity());
+  EXPECT_LT(pmnf_factor(0, 1.0, 1.0).complexity(),
+            pmnf_factor(0, 2.0, 0.0).complexity());
+}
+
+TEST(BasisTest, SpecialFnNames) {
+  EXPECT_EQ(special_fn_name(SpecialFn::kAllreduce), "Allreduce");
+  EXPECT_EQ(special_fn_name(SpecialFn::kBcast), "Bcast");
+  EXPECT_EQ(special_fn_name(SpecialFn::kAlltoall), "Alltoall");
+  EXPECT_EQ(special_fn_name(SpecialFn::kNone), "");
+}
+
+}  // namespace
+}  // namespace exareq::model

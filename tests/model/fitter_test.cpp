@@ -1,0 +1,286 @@
+#include "model/fitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::model {
+namespace {
+
+const std::vector<double> kProcessCounts{4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+
+MeasurementSet sample_1d(const std::vector<double>& xs,
+                         const std::function<double(double)>& f,
+                         double noise_fraction = 0.0, std::uint64_t seed = 1) {
+  exareq::Rng rng(seed);
+  MeasurementSet data({"p"});
+  for (double x : xs) {
+    const double clean = f(x);
+    const double noisy = clean * (1.0 + noise_fraction * rng.normal());
+    data.add({x}, noisy);
+  }
+  return data;
+}
+
+TEST(FitterTest, RecoversConstantModel) {
+  const auto data = sample_1d(kProcessCounts, [](double) { return 42.0; });
+  const FitResult result = fit_single_parameter(data);
+  EXPECT_TRUE(result.model.is_constant());
+  EXPECT_NEAR(result.model.constant(), 42.0, 1e-9);
+}
+
+TEST(FitterTest, RecoversLinearModel) {
+  const auto data = sample_1d(kProcessCounts, [](double x) { return 3.0 * x; });
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 1u);
+  const Term& term = result.model.terms()[0];
+  EXPECT_DOUBLE_EQ(term.factors[0].poly_exponent, 1.0);
+  EXPECT_DOUBLE_EQ(term.factors[0].log_exponent, 0.0);
+  EXPECT_NEAR(term.coefficient, 3.0, 1e-6);
+}
+
+TEST(FitterTest, RecoversLogModel) {
+  const auto data = sample_1d(kProcessCounts,
+                              [](double x) { return 5.0 * std::log2(x) + 7.0; });
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 1u);
+  const Term& term = result.model.terms()[0];
+  EXPECT_DOUBLE_EQ(term.factors[0].poly_exponent, 0.0);
+  EXPECT_DOUBLE_EQ(term.factors[0].log_exponent, 1.0);
+  EXPECT_NEAR(term.coefficient, 5.0, 1e-6);
+  EXPECT_NEAR(result.model.constant(), 7.0, 1e-6);
+}
+
+TEST(FitterTest, RecoversFractionalExponent) {
+  const auto data =
+      sample_1d(kProcessCounts, [](double x) { return 2.0 * std::pow(x, 1.5); });
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(result.model.terms()[0].factors[0].poly_exponent, 1.5);
+}
+
+TEST(FitterTest, RecoversTwoTermModel) {
+  // 1e6 * x + 1e2 * x^2: both terms matter over this range.
+  const auto data = sample_1d(kProcessCounts,
+                              [](double x) { return 1e6 * x + 1e2 * x * x; });
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 2u);
+  const double check = result.model.evaluate1(256.0);
+  EXPECT_NEAR(check, 1e6 * 256.0 + 1e2 * 256.0 * 256.0, 1e-3 * check);
+}
+
+TEST(FitterTest, RecoversCollectiveBasisWhenEnabled) {
+  // Payload 1e4 bytes per Allreduce: bytes = 1e4 * 2 * log2(p).
+  const auto data = sample_1d(
+      kProcessCounts, [](double x) { return 1e4 * 2.0 * std::log2(x); });
+  SearchSpace space = SearchSpace::paper_default();
+  space.include_collectives = true;
+  FitOptions options;
+  // Allreduce(p) and log2(p) are proportional; the collective must win the
+  // complexity tie-break (0.5 == 0.5) deterministically, so widen the
+  // search: what matters is that *a* log-shaped basis is chosen and the
+  // prediction is exact.
+  const FitResult result = fit_single_parameter(data, space, options);
+  ASSERT_EQ(result.model.terms().size(), 1u);
+  EXPECT_NEAR(result.model.evaluate1(256.0), 1e4 * 2.0 * 8.0, 1.0);
+}
+
+TEST(FitterTest, NoiseDoesNotInduceOverfitting) {
+  // Counter-precision noise (0.5%, the regime the paper's "highly
+  // reproducible hardware and software counters" statement refers to) on a
+  // clean linear trend must still produce a single-term linear model with a
+  // stable extrapolation. Exact exponent identification needs a wide
+  // parameter range — neighbouring grid shapes like x^0.75 * sqrt(log2 x)
+  // are nearly proportional to x over narrow ranges. (The NoiseRobustness
+  // sweep below checks extrapolation stability on the narrow range up to
+  // 5% noise, where exact structure recovery is no longer guaranteed.)
+  const std::vector<double> wide{4.0,   8.0,   16.0,  32.0,  64.0,
+                                 128.0, 256.0, 512.0, 1024.0};
+  const auto data = sample_1d(wide, [](double x) { return 1e3 * x; }, 0.005, 99);
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 1u) << result.model.to_string();
+  EXPECT_DOUBLE_EQ(result.model.terms()[0].factors[0].poly_exponent, 1.0);
+  EXPECT_DOUBLE_EQ(result.model.terms()[0].factors[0].log_exponent, 0.0);
+  EXPECT_NEAR(result.model.terms()[0].coefficient, 1e3, 20.0);
+  EXPECT_NEAR(result.model.evaluate1(1e6), 1e9, 0.05e9);
+}
+
+TEST(FitterTest, QualityStatisticsReportCleanFit) {
+  const auto data = sample_1d(kProcessCounts, [](double x) { return 2.0 * x; });
+  const FitResult result = fit_single_parameter(data);
+  EXPECT_LT(result.quality.cv_score, 1e-8);
+  EXPECT_LT(result.quality.smape, 1e-8);
+  EXPECT_NEAR(result.quality.r_squared, 1.0, 1e-12);
+  ASSERT_EQ(result.quality.relative_errors.size(), data.size());
+  for (double e : result.quality.relative_errors) EXPECT_LT(e, 1e-10);
+}
+
+TEST(FitterTest, NonnegativityRejectsDecreasingTerm) {
+  // Strictly decreasing data: no non-negative PMNF term helps, so the fit
+  // must fall back to a constant rather than produce a negative slope.
+  MeasurementSet data({"p"});
+  for (double x : kProcessCounts) data.add({x}, 1000.0 - x);
+  FitOptions options;
+  options.require_nonnegative = true;
+  const FitResult result = fit_single_parameter(
+      data, SearchSpace::paper_default(), options);
+  EXPECT_TRUE(result.model.is_constant());
+}
+
+TEST(FitterTest, NegativeTermsAllowedWhenRelaxed) {
+  MeasurementSet data({"p"});
+  for (double x : kProcessCounts) data.add({x}, 1000.0 - x);
+  FitOptions options;
+  options.require_nonnegative = false;
+  const FitResult result = fit_single_parameter(
+      data, SearchSpace::paper_default(), options);
+  ASSERT_EQ(result.model.terms().size(), 1u);
+  EXPECT_NEAR(result.model.terms()[0].coefficient, -1.0, 1e-6);
+}
+
+TEST(FitterTest, RespectsMaxTerms) {
+  const auto data = sample_1d(
+      kProcessCounts,
+      [](double x) { return x + 10.0 * x * x + 0.1 * std::pow(x, 3.0); });
+  FitOptions options;
+  options.max_terms = 1;
+  const FitResult result =
+      fit_single_parameter(data, SearchSpace::paper_default(), options);
+  EXPECT_LE(result.model.terms().size(), 1u);
+}
+
+TEST(FitterTest, ThrowsOnEmptyData) {
+  const MeasurementSet data({"p"});
+  EXPECT_THROW(fit_single_parameter(data), exareq::InvalidArgument);
+}
+
+TEST(FitterTest, RefitHypothesisReturnsCoefficients) {
+  const auto data =
+      sample_1d(kProcessCounts, [](double x) { return 4.0 * x + 100.0; });
+  Term linear;
+  linear.coefficient = 1.0;
+  linear.factors = {pmnf_factor(0, 1.0, 0.0)};
+  const FitResult result = refit_hypothesis(data, {linear});
+  EXPECT_NEAR(result.model.terms()[0].coefficient, 4.0, 1e-9);
+  EXPECT_NEAR(result.model.constant(), 100.0, 1e-6);
+}
+
+TEST(FitterTest, RefitRejectsUnderdeterminedHypothesis) {
+  MeasurementSet data({"p"});
+  data.add({2.0}, 1.0);
+  data.add({4.0}, 2.0);
+  std::vector<Term> basis;
+  for (double e : {1.0, 2.0, 3.0}) {
+    Term t;
+    t.coefficient = 1.0;
+    t.factors = {pmnf_factor(0, e, 0.0)};
+    basis.push_back(t);
+  }
+  EXPECT_THROW(refit_hypothesis(data, basis), exareq::NumericError);
+}
+
+TEST(FitterTest, CrossValidationScoreOrdersHypothesesCorrectly) {
+  const auto data =
+      sample_1d(kProcessCounts, [](double x) { return 7.0 * x * x; });
+  Term quadratic;
+  quadratic.coefficient = 1.0;
+  quadratic.factors = {pmnf_factor(0, 2.0, 0.0)};
+  Term logarithmic;
+  logarithmic.coefficient = 1.0;
+  logarithmic.factors = {pmnf_factor(0, 0.0, 1.0)};
+  EXPECT_LT(cross_validation_score(data, {quadratic}),
+            cross_validation_score(data, {logarithmic}));
+}
+
+TEST(FitterTest, CollinearPoolTermsDoNotCrash) {
+  const auto data = sample_1d(kProcessCounts, [](double x) { return x; });
+  Term a;
+  a.coefficient = 1.0;
+  a.factors = {pmnf_factor(0, 1.0, 0.0)};
+  const std::vector<Term> pool{a, a, a};
+  const FitResult result = fit_with_pool(data, pool);
+  EXPECT_EQ(result.model.terms().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the fitter must recover every planted exponent pair from
+// the paper's Table II over clean synthetic data.
+// ---------------------------------------------------------------------------
+
+using ExponentPair = std::tuple<double, double>;
+
+std::string exponent_pair_name(
+    const ::testing::TestParamInfo<ExponentPair>& info) {
+  const auto fmt = [](double v) {
+    std::string s = std::to_string(v);
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s;
+  };
+  return "poly" + fmt(std::get<0>(info.param)) + "_log" +
+         fmt(std::get<1>(info.param));
+}
+
+std::string noise_level_name(const ::testing::TestParamInfo<double>& info) {
+  return "noise_" + std::to_string(static_cast<int>(info.param * 1000.0));
+}
+
+class ExponentRecoveryTest : public ::testing::TestWithParam<ExponentPair> {};
+
+TEST_P(ExponentRecoveryTest, RecoversPlantedExponents) {
+  const auto [poly, log] = GetParam();
+  const auto data = sample_1d(kProcessCounts, [poly, log](double x) {
+    return 1e4 * std::pow(x, poly) * std::pow(std::log2(x), log);
+  });
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_EQ(result.model.terms().size(), 1u)
+      << "model: " << result.model.to_string();
+  const Factor& f = result.model.terms()[0].factors[0];
+  EXPECT_NEAR(f.poly_exponent, poly, 1e-9) << result.model.to_string();
+  EXPECT_NEAR(f.log_exponent, log, 1e-9) << result.model.to_string();
+  EXPECT_NEAR(result.model.terms()[0].coefficient, 1e4, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExponents, ExponentRecoveryTest,
+    ::testing::Values(ExponentPair{1.0, 0.0},    // Kripke metrics
+                      ExponentPair{1.0, 1.0},    // LULESH n log n
+                      ExponentPair{0.25, 1.0},   // LULESH p^0.25 log p
+                      ExponentPair{0.5, 0.0},    // Relearn footprint
+                      ExponentPair{1.5, 0.0},    // MILC p^1.5
+                      ExponentPair{0.375, 0.0},  // icoFoam p^0.375
+                      ExponentPair{0.5, 1.0},    // icoFoam p^0.5 log p
+                      ExponentPair{2.0, 0.0},    // quadratic sanity
+                      ExponentPair{0.0, 2.0}),   // log^2
+    exponent_pair_name);
+
+// Robustness sweep: recovery of a linear model under increasing noise.
+class NoiseRobustnessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseRobustnessTest, LeadingExponentSurvivesNoise) {
+  const double noise = GetParam();
+  const auto data = sample_1d(
+      kProcessCounts, [](double x) { return 5e3 * x; }, noise, 4242);
+  const FitResult result = fit_single_parameter(data);
+  ASSERT_GE(result.model.terms().size(), 1u);
+  // The dominant term at large scale must stay ~linear.
+  const double big = 1e6;
+  const double value = result.model.evaluate1(big);
+  const double expected = 5e3 * big;
+  EXPECT_GT(value, expected * 0.3);
+  EXPECT_LT(value, expected * 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseRobustnessTest,
+                         ::testing::Values(0.0, 0.01, 0.02, 0.05),
+                         noise_level_name);
+
+}  // namespace
+}  // namespace exareq::model

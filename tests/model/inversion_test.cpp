@@ -1,0 +1,104 @@
+#include "model/inversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace exareq::model {
+namespace {
+
+Model linear_model(double coefficient, double constant = 0.0) {
+  Term term;
+  term.coefficient = coefficient;
+  term.factors = {pmnf_factor(0, 1.0, 0.0)};
+  return Model({"n"}, constant, {term});
+}
+
+Model nlogn_model(double coefficient) {
+  Term term;
+  term.coefficient = coefficient;
+  term.factors = {pmnf_factor(0, 1.0, 1.0)};
+  return Model({"n"}, 0.0, {term});
+}
+
+TEST(InversionTest, InvertsLinearModelExactly) {
+  const Model m = linear_model(2.0, 10.0);
+  const double n = invert_model(m, 410.0);
+  EXPECT_NEAR(n, 200.0, 1e-6);
+}
+
+TEST(InversionTest, InvertsNLogNModel) {
+  const Model m = nlogn_model(1e5);
+  const double target = 1e5 * 4096.0 * 12.0;
+  const double n = invert_model(m, target);
+  EXPECT_NEAR(n, 4096.0, 1e-3);
+}
+
+TEST(InversionTest, LowerBoundHit) {
+  const Model m = linear_model(1.0);
+  EXPECT_NEAR(invert_model(m, 1.0), 1.0, 1e-9);
+}
+
+TEST(InversionTest, TargetBelowRangeThrows) {
+  const Model m = linear_model(1.0, 100.0);
+  EXPECT_THROW(invert_model(m, 50.0), exareq::NumericError);
+}
+
+TEST(InversionTest, UnreachableTargetThrows) {
+  const Model m = Model::constant_model({"n"}, 5.0);
+  InversionOptions options;
+  options.upper_limit = 1e12;
+  EXPECT_THROW(invert_model(m, 10.0, options), exareq::NumericError);
+}
+
+TEST(InversionTest, CallableOverload) {
+  const double x = invert_monotone([](double v) { return v * v; }, 1e6);
+  EXPECT_NEAR(x, 1000.0, 1e-6);
+}
+
+TEST(InversionTest, InvertInParameterWithOthersFixed) {
+  // f(p, n) = n + p log2(p); invert in n at p = 8 for target 100:
+  // n = 100 - 8*3 = 76.
+  Term n_term;
+  n_term.coefficient = 1.0;
+  n_term.factors = {pmnf_factor(1, 1.0, 0.0)};
+  Term p_term;
+  p_term.coefficient = 1.0;
+  p_term.factors = {pmnf_factor(0, 1.0, 1.0)};
+  const Model m({"p", "n"}, 0.0, {n_term, p_term});
+  const double coordinate[] = {8.0, 1.0};
+  const double n = invert_model_in_parameter(m, 1, coordinate, 100.0);
+  EXPECT_NEAR(n, 76.0, 1e-6);
+}
+
+TEST(InversionTest, MonotonicityProbeDetectsIncrease) {
+  const Model m = linear_model(3.0);
+  const double coordinate[] = {1.0};
+  EXPECT_TRUE(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6));
+}
+
+TEST(InversionTest, MonotonicityProbeDetectsDecrease) {
+  Term term;
+  term.coefficient = -2.0;
+  term.factors = {pmnf_factor(0, 1.0, 0.0)};
+  const Model m({"n"}, 1e9, {term});
+  const double coordinate[] = {1.0};
+  EXPECT_FALSE(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6));
+}
+
+TEST(InversionTest, ConstantModelIsMonotone) {
+  const Model m = Model::constant_model({"n"}, 4.0);
+  const double coordinate[] = {1.0};
+  EXPECT_TRUE(is_monotone_in_parameter(m, 0, coordinate, 1.0, 100.0));
+}
+
+TEST(InversionTest, PrecisionIsTight) {
+  const Model m = linear_model(7.0);
+  const double n = invert_model(m, 7.0 * 123456.789);
+  EXPECT_NEAR(n, 123456.789, 1e-4);
+}
+
+}  // namespace
+}  // namespace exareq::model

@@ -1,0 +1,146 @@
+#include "model/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::model {
+namespace {
+
+TEST(LinalgTest, MatrixAccessAndMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 5.0;
+  a(1, 2) = 6.0;
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const auto y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(LinalgTest, MatrixRejectsOutOfRange) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a(2, 0), exareq::InvalidArgument);
+  EXPECT_THROW(a(0, 2), exareq::InvalidArgument);
+}
+
+TEST(LinalgTest, SolvesExactSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> b{5.0, 10.0};
+  const auto result = least_squares(a, b);
+  EXPECT_FALSE(result.rank_deficient);
+  EXPECT_NEAR(result.solution[0], 1.0, 1e-12);
+  EXPECT_NEAR(result.solution[1], 3.0, 1e-12);
+  EXPECT_NEAR(result.residual_norm, 0.0, 1e-10);
+}
+
+TEST(LinalgTest, OverdeterminedRecoversPlantedCoefficients) {
+  Rng rng(123);
+  const std::vector<double> truth{3.5, -2.0, 0.75};
+  Matrix a(20, 3);
+  std::vector<double> b(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.uniform(-5.0, 5.0);
+      acc += a(r, c) * truth[c];
+    }
+    b[r] = acc;
+  }
+  const auto result = least_squares(a, b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(result.solution[c], truth[c], 1e-10);
+  }
+}
+
+TEST(LinalgTest, HandlesWildlyScaledColumns) {
+  // Columns differing by 12 orders of magnitude (constant vs n^3 basis).
+  Rng rng(7);
+  Matrix a(10, 2);
+  std::vector<double> b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    const double x = 10.0 + static_cast<double>(r);
+    a(r, 0) = 1.0;
+    a(r, 1) = x * x * x * 1e9;
+    b[r] = 4.0 + 2.5e-9 * a(r, 1);
+  }
+  (void)rng;
+  const auto result = least_squares(a, b);
+  EXPECT_NEAR(result.solution[0], 4.0, 1e-6);
+  EXPECT_NEAR(result.solution[1], 2.5e-9, 1e-15);
+}
+
+TEST(LinalgTest, DetectsCollinearColumns) {
+  Matrix a(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = 2.0 * static_cast<double>(r + 1);  // exactly collinear
+  }
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto result = least_squares(a, b);
+  EXPECT_TRUE(result.rank_deficient);
+}
+
+TEST(LinalgTest, DetectsZeroColumn) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = 0.0;
+  }
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  const auto result = least_squares(a, b);
+  EXPECT_TRUE(result.rank_deficient);
+  EXPECT_NEAR(result.solution[0], 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.solution[1], 0.0);
+}
+
+TEST(LinalgTest, RequiresEnoughRows) {
+  Matrix a(2, 3);
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(least_squares(a, b), exareq::InvalidArgument);
+}
+
+TEST(LinalgTest, ResidualNormOfInconsistentSystem) {
+  // Fit a constant to {0, 2}: best value 1, residual sqrt(2).
+  Matrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  const std::vector<double> b{0.0, 2.0};
+  const auto result = least_squares(a, b);
+  EXPECT_NEAR(result.solution[0], 1.0, 1e-12);
+  EXPECT_NEAR(result.residual_norm, std::sqrt(2.0), 1e-12);
+}
+
+TEST(LinalgTest, WeightedLeastSquaresFavorsHeavyRows) {
+  // Two incompatible observations of a constant; all weight on the second.
+  Matrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  const std::vector<double> b{0.0, 2.0};
+  const std::vector<double> w{0.0, 1.0};
+  const auto result = weighted_least_squares(a, b, w);
+  EXPECT_NEAR(result.solution[0], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, WeightedLeastSquaresRejectsNegativeWeights) {
+  Matrix a(2, 1);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  const std::vector<double> b{1.0, 1.0};
+  const std::vector<double> w{1.0, -1.0};
+  EXPECT_THROW(weighted_least_squares(a, b, w), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::model

@@ -1,0 +1,81 @@
+#include "model/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::model {
+namespace {
+
+MeasurementSet grid_2d() {
+  MeasurementSet data({"p", "n"});
+  for (double p : {2.0, 4.0, 8.0}) {
+    for (double n : {10.0, 20.0}) {
+      data.add2(p, n, p * n);
+    }
+  }
+  return data;
+}
+
+TEST(MeasurementTest, AddAndAccess) {
+  MeasurementSet data({"p"});
+  data.add({4.0}, 42.0);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.coordinate(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(data.value(0), 42.0);
+}
+
+TEST(MeasurementTest, RejectsCoordinateWidthMismatch) {
+  MeasurementSet data({"p", "n"});
+  EXPECT_THROW(data.add({1.0}, 0.0), exareq::InvalidArgument);
+}
+
+TEST(MeasurementTest, RejectsParametersBelowOne) {
+  MeasurementSet data({"p"});
+  EXPECT_THROW(data.add({0.5}, 1.0), exareq::InvalidArgument);
+}
+
+TEST(MeasurementTest, DistinctValuesAreSortedUnique) {
+  const MeasurementSet data = grid_2d();
+  EXPECT_EQ(data.distinct_values(0), (std::vector<double>{2.0, 4.0, 8.0}));
+  EXPECT_EQ(data.distinct_values(1), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(MeasurementTest, SliceHoldsOtherParametersFixed) {
+  const MeasurementSet data = grid_2d();
+  const MeasurementSet slice = data.slice(0, {999.0, 10.0});
+  EXPECT_EQ(slice.parameter_count(), 1u);
+  ASSERT_EQ(slice.size(), 3u);
+  for (std::size_t k = 0; k < slice.size(); ++k) {
+    EXPECT_DOUBLE_EQ(slice.value(k), slice.coordinate(k)[0] * 10.0);
+  }
+}
+
+TEST(MeasurementTest, SliceIgnoresAnchorValueOfSlicedParameter) {
+  const MeasurementSet data = grid_2d();
+  const MeasurementSet a = data.slice(1, {2.0, 10.0});
+  const MeasurementSet b = data.slice(1, {2.0, 20.0});
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(MeasurementTest, ParameterIndexByName) {
+  const MeasurementSet data = grid_2d();
+  EXPECT_EQ(data.parameter_index("n"), 1u);
+  EXPECT_THROW(data.parameter_index("q"), exareq::InvalidArgument);
+}
+
+TEST(MeasurementTest, ValidationEnforcesFiveValuesRule) {
+  const MeasurementSet data = grid_2d();
+  EXPECT_THROW(data.validate_for_modeling(5), exareq::InvalidArgument);
+  EXPECT_NO_THROW(data.validate_for_modeling(2));
+}
+
+TEST(MeasurementTest, IndexOutOfRangeThrows) {
+  const MeasurementSet data = grid_2d();
+  EXPECT_THROW(data.coordinate(99), exareq::InvalidArgument);
+  EXPECT_THROW(data.value(99), exareq::InvalidArgument);
+  EXPECT_THROW(data.distinct_values(7), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::model

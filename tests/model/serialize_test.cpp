@@ -1,0 +1,93 @@
+#include "model/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::model {
+namespace {
+
+Model lulesh_like() {
+  Term a;
+  a.coefficient = 10.764329837465321;
+  a.factors = {pmnf_factor(0, 0.25, 1.0), pmnf_factor(1, 1.0, 1.0)};
+  Term b;
+  b.coefficient = 1424.0;
+  b.factors = {special_factor(0, SpecialFn::kAllreduce)};
+  return Model({"p", "n"}, 22.51, {a, b});
+}
+
+void expect_models_equal(const Model& x, const Model& y) {
+  ASSERT_EQ(x.parameter_names(), y.parameter_names());
+  EXPECT_DOUBLE_EQ(x.constant(), y.constant());
+  ASSERT_EQ(x.terms().size(), y.terms().size());
+  for (std::size_t t = 0; t < x.terms().size(); ++t) {
+    EXPECT_DOUBLE_EQ(x.terms()[t].coefficient, y.terms()[t].coefficient);
+    ASSERT_TRUE(x.terms()[t].same_basis(y.terms()[t]));
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesModel) {
+  const Model original = lulesh_like();
+  const Model restored = parse_model(serialize_model(original));
+  expect_models_equal(original, restored);
+  // Functional equality at an awkward point.
+  EXPECT_DOUBLE_EQ(restored.evaluate2(48.0, 391.0),
+                   original.evaluate2(48.0, 391.0));
+}
+
+TEST(SerializeTest, RoundTripConstantModel) {
+  const Model original = Model::constant_model({"n"}, 3.141592653589793);
+  const Model restored = parse_model(serialize_model(original));
+  expect_models_equal(original, restored);
+}
+
+TEST(SerializeTest, RoundTripExtremeCoefficients) {
+  Term tiny;
+  tiny.coefficient = 2.2250738585072014e-308;
+  tiny.factors = {pmnf_factor(0, 3.0, 2.0)};
+  Term huge;
+  huge.coefficient = 1.7976931348623157e+308;
+  huge.factors = {pmnf_factor(0, 1.0 / 3.0, 0.0)};
+  const Model original({"x"}, -1e-300, {tiny, huge});
+  const Model restored = parse_model(serialize_model(original));
+  expect_models_equal(original, restored);
+}
+
+TEST(SerializeTest, SerializedFormIsHumanReadable) {
+  const std::string text = serialize_model(lulesh_like());
+  EXPECT_NE(text.find("model v1"), std::string::npos);
+  EXPECT_NE(text.find("params p n"), std::string::npos);
+  EXPECT_NE(text.find("special 0 allreduce"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+TEST(SerializeTest, ParsesWithBlankLines) {
+  const std::string text =
+      "model v1\n\nparams n\n\nconstant 2\n\nterm 3 pmnf 0 1 0\n\nend\n";
+  const Model m = parse_model(text);
+  EXPECT_DOUBLE_EQ(m.evaluate1(5.0), 17.0);
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_model(""), exareq::InvalidArgument);
+  EXPECT_THROW(parse_model("model v2\nparams n\nconstant 0\nend\n"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_model("model v1\nparams\nconstant 0\nend\n"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_model("model v1\nparams n\nconstant x\nend\n"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(
+      parse_model("model v1\nparams n\nconstant 0\nterm 1 pmnf 5 1 0\nend\n"),
+      exareq::InvalidArgument);  // parameter index out of range
+  EXPECT_THROW(
+      parse_model("model v1\nparams n\nconstant 0\nterm 1 special 0 scan\nend\n"),
+      exareq::InvalidArgument);  // unknown special
+  EXPECT_THROW(parse_model("model v1\nparams n\nconstant 0\nterm 1 pmnf 0 1\nend\n"),
+               exareq::InvalidArgument);  // truncated factor
+  EXPECT_THROW(parse_model("model v1\nparams n\nconstant 0\n"),
+               exareq::InvalidArgument);  // missing end
+}
+
+}  // namespace
+}  // namespace exareq::model

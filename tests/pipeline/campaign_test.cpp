@@ -1,0 +1,125 @@
+#include "pipeline/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::pipeline {
+namespace {
+
+CampaignConfig small_grid() {
+  CampaignConfig config;
+  config.process_counts = {2, 4, 8};
+  config.problem_sizes = {32, 64, 128};
+  return config;
+}
+
+TEST(CampaignTest, RunsFullGrid) {
+  const auto& app = apps::application(apps::AppId::kKripke);
+  const CampaignData data = run_campaign(app, small_grid());
+  EXPECT_EQ(data.app_name, "Kripke");
+  EXPECT_EQ(data.measurements.size(), 9u);
+}
+
+TEST(CampaignTest, RejectsEmptyGrid) {
+  const auto& app = apps::application(apps::AppId::kKripke);
+  CampaignConfig config;
+  config.process_counts = {};
+  EXPECT_THROW(run_campaign(app, config), exareq::InvalidArgument);
+}
+
+TEST(CampaignTest, MetricDataHasPAndNParameters) {
+  const auto& app = apps::application(apps::AppId::kKripke);
+  const CampaignData data = run_campaign(app, small_grid());
+  const auto flops = data.metric_data(Metric::kFlops);
+  EXPECT_EQ(flops.parameter_names(), (std::vector<std::string>{"p", "n"}));
+  EXPECT_EQ(flops.size(), 9u);
+}
+
+TEST(CampaignTest, StackDistanceDataDependsOnNOnly) {
+  const auto& app = apps::application(apps::AppId::kKripke);
+  const CampaignData data = run_campaign(app, small_grid());
+  const auto sd = data.metric_data(Metric::kStackDistance);
+  EXPECT_EQ(sd.parameter_names(), (std::vector<std::string>{"n"}));
+  EXPECT_EQ(sd.size(), 3u);  // one point per problem size
+}
+
+TEST(CampaignTest, LocalityReusedAcrossProcessCounts) {
+  // Stack distance is measured once per n and replicated; all p-values at
+  // the same n must share it.
+  const auto& app = apps::application(apps::AppId::kMilc);
+  const CampaignData data = run_campaign(app, small_grid());
+  for (const AppMeasurement& m : data.measurements) {
+    for (const AppMeasurement& other : data.measurements) {
+      if (m.problem_size == other.problem_size) {
+        EXPECT_DOUBLE_EQ(m.stack_distance, other.stack_distance);
+      }
+    }
+  }
+}
+
+TEST(CampaignTest, ChannelNamesSortedAndComplete) {
+  const auto& app = apps::application(apps::AppId::kMilc);
+  const CampaignData data = run_campaign(app, small_grid());
+  const auto names = data.channel_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "cg_allreduce");
+  EXPECT_EQ(names[1], "lattice_halo");
+  EXPECT_EQ(names[2], "param_bcast");
+}
+
+TEST(CampaignTest, ChannelTraitsReflectCollectiveUse) {
+  const auto& app = apps::application(apps::AppId::kMilc);
+  const CampaignData data = run_campaign(app, small_grid());
+  EXPECT_TRUE(data.channel_traits("cg_allreduce").uses_allreduce);
+  EXPECT_FALSE(data.channel_traits("cg_allreduce").uses_bcast);
+  EXPECT_TRUE(data.channel_traits("param_bcast").uses_bcast);
+  EXPECT_FALSE(data.channel_traits("lattice_halo").uses_allreduce);
+}
+
+TEST(CampaignTest, CsvRoundTripPreservesEverything) {
+  const auto& app = apps::application(apps::AppId::kMilc);
+  const CampaignData data = run_campaign(app, small_grid());
+  const CampaignData restored =
+      CampaignData::from_csv(data.to_csv(), data.app_name);
+  ASSERT_EQ(restored.measurements.size(), data.measurements.size());
+  for (std::size_t i = 0; i < data.measurements.size(); ++i) {
+    const AppMeasurement& a = data.measurements[i];
+    const AppMeasurement& b = restored.measurements[i];
+    EXPECT_EQ(a.processes, b.processes);
+    EXPECT_EQ(a.problem_size, b.problem_size);
+    EXPECT_DOUBLE_EQ(a.bytes_used, b.bytes_used);
+    EXPECT_DOUBLE_EQ(a.flops, b.flops);
+    EXPECT_DOUBLE_EQ(a.loads_stores, b.loads_stores);
+    EXPECT_DOUBLE_EQ(a.bytes_sent_received, b.bytes_sent_received);
+    EXPECT_DOUBLE_EQ(a.stack_distance, b.stack_distance);
+    ASSERT_EQ(a.channels.size(), b.channels.size());
+    for (const auto& [name, channel] : a.channels) {
+      const auto& restored_channel = b.channels.at(name);
+      EXPECT_DOUBLE_EQ(channel.bytes, restored_channel.bytes);
+      EXPECT_EQ(channel.uses_allreduce, restored_channel.uses_allreduce);
+      EXPECT_EQ(channel.uses_bcast, restored_channel.uses_bcast);
+      EXPECT_EQ(channel.uses_alltoall, restored_channel.uses_alltoall);
+    }
+  }
+}
+
+TEST(CampaignTest, MetricLabelsMatchTableI) {
+  EXPECT_EQ(metric_label(Metric::kBytesUsed), "#Bytes used");
+  EXPECT_EQ(metric_label(Metric::kFlops), "#FLOP");
+  EXPECT_EQ(metric_label(Metric::kBytesSentReceived),
+            "#Bytes sent & received");
+  EXPECT_EQ(metric_label(Metric::kLoadsStores), "#Loads & stores");
+  EXPECT_EQ(metric_label(Metric::kStackDistance), "Stack distance");
+  EXPECT_EQ(all_metrics().size(), 5u);
+}
+
+TEST(CampaignTest, ModelingRejectsTooSmallGrid) {
+  const auto& app = apps::application(apps::AppId::kKripke);
+  const CampaignData data = run_campaign(app, small_grid());
+  // 3 values per parameter < paper's rule of 5.
+  EXPECT_THROW(model_requirements(data), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::pipeline

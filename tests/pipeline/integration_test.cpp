@@ -1,0 +1,318 @@
+// End-to-end integration: full default campaigns for all five application
+// proxies, model generation, and the paper's co-design conclusions. The
+// campaigns are expensive (25 configurations x 5 apps), so they run once
+// and are cached for all tests in this binary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "codesign/strawman.hpp"
+#include "codesign/upgrade.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/codesign_bridge.hpp"
+#include "support/histogram.hpp"
+
+namespace exareq::pipeline {
+namespace {
+
+struct AppArtifacts {
+  CampaignData data{"", {}};
+  RequirementModels models;
+  codesign::AppRequirements requirements;
+};
+
+const AppArtifacts& artifacts(apps::AppId id) {
+  static std::map<apps::AppId, AppArtifacts> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    AppArtifacts entry;
+    entry.data = run_campaign(apps::application(id));
+    entry.models = model_requirements(entry.data);
+    entry.requirements = to_requirements(entry.models);
+    it = cache.emplace(id, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+double p_ratio(const model::Model& m, double p, double n) {
+  return m.evaluate2(2.0 * p, n) / m.evaluate2(p, n);
+}
+
+double n_ratio(const model::Model& m, double p, double n) {
+  return m.evaluate2(p, 2.0 * n) / m.evaluate2(p, n);
+}
+
+constexpr double kBigP = 1048576.0;  // 2^20
+constexpr double kBigN = 1048576.0;
+
+// --- model quality (paper Fig. 3) -------------------------------------------
+
+TEST(IntegrationTest, ModelErrorsMatchFigureThree) {
+  std::vector<double> errors;
+  for (apps::AppId id : apps::all_app_ids()) {
+    const auto app_errors = all_relative_errors(artifacts(id).models);
+    errors.insert(errors.end(), app_errors.begin(), app_errors.end());
+  }
+  ASSERT_GT(errors.size(), 100u);
+  std::size_t below_5_percent = 0;
+  std::size_t below_20_percent = 0;
+  for (double e : errors) {
+    if (e < 0.05) ++below_5_percent;
+    if (e < 0.20) ++below_20_percent;
+  }
+  // Paper: 88% of measurements below 5% relative error, 96% below 20%.
+  EXPECT_GE(static_cast<double>(below_5_percent) /
+                static_cast<double>(errors.size()),
+            0.85);
+  EXPECT_GE(static_cast<double>(below_20_percent) /
+                static_cast<double>(errors.size()),
+            0.95);
+}
+
+// --- Kripke (paper Table II row block) ---------------------------------------
+
+TEST(IntegrationTest, KripkeModelsMatchTableII) {
+  const auto& a = artifacts(apps::AppId::kKripke);
+  // FLOP, comm and footprint linear in n, independent of p.
+  EXPECT_NEAR(n_ratio(a.models.flops.model, kBigP, kBigN), 2.0, 0.05);
+  EXPECT_NEAR(p_ratio(a.models.flops.model, kBigP, kBigN), 1.0, 0.02);
+  EXPECT_NEAR(p_ratio(a.requirements.comm_bytes, kBigP, kBigN), 1.0, 0.02);
+  EXPECT_NEAR(n_ratio(a.models.bytes_used.model, kBigP, kBigN), 2.0, 0.05);
+  // Loads/stores has the flagged n*p coupling: at scale the ratio under
+  // p-doubling approaches 2.
+  EXPECT_GT(p_ratio(a.models.loads_stores.model, kBigP, kBigN), 1.8);
+  // Constant stack distance.
+  EXPECT_TRUE(a.models.stack_distance.model.is_constant());
+}
+
+// --- LULESH ------------------------------------------------------------------
+
+TEST(IntegrationTest, LuleshModelsMatchTableII) {
+  const auto& a = artifacts(apps::AppId::kLulesh);
+  // Footprint n log n: doubling n scales by 2 * (log 2n / log n) ~ 2.1.
+  EXPECT_NEAR(n_ratio(a.models.bytes_used.model, kBigP, kBigN), 2.1, 0.05);
+  // Communication: p-doubling ratio ~ 2^0.25 * 21/20 = 1.25 at p = 2^20.
+  EXPECT_NEAR(p_ratio(a.requirements.comm_bytes, kBigP, kBigN), 1.25, 0.08);
+  // Computation carries the same flagged multiplicative p-dependence.
+  EXPECT_NEAR(p_ratio(a.models.flops.model, kBigP, kBigN), 1.25, 0.08);
+  EXPECT_TRUE(a.models.stack_distance.model.is_constant());
+}
+
+// --- MILC --------------------------------------------------------------------
+
+TEST(IntegrationTest, MilcModelsMatchTableII) {
+  const auto& a = artifacts(apps::AppId::kMilc);
+  // Communication channels: Allreduce + Bcast + linear halo.
+  ASSERT_EQ(a.models.comm_channels.size(), 3u);
+  bool has_allreduce = false;
+  bool has_bcast = false;
+  bool has_linear_halo = false;
+  for (const ChannelModel& channel : a.models.comm_channels) {
+    const std::string text = channel.fit.model.to_string();
+    if (text.find("Allreduce(p)") != std::string::npos) has_allreduce = true;
+    if (text.find("Bcast(p)") != std::string::npos) has_bcast = true;
+    if (channel.name == "lattice_halo") {
+      has_linear_halo =
+          std::fabs(n_ratio(channel.fit.model, kBigP, kBigN) - 2.0) < 0.02;
+    }
+  }
+  EXPECT_TRUE(has_allreduce);
+  EXPECT_TRUE(has_bcast);
+  EXPECT_TRUE(has_linear_halo);
+  // Stack distance grows linearly with n — the paper's flagged MILC issue.
+  EXPECT_NEAR(a.models.stack_distance.model.evaluate1(2.0 * kBigN) /
+                  a.models.stack_distance.model.evaluate1(kBigN),
+              2.0, 0.05);
+  // FLOP: n plus n log p — p-doubling adds one more log level.
+  const double flop_p_ratio = p_ratio(a.models.flops.model, kBigP, kBigN);
+  EXPECT_GT(flop_p_ratio, 1.01);
+  EXPECT_LT(flop_p_ratio, 1.2);
+}
+
+// --- Relearn -----------------------------------------------------------------
+
+TEST(IntegrationTest, RelearnModelsMatchTableII) {
+  const auto& a = artifacts(apps::AppId::kRelearn);
+  // Footprint sqrt(n): doubling n scales bytes by sqrt(2).
+  EXPECT_NEAR(n_ratio(a.models.bytes_used.model, kBigP, kBigN), std::sqrt(2.0),
+              0.05);
+  ASSERT_EQ(a.models.comm_channels.size(), 3u);
+  bool has_alltoall = false;
+  for (const ChannelModel& channel : a.models.comm_channels) {
+    if (channel.fit.model.to_string().find("Alltoall(p)") != std::string::npos) {
+      has_alltoall = true;
+    }
+  }
+  EXPECT_TRUE(has_alltoall);
+  EXPECT_TRUE(a.models.stack_distance.model.is_constant());
+}
+
+// --- icoFoam -----------------------------------------------------------------
+
+TEST(IntegrationTest, IcoFoamModelsMatchTableII) {
+  const auto& a = artifacts(apps::AppId::kIcoFoam);
+  // The pathological footprint term: bytes grow with p at fixed n.
+  EXPECT_GT(p_ratio(a.models.bytes_used.model, kBigP, kBigN), 1.5);
+  // FLOP ~ n^1.5 * p^0.5.
+  EXPECT_NEAR(p_ratio(a.models.flops.model, kBigP, kBigN), std::sqrt(2.0), 0.1);
+  EXPECT_NEAR(n_ratio(a.models.flops.model, kBigP, kBigN), std::pow(2.0, 1.5),
+              0.3);
+  EXPECT_TRUE(a.models.stack_distance.model.is_constant());
+}
+
+// --- co-design: system upgrades (paper Table V) ------------------------------
+
+TEST(IntegrationTest, UpgradeStudyReproducesTableVConclusions) {
+  // 2^16 sockets so that icoFoam's p log p footprint also fits the base.
+  const codesign::SystemSkeleton base{65536.0, 1u << 30};
+  const auto upgrades = codesign::paper_upgrades();
+
+  // "MILC and Relearn profit most from doubling the memory": their overall
+  // problem ratio under C is at least as large as under A and B.
+  for (apps::AppId id : {apps::AppId::kMilc, apps::AppId::kRelearn}) {
+    const auto& req = artifacts(id).requirements;
+    const double a =
+        codesign::evaluate_upgrade(req, base, upgrades[0]).outcome.overall_problem_ratio;
+    const double b =
+        codesign::evaluate_upgrade(req, base, upgrades[1]).outcome.overall_problem_ratio;
+    const double c =
+        codesign::evaluate_upgrade(req, base, upgrades[2]).outcome.overall_problem_ratio;
+    EXPECT_GE(c + 1e-9, a) << req.name;
+    EXPECT_GE(c + 1e-9, b) << req.name;
+  }
+
+  // Relearn's sqrt footprint: memory doubling quadruples the problem size.
+  {
+    const auto& req = artifacts(apps::AppId::kRelearn).requirements;
+    const auto outcome =
+        codesign::evaluate_upgrade(req, base, upgrades[2]).outcome;
+    EXPECT_NEAR(outcome.problem_size_ratio, 4.0, 0.4);
+  }
+
+  // Kripke under A: problem per process constant, overall doubles,
+  // computation and communication stay flat (paper Table V column 1).
+  {
+    const auto& req = artifacts(apps::AppId::kKripke).requirements;
+    const auto outcome =
+        codesign::evaluate_upgrade(req, base, upgrades[0]).outcome;
+    EXPECT_NEAR(outcome.problem_size_ratio, 1.0, 0.02);
+    EXPECT_NEAR(outcome.overall_problem_ratio, 2.0, 0.05);
+    EXPECT_NEAR(outcome.computation_ratio, 1.0, 0.02);
+    EXPECT_NEAR(outcome.communication_ratio, 1.0, 0.02);
+    EXPECT_GT(outcome.memory_access_ratio, 1.7);  // the flagged n*p term
+  }
+
+  // LULESH under A: ~1.2x computation and communication (paper Table IV).
+  {
+    const auto& req = artifacts(apps::AppId::kLulesh).requirements;
+    const auto outcome =
+        codesign::evaluate_upgrade(req, base, upgrades[0]).outcome;
+    EXPECT_NEAR(outcome.problem_size_ratio, 1.0, 0.05);
+    EXPECT_NEAR(outcome.computation_ratio, 1.25, 0.1);
+    EXPECT_NEAR(outcome.communication_ratio, 1.25, 0.1);
+  }
+}
+
+// --- co-design: exascale straw-men (paper Table VII) --------------------------
+
+TEST(IntegrationTest, StrawmanStudyReproducesTableVIIConclusions) {
+  const auto systems = codesign::paper_strawmen();
+
+  // icoFoam "cannot fully utilize any of the three systems".
+  {
+    const auto& req = artifacts(apps::AppId::kIcoFoam).requirements;
+    for (const auto& system : systems) {
+      EXPECT_FALSE(codesign::evaluate_strawman(req, system).feasible)
+          << system.name;
+    }
+  }
+
+  // The other four applications can use all three systems.
+  for (apps::AppId id : {apps::AppId::kKripke, apps::AppId::kLulesh,
+                         apps::AppId::kMilc, apps::AppId::kRelearn}) {
+    const auto& req = artifacts(id).requirements;
+    for (const auto& system : systems) {
+      EXPECT_TRUE(codesign::evaluate_strawman(req, system).feasible)
+          << req.name << " on " << system.name;
+    }
+  }
+
+  // Relearn solves the largest overall problem on the vector system
+  // (fewer, fatter processors + sqrt footprint).
+  {
+    const auto& req = artifacts(apps::AppId::kRelearn).requirements;
+    const double massive =
+        codesign::evaluate_strawman(req, systems[0]).max_overall_problem;
+    const double vector =
+        codesign::evaluate_strawman(req, systems[1]).max_overall_problem;
+    EXPECT_GT(vector, massive);
+  }
+
+  // LULESH prefers the massively parallel system for problem size.
+  {
+    const auto& req = artifacts(apps::AppId::kLulesh).requirements;
+    const double massive =
+        codesign::evaluate_strawman(req, systems[0]).max_overall_problem;
+    const double vector =
+        codesign::evaluate_strawman(req, systems[1]).max_overall_problem;
+    EXPECT_GT(massive, vector);
+  }
+
+  // Wall time: LULESH and Relearn solve the common benchmark faster on the
+  // vector system than on the massively parallel one.
+  for (apps::AppId id : {apps::AppId::kLulesh, apps::AppId::kRelearn}) {
+    const auto& req = artifacts(id).requirements;
+    const double benchmark = codesign::common_benchmark_problem(req, systems);
+    const auto massive = codesign::wall_time_lower_bound(req, systems[0], benchmark);
+    const auto vector = codesign::wall_time_lower_bound(req, systems[1], benchmark);
+    ASSERT_TRUE(massive.has_value()) << req.name;
+    ASSERT_TRUE(vector.has_value()) << req.name;
+    EXPECT_LT(*vector, *massive) << req.name;
+  }
+
+  // Kripke: linear in n and p-independent — identical wall time everywhere.
+  {
+    const auto& req = artifacts(apps::AppId::kKripke).requirements;
+    const double benchmark = codesign::common_benchmark_problem(req, systems);
+    const auto massive = codesign::wall_time_lower_bound(req, systems[0], benchmark);
+    const auto vector = codesign::wall_time_lower_bound(req, systems[1], benchmark);
+    ASSERT_TRUE(massive.has_value());
+    ASSERT_TRUE(vector.has_value());
+    EXPECT_NEAR(*massive / *vector, 1.0, 0.1);
+  }
+}
+
+// --- LULESH additive-model optimization (paper Sec. III-B) --------------------
+
+TEST(IntegrationTest, AdditiveLuleshVariantImprovesWallTime) {
+  const auto systems = codesign::paper_strawmen();
+  codesign::AppRequirements req = artifacts(apps::AppId::kLulesh).requirements;
+  const double benchmark = codesign::common_benchmark_problem(req, systems);
+  const auto original = codesign::wall_time_lower_bound(req, systems[1], benchmark);
+  req.flops = codesign::make_additive(req.flops);
+  const auto optimized = codesign::wall_time_lower_bound(req, systems[1], benchmark);
+  ASSERT_TRUE(original.has_value());
+  ASSERT_TRUE(optimized.has_value());
+  // The paper reports roughly three orders of magnitude; require at least one.
+  EXPECT_LT(*optimized, *original / 10.0);
+}
+
+// --- bridge ------------------------------------------------------------------
+
+TEST(IntegrationTest, BridgeSumsChannelModels) {
+  const auto& a = artifacts(apps::AppId::kMilc);
+  // The summed comm model must agree with the per-channel sum at a grid
+  // point.
+  const double p = 16.0;
+  const double n = 256.0;
+  double expected = 0.0;
+  for (const ChannelModel& channel : a.models.comm_channels) {
+    expected += channel.fit.model.evaluate2(p, n);
+  }
+  EXPECT_NEAR(a.requirements.comm_bytes.evaluate2(p, n), expected,
+              1e-9 * expected);
+}
+
+}  // namespace
+}  // namespace exareq::pipeline

@@ -1,0 +1,112 @@
+#include "pipeline/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exareq::pipeline {
+namespace {
+
+model::FitResult fit_of(model::Model m) {
+  model::FitResult fit;
+  fit.model = std::move(m);
+  fit.quality.cv_score = 1.5e-3;
+  return fit;
+}
+
+model::Model coupled_model() {
+  model::Term term;
+  term.coefficient = 3.2e4;
+  term.factors = {model::pmnf_factor(0, 0.25, 1.0),
+                  model::pmnf_factor(1, 1.0, 0.0)};
+  return model::Model({"p", "n"}, 0.0, {term});
+}
+
+model::Model n_only_model() {
+  model::Term term;
+  term.coefficient = 144.0;
+  term.factors = {model::pmnf_factor(1, 1.0, 0.0)};
+  return model::Model({"p", "n"}, 4096.0, {term});
+}
+
+RequirementModels sample_models(bool coupled, bool sd_constant) {
+  RequirementModels models;
+  models.app_name = "Sample";
+  models.bytes_used = fit_of(n_only_model());
+  models.flops = fit_of(coupled ? coupled_model() : n_only_model());
+  models.bytes_sent_received = fit_of(n_only_model());
+  models.loads_stores = fit_of(n_only_model());
+  models.stack_distance =
+      fit_of(sd_constant
+                 ? model::Model::constant_model({"n"}, 8.0)
+                 : model::Model({"n"}, 0.0,
+                                {[] {
+                                  model::Term t;
+                                  t.coefficient = 1.0;
+                                  t.factors = {model::pmnf_factor(0, 1.0, 0.0)};
+                                  return t;
+                                }()}));
+  return models;
+}
+
+TEST(ReportTest, RendersAllMetricRows) {
+  const std::string text = render_models(sample_models(false, true));
+  for (const char* label :
+       {"#Bytes used", "#FLOP", "#Bytes sent & received", "#Loads & stores",
+        "Stack distance"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(text.find("CV error"), std::string::npos);
+}
+
+TEST(ReportTest, MarksCoupledMetricsWithWarning) {
+  const std::string text = render_models(sample_models(true, true));
+  EXPECT_NE(text.find("#FLOP (!)"), std::string::npos);
+  EXPECT_EQ(text.find("#Bytes used (!)"), std::string::npos);
+}
+
+TEST(ReportTest, RoundedVsFullPrecision) {
+  ReportOptions rounded;
+  ReportOptions full;
+  full.rounded = false;
+  const auto models = sample_models(false, true);
+  EXPECT_NE(render_models(models, rounded).find("10^2 * n"), std::string::npos);
+  EXPECT_NE(render_models(models, full).find("144 * n"), std::string::npos);
+}
+
+TEST(ReportTest, CvColumnCanBeHidden) {
+  ReportOptions options;
+  options.show_cv = false;
+  const std::string text = render_models(sample_models(false, true), options);
+  EXPECT_EQ(text.find("CV error"), std::string::npos);
+}
+
+TEST(ReportTest, ChannelsReplaceTotalWhenPresent) {
+  RequirementModels models = sample_models(false, true);
+  ChannelModel channel;
+  channel.name = "cg_allreduce";
+  channel.fit = fit_of(coupled_model());
+  models.comm_channels.push_back(channel);
+  const std::string with_channels = render_models(models);
+  EXPECT_NE(with_channels.find("cg_allreduce"), std::string::npos);
+
+  ReportOptions totals_only;
+  totals_only.per_channel_communication = false;
+  const std::string without = render_models(models, totals_only);
+  EXPECT_EQ(without.find("cg_allreduce"), std::string::npos);
+  EXPECT_NE(without.find("#Bytes sent & received"), std::string::npos);
+}
+
+TEST(ReportTest, AssessmentCallsOutCoupling) {
+  const std::string clean = render_assessment(sample_models(false, true));
+  EXPECT_NE(clean.find("no requirement couples"), std::string::npos);
+  const std::string coupled = render_assessment(sample_models(true, true));
+  EXPECT_NE(coupled.find("#FLOP"), std::string::npos);
+  EXPECT_NE(coupled.find("warning-sign"), std::string::npos);
+}
+
+TEST(ReportTest, AssessmentFlagsGrowingStackDistance) {
+  const std::string text = render_assessment(sample_models(false, false));
+  EXPECT_NE(text.find("stack distance grows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exareq::pipeline

@@ -1,0 +1,149 @@
+// Tests of the extended communicator operations: wildcard receive,
+// nonblocking requests, inclusive scan, and reduce-scatter.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+#include "support/error.hpp"
+
+namespace exareq::simmpi {
+namespace {
+
+class ExtendedOpsTest : public ::testing::TestWithParam<int> {};
+
+std::string rank_count_name(const ::testing::TestParamInfo<int>& info) {
+  return "p" + std::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ExtendedOpsTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16),
+                         rank_count_name);
+
+TEST_P(ExtendedOpsTest, ScanComputesInclusivePrefix) {
+  const int p = GetParam();
+  run(p, [](Communicator& comm) {
+    const std::vector<std::int64_t> mine{comm.rank() + 1, 1};
+    const auto prefix = comm.scan<std::int64_t>(mine, ops::Sum{});
+    const std::int64_t r = comm.rank();
+    ASSERT_EQ(prefix.size(), 2u);
+    EXPECT_EQ(prefix[0], (r + 1) * (r + 2) / 2);  // sum of 1..rank+1
+    EXPECT_EQ(prefix[1], r + 1);
+  });
+}
+
+TEST_P(ExtendedOpsTest, ScanWithMaxOperator) {
+  const int p = GetParam();
+  run(p, [p](Communicator& comm) {
+    // Values decrease with rank; the running max is always rank 0's value.
+    const std::vector<double> mine{static_cast<double>(p - comm.rank())};
+    const auto prefix = comm.scan<double>(mine, ops::Max{});
+    EXPECT_DOUBLE_EQ(prefix[0], static_cast<double>(p));
+  });
+}
+
+TEST_P(ExtendedOpsTest, ReduceScatterDistributesReducedBlocks) {
+  const int p = GetParam();
+  run(p, [p](Communicator& comm) {
+    // Block d of rank s carries value 100*d + s; rank r's reduced block is
+    // sum over s of (100*r + s) = 100*r*p + p(p-1)/2.
+    std::vector<std::int64_t> blocks(static_cast<std::size_t>(p) * 2);
+    for (int d = 0; d < p; ++d) {
+      blocks[2 * d] = 100 * d + comm.rank();
+      blocks[2 * d + 1] = comm.rank();
+    }
+    const auto mine = comm.reduce_scatter<std::int64_t>(blocks, ops::Sum{});
+    const std::int64_t rank_sum = static_cast<std::int64_t>(p) * (p - 1) / 2;
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0], 100 * comm.rank() * p + rank_sum);
+    EXPECT_EQ(mine[1], rank_sum);
+  });
+}
+
+TEST_P(ExtendedOpsTest, IrecvWaitMatchesBlockingReceive) {
+  const int p = GetParam();
+  if (p < 2) return;
+  run(p, [p](Communicator& comm) {
+    // Ring shift implemented Irecv-first, like real MPI codes.
+    const Rank next = (comm.rank() + 1) % p;
+    const Rank prev = (comm.rank() - 1 + p) % p;
+    auto request = comm.irecv(prev, 42);
+    comm.isend<std::int64_t>(next, 42,
+                             std::vector<std::int64_t>{comm.rank() * 10});
+    const auto payload = comm.wait<std::int64_t>(request);
+    ASSERT_EQ(payload.size(), 1u);
+    EXPECT_EQ(payload[0], prev * 10);
+    // A second wait on the same request is a no-op.
+    EXPECT_TRUE(comm.wait<std::int64_t>(request).empty());
+  });
+}
+
+TEST_P(ExtendedOpsTest, WaitAllCompletesInOrder) {
+  const int p = GetParam();
+  if (p < 3) return;
+  run(p, [p](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Communicator::Request> requests;
+      for (Rank r = 1; r < p; ++r) requests.push_back(comm.irecv(r, 7));
+      const auto results = comm.wait_all<std::int64_t>(requests);
+      ASSERT_EQ(results.size(), static_cast<std::size_t>(p - 1));
+      for (Rank r = 1; r < p; ++r) {
+        EXPECT_EQ(results[static_cast<std::size_t>(r - 1)][0], r);
+      }
+    } else {
+      comm.send<std::int64_t>(0, 7, std::vector<std::int64_t>{comm.rank()});
+    }
+  });
+}
+
+TEST_P(ExtendedOpsTest, RecvAnyCollectsFromAllSenders) {
+  const int p = GetParam();
+  if (p < 2) return;
+  run(p, [p](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::set<Rank> seen;
+      for (int i = 0; i < p - 1; ++i) {
+        auto [source, payload] = comm.recv_any<std::int64_t>(9);
+        EXPECT_EQ(payload[0], source * 3);
+        seen.insert(source);
+      }
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(p - 1));
+    } else {
+      comm.send<std::int64_t>(0, 9, std::vector<std::int64_t>{comm.rank() * 3});
+    }
+  });
+}
+
+TEST(ExtendedOpsTest, IrecvValidatesSource) {
+  run(2, [](Communicator& comm) {
+    EXPECT_THROW(comm.irecv(5, 0), exareq::InvalidArgument);
+    EXPECT_NO_THROW(comm.irecv(kAnySource, 0));
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 0, std::vector<double>{1.0});
+    } else {
+      auto req = comm.irecv(kAnySource, 0);
+      EXPECT_EQ(comm.wait<double>(req).size(), 1u);
+    }
+  });
+}
+
+TEST(ExtendedOpsTest, ReduceScatterRejectsRaggedInput) {
+  EXPECT_THROW(run(3,
+                   [](Communicator& comm) {
+                     const std::vector<double> bad(4, 1.0);  // not multiple of 3
+                     (void)comm.reduce_scatter<double>(bad, ops::Sum{});
+                   }),
+               exareq::InvalidArgument);
+}
+
+TEST(ExtendedOpsTest, ScanSingleRankIsIdentity) {
+  run(1, [](Communicator& comm) {
+    const std::vector<double> mine{4.5};
+    EXPECT_DOUBLE_EQ(comm.scan<double>(mine, ops::Sum{})[0], 4.5);
+  });
+}
+
+}  // namespace
+}  // namespace exareq::simmpi

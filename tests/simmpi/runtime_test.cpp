@@ -1,0 +1,123 @@
+#include "simmpi/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace exareq::simmpi {
+namespace {
+
+TEST(RuntimeTest, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  run(1, [&calls](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(RuntimeTest, EveryRankGetsDistinctRank) {
+  constexpr int p = 16;
+  std::vector<std::atomic<int>> seen(p);
+  run(p, [&seen](Communicator& comm) {
+    ++seen[static_cast<std::size_t>(comm.rank())];
+  });
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(RuntimeTest, PointToPointRoundTrip) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> data{3.14, 2.71};
+      comm.send<double>(1, 5, data);
+      const auto back = comm.recv<double>(1, 6);
+      EXPECT_DOUBLE_EQ(back[0], 6.28);
+    } else {
+      auto data = comm.recv<double>(0, 5);
+      for (double& v : data) v *= 2.0;
+      comm.send<double>(0, 6, std::vector<double>{data[0]});
+    }
+  });
+}
+
+TEST(RuntimeTest, SelfSendIsDelivered) {
+  run(1, [](Communicator& comm) {
+    comm.send<std::int64_t>(0, 1, std::vector<std::int64_t>{7});
+    EXPECT_EQ(comm.recv<std::int64_t>(0, 1)[0], 7);
+  });
+}
+
+TEST(RuntimeTest, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 2) {
+                       throw exareq::NumericError("rank 2 failed");
+                     }
+                   }),
+               exareq::NumericError);
+}
+
+TEST(RuntimeTest, RejectsInvalidSizes) {
+  EXPECT_THROW(run(0, [](Communicator&) {}), exareq::InvalidArgument);
+  EXPECT_THROW(run(-3, [](Communicator&) {}), exareq::InvalidArgument);
+  EXPECT_THROW(run(100000, [](Communicator&) {}), exareq::InvalidArgument);
+}
+
+TEST(RuntimeTest, RejectsNullFunction) {
+  EXPECT_THROW(run(2, RankFunction{}), exareq::InvalidArgument);
+}
+
+TEST(RuntimeTest, SendValidatesDestination) {
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 0) {
+                       comm.send<double>(5, 0, std::vector<double>{1.0});
+                     }
+                   }),
+               exareq::InvalidArgument);
+}
+
+TEST(RuntimeTest, StatsCountPointToPointBytes) {
+  const RunResult result = run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send<double>(1, 0, std::vector<double>(10));  // 80 bytes
+    } else {
+      (void)comm.recv<double>(0, 0);
+    }
+  });
+  EXPECT_EQ(result.stats[0].bytes_sent, 80u);
+  EXPECT_EQ(result.stats[0].bytes_received, 0u);
+  EXPECT_EQ(result.stats[0].messages_sent, 1u);
+  EXPECT_EQ(result.stats[1].bytes_received, 80u);
+  EXPECT_EQ(result.stats[1].messages_received, 1u);
+  EXPECT_EQ(result.max_bytes_per_rank(), 80u);
+}
+
+TEST(RuntimeTest, StatsAggregationHelpers) {
+  std::vector<CommStats> stats(3);
+  stats[0].bytes_sent = 10;
+  stats[1].bytes_sent = 5;
+  stats[1].bytes_received = 20;
+  stats[2].bytes_received = 7;
+  EXPECT_EQ(max_bytes_total(stats), 25u);
+  EXPECT_NEAR(mean_bytes_total(stats), (10.0 + 25.0 + 7.0) / 3.0, 1e-12);
+  EXPECT_THROW(max_bytes_total({}), exareq::InvalidArgument);
+}
+
+TEST(RuntimeTest, FromBytesRejectsMisalignedPayload) {
+  const std::vector<std::byte> bytes(7);
+  EXPECT_THROW(from_bytes<double>(bytes), exareq::InvalidArgument);
+}
+
+TEST(RuntimeTest, ToBytesFromBytesRoundTrip) {
+  const std::vector<double> values{1.0, -2.5, 1e300};
+  const auto bytes = to_bytes<double>(values);
+  EXPECT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(from_bytes<double>(bytes), values);
+}
+
+}  // namespace
+}  // namespace exareq::simmpi

@@ -1,0 +1,81 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(CsvTest, RoundTripSimpleDocument) {
+  CsvDocument doc({"app", "p", "n", "value"});
+  doc.add_row({"kripke", "8", "256", "123.5"});
+  doc.add_row({"lulesh", "16", "512", "7e9"});
+  const CsvDocument parsed = CsvDocument::parse_string(doc.to_string());
+  EXPECT_EQ(parsed.header(), doc.header());
+  ASSERT_EQ(parsed.rows().size(), 2u);
+  EXPECT_EQ(parsed.rows()[0][0], "kripke");
+  EXPECT_DOUBLE_EQ(parsed.number_at(1, 3), 7e9);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, ParsesQuotedFieldsWithEmbeddedSeparators) {
+  const std::string text = "name,model\nmilc,\"10^4 * Allreduce(p), rounded\"\n";
+  const CsvDocument doc = CsvDocument::parse_string(text);
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][1], "10^4 * Allreduce(p), rounded");
+}
+
+TEST(CsvTest, ParsesEmbeddedNewlinesInQuotes) {
+  const std::string text = "a,b\n\"two\nlines\",x\n";
+  const CsvDocument doc = CsvDocument::parse_string(text);
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][0], "two\nlines");
+}
+
+TEST(CsvTest, HandlesCrLfLineEndings) {
+  const std::string text = "a,b\r\n1,2\r\n";
+  const CsvDocument doc = CsvDocument::parse_string(text);
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_THROW(CsvDocument::parse_string("a,b\n1\n"), InvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_THROW(CsvDocument::parse_string(""), InvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_THROW(CsvDocument::parse_string("a,b\n\"open,2\n"), InvalidArgument);
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  CsvDocument doc({"p", "n", "flop"});
+  EXPECT_EQ(doc.column_index("n"), 1u);
+  EXPECT_THROW(doc.column_index("missing"), InvalidArgument);
+}
+
+TEST(CsvTest, NumberAtRejectsNonNumeric) {
+  CsvDocument doc({"x"});
+  doc.add_row({"not-a-number"});
+  EXPECT_THROW(doc.number_at(0, 0), InvalidArgument);
+}
+
+TEST(CsvTest, RowWidthEnforced) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"1"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq

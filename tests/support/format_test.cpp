@@ -1,0 +1,70 @@
+#include "support/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(FormatTest, RoundToPowerOfTenNearest) {
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(3.0), 1.0);   // log10(3) = 0.477 -> 0
+  // The rounding boundary sits at sqrt(10) ~ 3.162 (nearest in log space).
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(3.1e4), 1e4);
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(3.2e4), 1e5);
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(6.8e4), 1e5);
+  EXPECT_DOUBLE_EQ(round_to_power_of_ten(0.02), 0.01);
+}
+
+TEST(FormatTest, NearestPowerOfTenExponent) {
+  EXPECT_EQ(nearest_power_of_ten_exponent(9.0e6), 7);
+  EXPECT_EQ(nearest_power_of_ten_exponent(1.1e6), 6);
+  EXPECT_EQ(nearest_power_of_ten_exponent(1.0), 0);
+}
+
+TEST(FormatTest, PowerOfTenRejectsNonPositive) {
+  EXPECT_THROW(round_to_power_of_ten(0.0), InvalidArgument);
+  EXPECT_THROW(round_to_power_of_ten(-5.0), InvalidArgument);
+}
+
+TEST(FormatTest, PowerOfTenString) {
+  EXPECT_EQ(power_of_ten_string(9.5e4), "10^5");
+  EXPECT_EQ(power_of_ten_string(2.0e4), "10^4");
+}
+
+TEST(FormatTest, FixedFormatting) {
+  EXPECT_EQ(format_fixed(1.234, 1), "1.2");
+  EXPECT_EQ(format_fixed(1.25, 1), "1.2");  // round-to-even
+  EXPECT_EQ(format_fixed(-3.456, 2), "-3.46");
+  EXPECT_EQ(format_fixed(7.0, 0), "7");
+}
+
+TEST(FormatTest, ScientificFormatting) {
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_sci(0.00123, 1), "1.2e-03");
+}
+
+TEST(FormatTest, CompactFormatting) {
+  EXPECT_EQ(format_compact(0.0), "0");
+  EXPECT_EQ(format_compact(42.0), "42");
+  EXPECT_EQ(format_compact(1234567.0), "1234567");
+  EXPECT_EQ(format_compact(1.5), "1.5");
+  EXPECT_EQ(format_compact(12345678.0), "1.23e+07");
+}
+
+TEST(FormatTest, BytesFormatting) {
+  EXPECT_EQ(format_bytes(512.0), "512 B");
+  EXPECT_EQ(format_bytes(1536.0), "1.5 KiB");
+  EXPECT_EQ(format_bytes(1024.0 * 1024.0 * 1024.0 * 1.5), "1.5 GiB");
+}
+
+TEST(FormatTest, CountFormatting) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(12345678), "12,345,678");
+}
+
+}  // namespace
+}  // namespace exareq

@@ -1,0 +1,49 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace exareq {
+namespace {
+
+TEST(HistogramTest, ClassifiesPaperThresholds) {
+  const std::vector<double> errors{0.005, 0.02, 0.04, 0.09, 0.15, 0.4, 0.9};
+  const auto bins = classify_relative_errors(errors);
+  ASSERT_EQ(bins.size(), 7u);
+  for (const auto& bin : bins) {
+    EXPECT_EQ(bin.count, 1u) << bin.label;
+  }
+}
+
+TEST(HistogramTest, BoundaryValuesGoToUpperBin) {
+  // 0.01 is not < 1%, so it belongs to the "< 2.5%" bin.
+  const std::vector<double> errors{0.01};
+  const auto bins = classify_relative_errors(errors);
+  EXPECT_EQ(bins[0].count, 0u);
+  EXPECT_EQ(bins[1].count, 1u);
+}
+
+TEST(HistogramTest, EmptyInputYieldsZeroCounts) {
+  const auto bins = classify_relative_errors({});
+  for (const auto& bin : bins) EXPECT_EQ(bin.count, 0u);
+}
+
+TEST(HistogramTest, RenderShowsCountsAndPercentages) {
+  std::vector<HistogramBin> bins{{"small", 3}, {"large", 1}};
+  const std::string rendered = render_histogram(bins, 20);
+  EXPECT_NE(rendered.find("small"), std::string::npos);
+  EXPECT_NE(rendered.find("75.0%"), std::string::npos);
+  EXPECT_NE(rendered.find("25.0%"), std::string::npos);
+  // The largest bin fills the full bar width.
+  EXPECT_NE(rendered.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(HistogramTest, RenderHandlesAllZeroBins) {
+  std::vector<HistogramBin> bins{{"a", 0}, {"b", 0}};
+  const std::string rendered = render_histogram(bins, 10);
+  EXPECT_NE(rendered.find("0 (0.0%)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exareq

@@ -1,0 +1,128 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(17);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(RngTest, NormalHasApproximatelyUnitMoments) {
+  Rng rng(19);
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.normal());
+  EXPECT_NEAR(mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(stddev(samples), 1.0, 0.02);
+}
+
+TEST(RngTest, ScaledNormalMoments) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.05);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfParentUsage) {
+  Rng a(99);
+  Rng b(99);
+  // Consume different amounts from the parents before splitting.
+  for (int i = 0; i < 10; ++i) a.next_u64();
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+TEST(RngTest, SuccessiveSplitsDiffer) {
+  Rng parent(5);
+  Rng first = parent.split();
+  Rng second = parent.split();
+  EXPECT_NE(first.next_u64(), second.next_u64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+}  // namespace
+}  // namespace exareq

@@ -1,0 +1,137 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+}
+
+TEST(StatsTest, MeanRejectsEmpty) {
+  EXPECT_THROW(mean({}), InvalidArgument);
+}
+
+TEST(StatsTest, VarianceAndStddev) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(values), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(values), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, MedianDoesNotModifyInput) {
+  const std::vector<double> values{3.0, 1.0, 2.0};
+  (void)median(values);
+  EXPECT_EQ(values, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(StatsTest, QuantileEndpointsAndMidpoint) {
+  const std::vector<double> values{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 20.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.3), 3.0);
+}
+
+TEST(StatsTest, QuantileRejectsOutOfRangeQ) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(quantile(values, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile(values, 1.1), InvalidArgument);
+}
+
+TEST(StatsTest, MedianAbsDeviation) {
+  const std::vector<double> values{1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0};
+  // median = 2; |x - 2| = {1,1,0,0,2,4,7}; median of that = 1.
+  EXPECT_DOUBLE_EQ(median_abs_deviation(values), 1.0);
+}
+
+TEST(StatsTest, CompensatedSumBeatsNaiveAccumulation) {
+  // 1 followed by many tiny values that a naive sum would drop.
+  std::vector<double> values{1e16};
+  for (int i = 0; i < 10000; ++i) values.push_back(1.0);
+  EXPECT_DOUBLE_EQ(compensated_sum(values), 1e16 + 10000.0);
+}
+
+TEST(StatsTest, RmsOfKnownValues) {
+  const std::vector<double> values{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rms(values), std::sqrt(12.5));
+}
+
+TEST(StatsTest, RSquaredPerfectFit) {
+  const std::vector<double> observed{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(observed, observed), 1.0);
+}
+
+TEST(StatsTest, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> observed{1.0, 2.0, 3.0};
+  const std::vector<double> predicted{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(observed, predicted), 0.0);
+}
+
+TEST(StatsTest, RSquaredRejectsConstantObservations) {
+  const std::vector<double> observed{2.0, 2.0};
+  EXPECT_THROW(r_squared(observed, observed), InvalidArgument);
+}
+
+TEST(StatsTest, SmapeZeroForExactPredictions) {
+  const std::vector<double> observed{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(smape(observed, observed), 0.0);
+}
+
+TEST(StatsTest, SmapeSaturatesAtTwo) {
+  const std::vector<double> observed{1.0};
+  const std::vector<double> predicted{0.0};
+  EXPECT_DOUBLE_EQ(smape(observed, predicted), 2.0);
+}
+
+TEST(StatsTest, RelativeErrorsHandleZeros) {
+  const std::vector<double> observed{0.0, 0.0, 2.0};
+  const std::vector<double> predicted{0.0, 1.0, 3.0};
+  const auto errors = relative_errors(observed, predicted);
+  EXPECT_DOUBLE_EQ(errors[0], 0.0);
+  EXPECT_TRUE(std::isinf(errors[1]));
+  EXPECT_DOUBLE_EQ(errors[2], 0.5);
+}
+
+TEST(StatsTest, BinCountsPlacesValues) {
+  const std::vector<double> values{0.5, 1.5, 1.5, 2.5, 3.0};
+  const std::vector<double> edges{0.0, 1.0, 2.0, 3.0};
+  const auto counts = bin_counts(values, edges);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);  // 2.5 and the clamped 3.0 (top edge closed)
+}
+
+TEST(StatsTest, BinCountsClampsOutOfRange) {
+  const std::vector<double> values{-5.0, 10.0};
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const auto counts = bin_counts(values, edges);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(StatsTest, BinCountsRejectsNonIncreasingEdges) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(bin_counts(values, std::vector<double>{0.0, 0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq

@@ -1,0 +1,81 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable table({"Metric", "Value"});
+  table.add_row({"FLOP", "123"});
+  table.add_row({"Bytes", "45"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("Metric"), std::string::npos);
+  EXPECT_NE(rendered.find("FLOP"), std::string::npos);
+  EXPECT_NE(rendered.find("123"), std::string::npos);
+  EXPECT_NE(rendered.find("45"), std::string::npos);
+}
+
+TEST(TextTableTest, RowsMustMatchHeaderWidth) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only one"}), InvalidArgument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(TextTableTest, AllLinesHaveEqualWidth) {
+  TextTable table({"Name", "Count", "Ratio"});
+  table.add_row({"short", "1", "2.0"});
+  table.add_separator();
+  table.add_row({"a much longer name", "123456", "0.25"});
+  table.add_section("Section heading");
+  std::istringstream lines(table.render());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line: " << line;
+  }
+  EXPECT_GT(width, 0u);
+}
+
+TEST(TextTableTest, AlignmentPadsCorrectly) {
+  TextTable table({"L", "R"});
+  table.set_alignment({Align::kLeft, Align::kRight});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "12345"});
+  const std::string rendered = table.render();
+  // Left column: value flush left -> "| x     "; right column flush right.
+  EXPECT_NE(rendered.find("| x     "), std::string::npos);
+  EXPECT_NE(rendered.find("    1 |"), std::string::npos);
+}
+
+TEST(TextTableTest, SectionRowIsRendered) {
+  TextTable table({"A", "B"});
+  table.add_section("Upgrade A");
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("Upgrade A"), std::string::npos);
+}
+
+TEST(TextTableTest, StreamOperatorMatchesRender) {
+  TextTable table({"A"});
+  table.add_row({"1"});
+  std::ostringstream os;
+  os << table;
+  EXPECT_EQ(os.str(), table.render());
+}
+
+TEST(TextTableTest, NeedsAtLeastOneColumn) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTableTest, AlignmentSizeMustMatch) {
+  TextTable table({"A", "B"});
+  EXPECT_THROW(table.set_alignment({Align::kLeft}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq

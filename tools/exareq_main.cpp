@@ -1,0 +1,11 @@
+// The `exareq` driver binary; all logic lives in the testable cli library.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return exareq::cli::run_cli(args, std::cout, std::cerr);
+}
