@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_sensitivity.dir/ablation_baseline_sensitivity.cpp.o"
+  "CMakeFiles/ablation_baseline_sensitivity.dir/ablation_baseline_sensitivity.cpp.o.d"
+  "ablation_baseline_sensitivity"
+  "ablation_baseline_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_engine.dir/bench_model_engine.cpp.o"
+  "CMakeFiles/bench_model_engine.dir/bench_model_engine.cpp.o.d"
+  "bench_model_engine"
+  "bench_model_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack_distance.dir/bench_stack_distance.cpp.o"
+  "CMakeFiles/bench_stack_distance.dir/bench_stack_distance.cpp.o.d"
+  "bench_stack_distance"
+  "bench_stack_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

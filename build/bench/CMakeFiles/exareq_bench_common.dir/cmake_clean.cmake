@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/exareq_bench_common.dir/bench_common.cpp.o.d"
+  "libexareq_bench_common.a"
+  "libexareq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_modeling_effort.dir/fig2_modeling_effort.cpp.o"
+  "CMakeFiles/fig2_modeling_effort.dir/fig2_modeling_effort.cpp.o.d"
+  "fig2_modeling_effort"
+  "fig2_modeling_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_modeling_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_error_histogram.cpp" "bench/CMakeFiles/fig3_error_histogram.dir/fig3_error_histogram.cpp.o" "gcc" "bench/CMakeFiles/fig3_error_histogram.dir/fig3_error_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/exareq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/exareq_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/exareq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/exareq_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/exareq_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/exareq_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/codesign/CMakeFiles/exareq_codesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/exareq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing12_mmm_locality.dir/listing12_mmm_locality.cpp.o"
+  "CMakeFiles/listing12_mmm_locality.dir/listing12_mmm_locality.cpp.o.d"
+  "listing12_mmm_locality"
+  "listing12_mmm_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing12_mmm_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_lulesh_walkthrough.dir/table4_lulesh_walkthrough.cpp.o"
+  "CMakeFiles/table4_lulesh_walkthrough.dir/table4_lulesh_walkthrough.cpp.o.d"
+  "table4_lulesh_walkthrough"
+  "table4_lulesh_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_lulesh_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

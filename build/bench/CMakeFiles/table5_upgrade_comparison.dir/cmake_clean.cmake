@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_upgrade_comparison.dir/table5_upgrade_comparison.cpp.o"
+  "CMakeFiles/table5_upgrade_comparison.dir/table5_upgrade_comparison.cpp.o.d"
+  "table5_upgrade_comparison"
+  "table5_upgrade_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_upgrade_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_exascale_systems.dir/table7_exascale_systems.cpp.o"
+  "CMakeFiles/table7_exascale_systems.dir/table7_exascale_systems.cpp.o.d"
+  "table7_exascale_systems"
+  "table7_exascale_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_exascale_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_upgrade.dir/codesign_upgrade.cpp.o"
+  "CMakeFiles/codesign_upgrade.dir/codesign_upgrade.cpp.o.d"
+  "codesign_upgrade"
+  "codesign_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_requirements.dir/io_requirements.cpp.o"
+  "CMakeFiles/io_requirements.dir/io_requirements.cpp.o.d"
+  "io_requirements"
+  "io_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_mmm.dir/locality_mmm.cpp.o"
+  "CMakeFiles/locality_mmm.dir/locality_mmm.cpp.o.d"
+  "locality_mmm"
+  "locality_mmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_mmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/icofoam.cpp" "src/apps/CMakeFiles/exareq_apps.dir/icofoam.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/icofoam.cpp.o.d"
+  "/root/repo/src/apps/kernel_util.cpp" "src/apps/CMakeFiles/exareq_apps.dir/kernel_util.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/kernel_util.cpp.o.d"
+  "/root/repo/src/apps/kripke.cpp" "src/apps/CMakeFiles/exareq_apps.dir/kripke.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/kripke.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/exareq_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/milc.cpp" "src/apps/CMakeFiles/exareq_apps.dir/milc.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/milc.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/exareq_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/relearn.cpp" "src/apps/CMakeFiles/exareq_apps.dir/relearn.cpp.o" "gcc" "src/apps/CMakeFiles/exareq_apps.dir/relearn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/exareq_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/exareq_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtrace/CMakeFiles/exareq_memtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

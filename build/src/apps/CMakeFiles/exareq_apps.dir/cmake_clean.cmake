@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_apps.dir/icofoam.cpp.o"
+  "CMakeFiles/exareq_apps.dir/icofoam.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/kernel_util.cpp.o"
+  "CMakeFiles/exareq_apps.dir/kernel_util.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/kripke.cpp.o"
+  "CMakeFiles/exareq_apps.dir/kripke.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/exareq_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/milc.cpp.o"
+  "CMakeFiles/exareq_apps.dir/milc.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/registry.cpp.o"
+  "CMakeFiles/exareq_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/exareq_apps.dir/relearn.cpp.o"
+  "CMakeFiles/exareq_apps.dir/relearn.cpp.o.d"
+  "libexareq_apps.a"
+  "libexareq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

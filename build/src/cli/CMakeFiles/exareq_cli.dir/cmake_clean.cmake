@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_cli.dir/cli.cpp.o"
+  "CMakeFiles/exareq_cli.dir/cli.cpp.o.d"
+  "libexareq_cli.a"
+  "libexareq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

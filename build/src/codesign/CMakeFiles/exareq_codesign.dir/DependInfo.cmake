@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codesign/requirements.cpp" "src/codesign/CMakeFiles/exareq_codesign.dir/requirements.cpp.o" "gcc" "src/codesign/CMakeFiles/exareq_codesign.dir/requirements.cpp.o.d"
+  "/root/repo/src/codesign/sharing.cpp" "src/codesign/CMakeFiles/exareq_codesign.dir/sharing.cpp.o" "gcc" "src/codesign/CMakeFiles/exareq_codesign.dir/sharing.cpp.o.d"
+  "/root/repo/src/codesign/strawman.cpp" "src/codesign/CMakeFiles/exareq_codesign.dir/strawman.cpp.o" "gcc" "src/codesign/CMakeFiles/exareq_codesign.dir/strawman.cpp.o.d"
+  "/root/repo/src/codesign/upgrade.cpp" "src/codesign/CMakeFiles/exareq_codesign.dir/upgrade.cpp.o" "gcc" "src/codesign/CMakeFiles/exareq_codesign.dir/upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/exareq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_codesign.dir/requirements.cpp.o"
+  "CMakeFiles/exareq_codesign.dir/requirements.cpp.o.d"
+  "CMakeFiles/exareq_codesign.dir/sharing.cpp.o"
+  "CMakeFiles/exareq_codesign.dir/sharing.cpp.o.d"
+  "CMakeFiles/exareq_codesign.dir/strawman.cpp.o"
+  "CMakeFiles/exareq_codesign.dir/strawman.cpp.o.d"
+  "CMakeFiles/exareq_codesign.dir/upgrade.cpp.o"
+  "CMakeFiles/exareq_codesign.dir/upgrade.cpp.o.d"
+  "libexareq_codesign.a"
+  "libexareq_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

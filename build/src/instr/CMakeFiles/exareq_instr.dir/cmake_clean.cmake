@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_instr.dir/memory.cpp.o"
+  "CMakeFiles/exareq_instr.dir/memory.cpp.o.d"
+  "CMakeFiles/exareq_instr.dir/region.cpp.o"
+  "CMakeFiles/exareq_instr.dir/region.cpp.o.d"
+  "libexareq_instr.a"
+  "libexareq_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexareq_instr.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memtrace/cache_model.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/cache_model.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/cache_model.cpp.o.d"
+  "/root/repo/src/memtrace/cache_sim.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/cache_sim.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/memtrace/distance.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/distance.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/distance.cpp.o.d"
+  "/root/repo/src/memtrace/fenwick.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/fenwick.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/fenwick.cpp.o.d"
+  "/root/repo/src/memtrace/locality.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/locality.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/locality.cpp.o.d"
+  "/root/repo/src/memtrace/mmm.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/mmm.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/mmm.cpp.o.d"
+  "/root/repo/src/memtrace/sampling.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/sampling.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/sampling.cpp.o.d"
+  "/root/repo/src/memtrace/trace.cpp" "src/memtrace/CMakeFiles/exareq_memtrace.dir/trace.cpp.o" "gcc" "src/memtrace/CMakeFiles/exareq_memtrace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_memtrace.dir/cache_model.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/cache_model.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/cache_sim.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/distance.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/distance.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/fenwick.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/fenwick.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/locality.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/locality.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/mmm.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/mmm.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/sampling.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/sampling.cpp.o.d"
+  "CMakeFiles/exareq_memtrace.dir/trace.cpp.o"
+  "CMakeFiles/exareq_memtrace.dir/trace.cpp.o.d"
+  "libexareq_memtrace.a"
+  "libexareq_memtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_memtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exareq_memtrace.
+# This may be replaced when dependencies are built.

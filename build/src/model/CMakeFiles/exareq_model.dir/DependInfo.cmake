@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/basis.cpp" "src/model/CMakeFiles/exareq_model.dir/basis.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/basis.cpp.o.d"
+  "/root/repo/src/model/fitter.cpp" "src/model/CMakeFiles/exareq_model.dir/fitter.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/fitter.cpp.o.d"
+  "/root/repo/src/model/inversion.cpp" "src/model/CMakeFiles/exareq_model.dir/inversion.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/inversion.cpp.o.d"
+  "/root/repo/src/model/linalg.cpp" "src/model/CMakeFiles/exareq_model.dir/linalg.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/linalg.cpp.o.d"
+  "/root/repo/src/model/measurement.cpp" "src/model/CMakeFiles/exareq_model.dir/measurement.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/measurement.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/exareq_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/modelgen.cpp" "src/model/CMakeFiles/exareq_model.dir/modelgen.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/modelgen.cpp.o.d"
+  "/root/repo/src/model/multiparam.cpp" "src/model/CMakeFiles/exareq_model.dir/multiparam.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/multiparam.cpp.o.d"
+  "/root/repo/src/model/search_space.cpp" "src/model/CMakeFiles/exareq_model.dir/search_space.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/search_space.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/exareq_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/exareq_model.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_model.dir/basis.cpp.o"
+  "CMakeFiles/exareq_model.dir/basis.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/fitter.cpp.o"
+  "CMakeFiles/exareq_model.dir/fitter.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/inversion.cpp.o"
+  "CMakeFiles/exareq_model.dir/inversion.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/linalg.cpp.o"
+  "CMakeFiles/exareq_model.dir/linalg.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/measurement.cpp.o"
+  "CMakeFiles/exareq_model.dir/measurement.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/model.cpp.o"
+  "CMakeFiles/exareq_model.dir/model.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/modelgen.cpp.o"
+  "CMakeFiles/exareq_model.dir/modelgen.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/multiparam.cpp.o"
+  "CMakeFiles/exareq_model.dir/multiparam.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/search_space.cpp.o"
+  "CMakeFiles/exareq_model.dir/search_space.cpp.o.d"
+  "CMakeFiles/exareq_model.dir/serialize.cpp.o"
+  "CMakeFiles/exareq_model.dir/serialize.cpp.o.d"
+  "libexareq_model.a"
+  "libexareq_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

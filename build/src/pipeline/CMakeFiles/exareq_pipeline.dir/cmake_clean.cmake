@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_pipeline.dir/campaign.cpp.o"
+  "CMakeFiles/exareq_pipeline.dir/campaign.cpp.o.d"
+  "CMakeFiles/exareq_pipeline.dir/codesign_bridge.cpp.o"
+  "CMakeFiles/exareq_pipeline.dir/codesign_bridge.cpp.o.d"
+  "CMakeFiles/exareq_pipeline.dir/measure.cpp.o"
+  "CMakeFiles/exareq_pipeline.dir/measure.cpp.o.d"
+  "CMakeFiles/exareq_pipeline.dir/report.cpp.o"
+  "CMakeFiles/exareq_pipeline.dir/report.cpp.o.d"
+  "libexareq_pipeline.a"
+  "libexareq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

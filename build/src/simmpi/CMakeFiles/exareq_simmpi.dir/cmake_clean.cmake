@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/exareq_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/exareq_simmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/exareq_simmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/exareq_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/exareq_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/exareq_simmpi.dir/stats.cpp.o"
+  "CMakeFiles/exareq_simmpi.dir/stats.cpp.o.d"
+  "libexareq_simmpi.a"
+  "libexareq_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq_support.dir/csv.cpp.o"
+  "CMakeFiles/exareq_support.dir/csv.cpp.o.d"
+  "CMakeFiles/exareq_support.dir/format.cpp.o"
+  "CMakeFiles/exareq_support.dir/format.cpp.o.d"
+  "CMakeFiles/exareq_support.dir/histogram.cpp.o"
+  "CMakeFiles/exareq_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/exareq_support.dir/rng.cpp.o"
+  "CMakeFiles/exareq_support.dir/rng.cpp.o.d"
+  "CMakeFiles/exareq_support.dir/stats.cpp.o"
+  "CMakeFiles/exareq_support.dir/stats.cpp.o.d"
+  "CMakeFiles/exareq_support.dir/table.cpp.o"
+  "CMakeFiles/exareq_support.dir/table.cpp.o.d"
+  "libexareq_support.a"
+  "libexareq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codesign/requirements_test.cpp" "tests/CMakeFiles/test_codesign.dir/codesign/requirements_test.cpp.o" "gcc" "tests/CMakeFiles/test_codesign.dir/codesign/requirements_test.cpp.o.d"
+  "/root/repo/tests/codesign/sharing_test.cpp" "tests/CMakeFiles/test_codesign.dir/codesign/sharing_test.cpp.o" "gcc" "tests/CMakeFiles/test_codesign.dir/codesign/sharing_test.cpp.o.d"
+  "/root/repo/tests/codesign/strawman_test.cpp" "tests/CMakeFiles/test_codesign.dir/codesign/strawman_test.cpp.o" "gcc" "tests/CMakeFiles/test_codesign.dir/codesign/strawman_test.cpp.o.d"
+  "/root/repo/tests/codesign/upgrade_test.cpp" "tests/CMakeFiles/test_codesign.dir/codesign/upgrade_test.cpp.o" "gcc" "tests/CMakeFiles/test_codesign.dir/codesign/upgrade_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codesign/CMakeFiles/exareq_codesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/exareq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

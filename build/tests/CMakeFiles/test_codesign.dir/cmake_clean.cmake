@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codesign.dir/codesign/requirements_test.cpp.o"
+  "CMakeFiles/test_codesign.dir/codesign/requirements_test.cpp.o.d"
+  "CMakeFiles/test_codesign.dir/codesign/sharing_test.cpp.o"
+  "CMakeFiles/test_codesign.dir/codesign/sharing_test.cpp.o.d"
+  "CMakeFiles/test_codesign.dir/codesign/strawman_test.cpp.o"
+  "CMakeFiles/test_codesign.dir/codesign/strawman_test.cpp.o.d"
+  "CMakeFiles/test_codesign.dir/codesign/upgrade_test.cpp.o"
+  "CMakeFiles/test_codesign.dir/codesign/upgrade_test.cpp.o.d"
+  "test_codesign"
+  "test_codesign.pdb"
+  "test_codesign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/instr/memory_test.cpp" "tests/CMakeFiles/test_instr.dir/instr/memory_test.cpp.o" "gcc" "tests/CMakeFiles/test_instr.dir/instr/memory_test.cpp.o.d"
+  "/root/repo/tests/instr/process_test.cpp" "tests/CMakeFiles/test_instr.dir/instr/process_test.cpp.o" "gcc" "tests/CMakeFiles/test_instr.dir/instr/process_test.cpp.o.d"
+  "/root/repo/tests/instr/region_test.cpp" "tests/CMakeFiles/test_instr.dir/instr/region_test.cpp.o" "gcc" "tests/CMakeFiles/test_instr.dir/instr/region_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instr/CMakeFiles/exareq_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr.dir/instr/memory_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/memory_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/process_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/process_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/region_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/region_test.cpp.o.d"
+  "test_instr"
+  "test_instr.pdb"
+  "test_instr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memtrace/cache_model_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/cache_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/cache_model_test.cpp.o.d"
+  "/root/repo/tests/memtrace/cache_sim_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/cache_sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/cache_sim_test.cpp.o.d"
+  "/root/repo/tests/memtrace/distance_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/distance_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/distance_test.cpp.o.d"
+  "/root/repo/tests/memtrace/fenwick_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/fenwick_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/fenwick_test.cpp.o.d"
+  "/root/repo/tests/memtrace/locality_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/locality_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/locality_test.cpp.o.d"
+  "/root/repo/tests/memtrace/mmm_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/mmm_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/mmm_test.cpp.o.d"
+  "/root/repo/tests/memtrace/sampling_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/sampling_test.cpp.o.d"
+  "/root/repo/tests/memtrace/trace_test.cpp" "tests/CMakeFiles/test_memtrace.dir/memtrace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_memtrace.dir/memtrace/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memtrace/CMakeFiles/exareq_memtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

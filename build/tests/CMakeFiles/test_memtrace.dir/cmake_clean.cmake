@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memtrace.dir/memtrace/cache_model_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/cache_model_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/cache_sim_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/cache_sim_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/distance_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/distance_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/fenwick_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/fenwick_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/locality_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/locality_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/mmm_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/mmm_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/sampling_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/sampling_test.cpp.o.d"
+  "CMakeFiles/test_memtrace.dir/memtrace/trace_test.cpp.o"
+  "CMakeFiles/test_memtrace.dir/memtrace/trace_test.cpp.o.d"
+  "test_memtrace"
+  "test_memtrace.pdb"
+  "test_memtrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/basis_test.cpp" "tests/CMakeFiles/test_model.dir/model/basis_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/basis_test.cpp.o.d"
+  "/root/repo/tests/model/fitter_test.cpp" "tests/CMakeFiles/test_model.dir/model/fitter_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/fitter_test.cpp.o.d"
+  "/root/repo/tests/model/inversion_test.cpp" "tests/CMakeFiles/test_model.dir/model/inversion_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/inversion_test.cpp.o.d"
+  "/root/repo/tests/model/linalg_test.cpp" "tests/CMakeFiles/test_model.dir/model/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/linalg_test.cpp.o.d"
+  "/root/repo/tests/model/measurement_test.cpp" "tests/CMakeFiles/test_model.dir/model/measurement_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/measurement_test.cpp.o.d"
+  "/root/repo/tests/model/model_test.cpp" "tests/CMakeFiles/test_model.dir/model/model_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/model_test.cpp.o.d"
+  "/root/repo/tests/model/multiparam_test.cpp" "tests/CMakeFiles/test_model.dir/model/multiparam_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/multiparam_test.cpp.o.d"
+  "/root/repo/tests/model/planted_recovery_test.cpp" "tests/CMakeFiles/test_model.dir/model/planted_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/planted_recovery_test.cpp.o.d"
+  "/root/repo/tests/model/search_space_test.cpp" "tests/CMakeFiles/test_model.dir/model/search_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/search_space_test.cpp.o.d"
+  "/root/repo/tests/model/serialize_test.cpp" "tests/CMakeFiles/test_model.dir/model/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/model/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/exareq_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/exareq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

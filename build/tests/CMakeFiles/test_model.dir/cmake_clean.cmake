@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/model/basis_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/basis_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/fitter_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/fitter_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/inversion_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/inversion_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/linalg_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/linalg_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/measurement_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/measurement_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/model_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/model_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/multiparam_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/multiparam_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/planted_recovery_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/planted_recovery_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/search_space_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/search_space_test.cpp.o.d"
+  "CMakeFiles/test_model.dir/model/serialize_test.cpp.o"
+  "CMakeFiles/test_model.dir/model/serialize_test.cpp.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

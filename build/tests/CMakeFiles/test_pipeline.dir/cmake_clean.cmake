@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/pipeline/campaign_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/campaign_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/integration_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/report_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/report_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/pipeline/robustness_test.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

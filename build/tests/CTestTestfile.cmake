@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_memtrace[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_instr[1]_include.cmake")
+include("/root/repo/build/tests/test_codesign[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;77;add_test;/root/repo/tests/CMakeLists.txt;0;")

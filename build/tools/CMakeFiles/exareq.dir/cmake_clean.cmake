@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exareq.dir/exareq_main.cpp.o"
+  "CMakeFiles/exareq.dir/exareq_main.cpp.o.d"
+  "exareq"
+  "exareq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exareq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
