@@ -57,6 +57,41 @@ void BM_MultiParameterFit(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiParameterFit);
 
+// Engine scaling: the same multi-parameter fit at 1..8 threads. The
+// counters expose what the memoizing engine saves — cv_solves is the work
+// actually done, hypotheses the work requested; identical models come out
+// at every thread count.
+void BM_MultiParameterFitThreads(benchmark::State& state) {
+  const auto data = two_param_grid();
+  MultiParamOptions options;
+  options.fit.threads = static_cast<std::size_t>(state.range(0));
+  EngineStats stats;
+  for (auto _ : state) {
+    auto result = fit_multi_parameter(data, options);
+    stats = result.stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(stats.threads);
+  state.counters["hypotheses"] = static_cast<double>(stats.hypotheses_scored);
+  state.counters["cv_solves"] = static_cast<double>(stats.cv_solves);
+  state.counters["cache_hit_rate"] = stats.cache_hit_rate();
+}
+BENCHMARK(BM_MultiParameterFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Single-parameter engine scaling on a denser axis (9 points, mild noise
+// keeps the search from terminating early).
+void BM_SingleParameterFitThreads(benchmark::State& state) {
+  const auto data = single_param_data(9, 0.002, 21);
+  FitOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        fit_single_parameter(data, SearchSpace::paper_default(), options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SingleParameterFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_CrossValidationScore(benchmark::State& state) {
   const auto data =
       single_param_data(static_cast<std::size_t>(state.range(0)), 0.0, 7);

@@ -70,6 +70,17 @@ pipeline::CampaignConfig campaign_config(const Flags& flags) {
   return config;
 }
 
+/// Generator options from flags: --threads N sizes the model engine's pool
+/// (default 0 = hardware concurrency; 1 = serial reference behavior).
+model::GeneratorOptions generator_options(const Flags& flags) {
+  model::GeneratorOptions options;
+  const double threads = flags.number("threads", 0.0);
+  exareq::require(threads >= 0.0 && threads == static_cast<std::size_t>(threads),
+                  "--threads expects a non-negative integer");
+  options.fit.threads = static_cast<std::size_t>(threads);
+  return options;
+}
+
 /// Loads a campaign from --in or measures one on the fly.
 pipeline::CampaignData obtain_campaign(const apps::Application& app,
                                        const Flags& flags, std::ostream& err) {
@@ -112,11 +123,15 @@ int cmd_measure(const apps::Application& app, const Flags& flags,
 
 int cmd_model(const apps::Application& app, const Flags& flags,
               std::ostream& out, std::ostream& err) {
+  // Validate flags before the (possibly expensive) campaign step.
+  const model::GeneratorOptions options = generator_options(flags);
   const pipeline::CampaignData data = obtain_campaign(app, flags, err);
-  const pipeline::RequirementModels models = pipeline::model_requirements(data);
+  const pipeline::RequirementModels models =
+      pipeline::model_requirements(data, options);
   out << "Requirement models for " << app.name() << ":\n";
   out << pipeline::render_models(models);
   out << pipeline::render_assessment(models) << "\n";
+  out << "Engine stats:\n" << pipeline::render_engine_stats(models);
   if (const auto path = flags.get("models-out")) {
     std::ofstream file(*path);
     exareq::require(file.good(), "cannot write model file '" + *path + "'");
@@ -137,9 +152,10 @@ int cmd_model(const apps::Application& app, const Flags& flags,
 
 int cmd_upgrade(const apps::Application& app, const Flags& flags,
                 std::ostream& out, std::ostream& err) {
+  const model::GeneratorOptions options = generator_options(flags);
   const pipeline::CampaignData data = obtain_campaign(app, flags, err);
-  const codesign::AppRequirements req =
-      pipeline::to_requirements(pipeline::model_requirements(data));
+  const codesign::AppRequirements req = pipeline::to_requirements(
+      pipeline::model_requirements(data, options));
   const codesign::SystemSkeleton base{
       flags.number("base-processes", 65536.0),
       flags.number("base-memory", 2147483648.0)};
@@ -162,9 +178,10 @@ int cmd_upgrade(const apps::Application& app, const Flags& flags,
 
 int cmd_strawman(const apps::Application& app, const Flags& flags,
                  std::ostream& out, std::ostream& err) {
+  const model::GeneratorOptions options = generator_options(flags);
   const pipeline::CampaignData data = obtain_campaign(app, flags, err);
-  const codesign::AppRequirements req =
-      pipeline::to_requirements(pipeline::model_requirements(data));
+  const codesign::AppRequirements req = pipeline::to_requirements(
+      pipeline::model_requirements(data, options));
   const auto systems = codesign::paper_strawmen();
   TextTable table({"System", "Fits?", "Max overall problem",
                    "Benchmark wall time [s]"});
@@ -223,13 +240,16 @@ std::string usage() {
   return "usage: exareq <command> [...]\n"
          "  list                                     list the bundled applications\n"
          "  measure <app> [--processes L] [--sizes L] [--out FILE]\n"
-         "  model   <app> [--in FILE] [--models-out FILE]\n"
+         "  model   <app> [--in FILE] [--models-out FILE] [--threads N]\n"
          "  upgrade <app> [--in FILE] [--base-processes P] [--base-memory B]\n"
-         "  strawman <app> [--in FILE]\n"
+         "           [--threads N]\n"
+         "  strawman <app> [--in FILE] [--threads N]\n"
          "  locality <app> [--size N]\n"
          "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64.\n"
          "Analysis commands measure on the fly unless --in supplies a campaign\n"
-         "CSV written by `measure`.\n";
+         "CSV written by `measure`. --threads sizes the model engine's thread\n"
+         "pool (0 = hardware concurrency, the default; any value selects the\n"
+         "same models).\n";
 }
 
 std::vector<std::int64_t> parse_int_list(const std::string& text) {

@@ -1,11 +1,17 @@
 #include "model/fitter.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <unordered_map>
 
+#include "model/term_cache.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exareq::model {
 namespace {
@@ -25,15 +31,18 @@ double relative_error(double predicted, double observed, double scale) {
   return std::fabs(predicted - observed) / denom;
 }
 
-/// Design matrix of [1, basis_1, ..., basis_k] over the selected rows.
-Matrix design_matrix(const MeasurementSet& data, const std::vector<Term>& basis,
-                     std::span<const std::size_t> rows) {
-  Matrix a(rows.size(), basis.size() + 1);
+/// Cached basis columns of the hypothesis under evaluation, one per term,
+/// each spanning every coordinate of the data set.
+using Columns = std::vector<const std::vector<double>*>;
+
+/// Design matrix of [1, basis_1, ..., basis_k] over the selected rows,
+/// assembled from cached columns.
+Matrix design_matrix(const Columns& columns, std::span<const std::size_t> rows) {
+  Matrix a(rows.size(), columns.size() + 1);
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    const Coordinate& x = data.coordinate(rows[r]);
     a(r, 0) = 1.0;
-    for (std::size_t c = 0; c < basis.size(); ++c) {
-      a(r, c + 1) = basis[c].evaluate_basis(x);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      a(r, c + 1) = (*columns[c])[rows[r]];
     }
   }
   return a;
@@ -51,17 +60,19 @@ struct CoefficientFit {
   bool admissible = false;
 };
 
-CoefficientFit fit_coefficients(const MeasurementSet& data,
-                                const std::vector<Term>& basis,
+CoefficientFit fit_coefficients(std::span<const double> values,
+                                const Columns& columns,
                                 std::span<const std::size_t> rows,
-                                const FitOptions& options) {
+                                const FitOptions& options,
+                                std::atomic<std::size_t>& solves) {
   CoefficientFit fit;
-  if (rows.size() < basis.size() + 1) return fit;  // underdetermined
+  if (rows.size() < columns.size() + 1) return fit;  // underdetermined
 
-  const Matrix a = design_matrix(data, basis, rows);
+  const Matrix a = design_matrix(columns, rows);
   std::vector<double> y(rows.size());
-  for (std::size_t r = 0; r < rows.size(); ++r) y[r] = data.value(rows[r]);
+  for (std::size_t r = 0; r < rows.size(); ++r) y[r] = values[rows[r]];
 
+  solves.fetch_add(1, std::memory_order_relaxed);
   LeastSquaresResult solved;
   if (options.relative_residuals) {
     const double scale = observation_scale(y);
@@ -129,68 +140,200 @@ FitQuality evaluate_quality(const MeasurementSet& data, const Model& model,
 
 }  // namespace
 
-double cross_validation_score(const MeasurementSet& data,
-                              const std::vector<Term>& basis,
-                              const FitOptions& options) {
-  const std::size_t m = data.size();
-  // Need at least one spare point beyond the coefficients to leave out.
-  if (m < basis.size() + 2) return kInfinity;
-
-  // The full fit must be admissible (non-negative, full rank); otherwise the
-  // hypothesis is rejected outright.
-  const auto rows = all_rows(m);
-  const CoefficientFit full = fit_coefficients(data, basis, rows, options);
-  if (!full.admissible) return kInfinity;
-
-  const double scale = observation_scale(data.values());
-  double total = 0.0;
-  std::vector<std::size_t> subset;
-  subset.reserve(m - 1);
-  std::vector<std::vector<double>> fold_coefficients(basis.size());
-  for (std::size_t left_out = 0; left_out < m; ++left_out) {
-    subset.clear();
-    for (std::size_t r = 0; r < m; ++r) {
-      if (r != left_out) subset.push_back(r);
-    }
-    const CoefficientFit fit = fit_coefficients(data, basis, subset, options);
-    if (!fit.admissible) return kInfinity;
-    double predicted = fit.constant;
-    for (std::size_t c = 0; c < basis.size(); ++c) {
-      predicted +=
-          fit.coefficients[c] * basis[c].evaluate_basis(data.coordinate(left_out));
-      fold_coefficients[c].push_back(fit.coefficients[c]);
-    }
-    total += relative_error(predicted, data.value(left_out), scale);
-  }
-
-  // Coefficient-stability guard: every term must be estimable consistently
-  // from any m-1 of the measurements.
-  for (const std::vector<double>& folds : fold_coefficients) {
-    if (folds.size() < 2) continue;
-    const double mean_coefficient = exareq::mean(folds);
-    const double spread = exareq::stddev(folds);
-    if (spread > options.max_coefficient_spread *
-                     std::max(std::fabs(mean_coefficient), 1e-300)) {
-      return kInfinity;
-    }
-  }
-  return total / static_cast<double>(m);
+double EngineStats::cache_hit_rate() const {
+  const double hits =
+      static_cast<double>(score_cache_hits + basis_column_hits);
+  const double lookups = static_cast<double>(
+      hypotheses_scored + basis_column_hits + basis_columns_built);
+  return lookups > 0.0 ? hits / lookups : 0.0;
 }
 
-FitResult refit_hypothesis(const MeasurementSet& data, const std::vector<Term>& basis,
-                           const FitOptions& options) {
-  exareq::require(!data.empty(), "refit_hypothesis: empty measurement set");
-  const auto rows = all_rows(data.size());
-  const CoefficientFit fit = fit_coefficients(data, basis, rows, options);
+EngineStats& EngineStats::operator+=(const EngineStats& other) {
+  hypotheses_scored += other.hypotheses_scored;
+  score_cache_hits += other.score_cache_hits;
+  cv_solves += other.cv_solves;
+  basis_column_hits += other.basis_column_hits;
+  basis_columns_built += other.basis_columns_built;
+  wall_seconds += other.wall_seconds;
+  threads = std::max(threads, other.threads);
+  return *this;
+}
+
+struct FitEngine::Impl {
+  const MeasurementSet& data;
+  FitOptions options;  // threads resolved
+  TermCache cache;
+  exareq::ThreadPool* pool = nullptr;
+  std::atomic<std::size_t> hypotheses{0};
+  std::atomic<std::size_t> score_hits{0};
+  std::atomic<std::size_t> solves{0};
+  std::mutex memo_mutex;
+  std::unordered_map<std::string, double> score_memo;
+
+  Impl(const MeasurementSet& data_in, const FitOptions& options_in)
+      : data(data_in), options(options_in), cache(data_in) {
+    if (options.threads == 0) {
+      options.threads = exareq::ThreadPool::hardware_threads();
+    }
+    if (options.threads > 1) pool = &exareq::shared_pool(options.threads);
+  }
+
+  /// Runs body(i) for i in [0, count), on the pool when attached. Bodies
+  /// must write results only under their own index; callers reduce serially
+  /// afterwards, which keeps every thread count bit-identical.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body) {
+    if (pool == nullptr) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+    } else {
+      pool->parallel_for(count, body);
+    }
+  }
+
+  Columns columns_for(const std::vector<Term>& basis) {
+    Columns columns;
+    columns.reserve(basis.size());
+    for (const Term& term : basis) columns.push_back(&cache.column(term));
+    return columns;
+  }
+
+  /// The CV computation proper; `full_fit` lets refit() share its full-data
+  /// solve instead of repeating it.
+  double compute_cv(const std::vector<Term>& basis,
+                    const CoefficientFit* full_fit) {
+    const std::size_t m = data.size();
+    // Need at least one spare point beyond the coefficients to leave out.
+    if (m < basis.size() + 2) return kInfinity;
+
+    const Columns columns = columns_for(basis);
+
+    // The full fit must be admissible (non-negative, full rank); otherwise
+    // the hypothesis is rejected outright.
+    CoefficientFit local;
+    if (full_fit == nullptr) {
+      local = fit_coefficients(data.values(), columns, all_rows(m), options,
+                               solves);
+      full_fit = &local;
+    }
+    if (!full_fit->admissible) return kInfinity;
+
+    const double scale = observation_scale(data.values());
+    double total = 0.0;
+    std::vector<std::size_t> subset;
+    subset.reserve(m - 1);
+    std::vector<std::vector<double>> fold_coefficients(basis.size());
+    for (std::size_t left_out = 0; left_out < m; ++left_out) {
+      subset.clear();
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r != left_out) subset.push_back(r);
+      }
+      const CoefficientFit fit =
+          fit_coefficients(data.values(), columns, subset, options, solves);
+      if (!fit.admissible) return kInfinity;
+      double predicted = fit.constant;
+      for (std::size_t c = 0; c < basis.size(); ++c) {
+        predicted += fit.coefficients[c] * (*columns[c])[left_out];
+        fold_coefficients[c].push_back(fit.coefficients[c]);
+      }
+      total += relative_error(predicted, data.value(left_out), scale);
+    }
+
+    // Coefficient-stability guard: every term must be estimable
+    // consistently from any m-1 of the measurements.
+    for (const std::vector<double>& folds : fold_coefficients) {
+      if (folds.size() < 2) continue;
+      const double mean_coefficient = exareq::mean(folds);
+      const double spread = exareq::stddev(folds);
+      if (spread > options.max_coefficient_spread *
+                       std::max(std::fabs(mean_coefficient), 1e-300)) {
+        return kInfinity;
+      }
+    }
+    return total / static_cast<double>(m);
+  }
+
+  double cv_score(const std::vector<Term>& basis,
+                  const CoefficientFit* full_fit = nullptr) {
+    hypotheses.fetch_add(1, std::memory_order_relaxed);
+    const std::string key = basis_key(basis);
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex);
+      const auto it = score_memo.find(key);
+      if (it != score_memo.end()) {
+        score_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    const double score = compute_cv(basis, full_fit);
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex);
+      score_memo.emplace(key, score);
+    }
+    return score;
+  }
+};
+
+FitEngine::FitEngine(const MeasurementSet& data, const FitOptions& options)
+    : impl_(std::make_unique<Impl>(data, options)) {}
+
+FitEngine::~FitEngine() = default;
+
+const MeasurementSet& FitEngine::data() const { return impl_->data; }
+const FitOptions& FitEngine::options() const { return impl_->options; }
+std::size_t FitEngine::thread_count() const { return impl_->options.threads; }
+exareq::ThreadPool* FitEngine::pool() const { return impl_->pool; }
+
+double FitEngine::cv_score(const std::vector<Term>& basis) {
+  return impl_->cv_score(basis);
+}
+
+FitResult FitEngine::refit(const std::vector<Term>& basis) {
+  exareq::require(!impl_->data.empty(), "refit_hypothesis: empty measurement set");
+  const auto rows = all_rows(impl_->data.size());
+  const Columns columns = impl_->columns_for(basis);
+  const CoefficientFit fit = fit_coefficients(impl_->data.values(), columns,
+                                              rows, impl_->options,
+                                              impl_->solves);
   if (!fit.admissible) {
     throw exareq::NumericError(
         "refit_hypothesis: hypothesis inadmissible for this data "
         "(underdetermined, rank-deficient, or negative coefficients)");
   }
   FitResult result;
-  result.model = make_model(data, basis, fit);
-  result.quality = evaluate_quality(data, result.model,
-                                    cross_validation_score(data, basis, options));
+  result.model = make_model(impl_->data, basis, fit);
+  result.quality = evaluate_quality(impl_->data, result.model,
+                                    impl_->cv_score(basis, &fit));
+  result.stats = stats();
+  return result;
+}
+
+EngineStats FitEngine::stats() const {
+  EngineStats snapshot;
+  snapshot.hypotheses_scored = impl_->hypotheses.load();
+  snapshot.score_cache_hits = impl_->score_hits.load();
+  snapshot.cv_solves = impl_->solves.load();
+  snapshot.basis_column_hits = impl_->cache.hits();
+  snapshot.basis_columns_built = impl_->cache.misses();
+  snapshot.threads = impl_->options.threads;
+  return snapshot;
+}
+
+double cross_validation_score(const MeasurementSet& data,
+                              const std::vector<Term>& basis,
+                              const FitOptions& options) {
+  FitEngine engine(data, options);
+  return engine.cv_score(basis);
+}
+
+FitResult refit_hypothesis(const MeasurementSet& data, const std::vector<Term>& basis,
+                           const FitOptions& options) {
+  exareq::require(!data.empty(), "refit_hypothesis: empty measurement set");
+  const auto started = std::chrono::steady_clock::now();
+  FitEngine engine(data, options);
+  FitResult result = engine.refit(basis);
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   return result;
 }
 
@@ -202,28 +345,39 @@ struct ScoredCandidate {
   double complexity = 0.0;
 };
 
+bool duplicates_selected(const std::vector<Term>& selected, const Term& term,
+                         std::size_t skip_position = SIZE_MAX) {
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    if (i != skip_position && selected[i].same_basis(term)) return true;
+  }
+  return false;
+}
+
 /// Scores every pool term as an extension of `selected` (duplicates and
-/// inadmissible hypotheses excluded), best score first.
-std::vector<ScoredCandidate> score_extensions(const MeasurementSet& data,
+/// inadmissible hypotheses excluded), best score first. Candidates are
+/// scored in parallel across the engine's pool; the ranking itself is a
+/// serial reduction in pool order, so the result is thread-count invariant.
+std::vector<ScoredCandidate> score_extensions(FitEngine::Impl& engine,
                                               const std::vector<Term>& pool,
-                                              const std::vector<Term>& selected,
-                                              const FitOptions& options) {
-  std::vector<ScoredCandidate> candidates;
-  candidates.reserve(pool.size());
+                                              const std::vector<Term>& selected) {
+  std::vector<std::size_t> eligible;
+  eligible.reserve(pool.size());
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    bool duplicate = false;
-    for (const Term& term : selected) {
-      if (term.same_basis(pool[i])) {
-        duplicate = true;
-        break;
-      }
-    }
-    if (duplicate) continue;
+    if (!duplicates_selected(selected, pool[i])) eligible.push_back(i);
+  }
+  std::vector<double> scores(eligible.size(), kInfinity);
+  engine.for_each_index(eligible.size(), [&](std::size_t j) {
     std::vector<Term> trial = selected;
-    trial.push_back(pool[i]);
-    const double score = cross_validation_score(data, trial, options);
-    if (!std::isfinite(score)) continue;
-    candidates.push_back({i, score, pool[i].complexity()});
+    trial.push_back(pool[eligible[j]]);
+    scores[j] = engine.cv_score(trial);
+  });
+
+  std::vector<ScoredCandidate> candidates;
+  candidates.reserve(eligible.size());
+  for (std::size_t j = 0; j < eligible.size(); ++j) {
+    if (!std::isfinite(scores[j])) continue;
+    candidates.push_back(
+        {eligible[j], scores[j], pool[eligible[j]].complexity()});
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const ScoredCandidate& a, const ScoredCandidate& b) {
@@ -258,12 +412,12 @@ struct Hypothesis {
 };
 
 /// Greedy continuation: keeps adding the best significant term.
-void grow_hypothesis(const MeasurementSet& data, const std::vector<Term>& pool,
-                     const FitOptions& options, Hypothesis& hypothesis) {
+void grow_hypothesis(FitEngine::Impl& engine, const std::vector<Term>& pool,
+                     Hypothesis& hypothesis) {
+  const FitOptions& options = engine.options;
   while (hypothesis.selected.size() < options.max_terms &&
          hypothesis.score > options.score_tolerance) {
-    const auto candidates =
-        score_extensions(data, pool, hypothesis.selected, options);
+    const auto candidates = score_extensions(engine, pool, hypothesis.selected);
     const ScoredCandidate* chosen = pick_candidate(candidates, options);
     if (chosen == nullptr) break;
     const bool significant =
@@ -278,34 +432,39 @@ void grow_hypothesis(const MeasurementSet& data, const std::vector<Term>& pool,
 /// pool term (accepting clear improvements) and dropping terms that do not
 /// pull their weight. Escapes local optima the greedy growth cannot leave —
 /// the PMNF grid is full of near-degenerate shapes, and the exact hypothesis
-/// often differs from the greedy one only in a single factor.
-void refine_hypothesis(const MeasurementSet& data, const std::vector<Term>& pool,
-                       const FitOptions& options, Hypothesis& hypothesis) {
+/// often differs from the greedy one only in a single factor. Replacement
+/// candidates are scored in parallel; the winner is chosen by a serial scan
+/// in pool order, matching the sequential semantics exactly.
+void refine_hypothesis(FitEngine::Impl& engine, const std::vector<Term>& pool,
+                       Hypothesis& hypothesis) {
+  const FitOptions& options = engine.options;
   for (int round = 0; round < 4; ++round) {
     bool improved = false;
 
     // Replacement moves.
     for (std::size_t position = 0; position < hypothesis.selected.size();
          ++position) {
-      std::size_t best_index = SIZE_MAX;
-      double best_score = hypothesis.score;
+      std::vector<std::size_t> trials;
+      trials.reserve(pool.size());
       for (std::size_t i = 0; i < pool.size(); ++i) {
-        bool duplicate = false;
-        for (std::size_t other = 0; other < hypothesis.selected.size(); ++other) {
-          if (other != position && hypothesis.selected[other].same_basis(pool[i])) {
-            duplicate = true;
-            break;
-          }
-        }
-        if (duplicate || hypothesis.selected[position].same_basis(pool[i])) {
+        if (duplicates_selected(hypothesis.selected, pool[i], position) ||
+            hypothesis.selected[position].same_basis(pool[i])) {
           continue;
         }
+        trials.push_back(i);
+      }
+      std::vector<double> scores(trials.size(), kInfinity);
+      engine.for_each_index(trials.size(), [&](std::size_t j) {
         std::vector<Term> trial = hypothesis.selected;
-        trial[position] = pool[i];
-        const double score = cross_validation_score(data, trial, options);
-        if (score < best_score * (1.0 - options.tie_tolerance) - 1e-15) {
-          best_score = score;
-          best_index = i;
+        trial[position] = pool[trials[j]];
+        scores[j] = engine.cv_score(trial);
+      });
+      std::size_t best_index = SIZE_MAX;
+      double best_score = hypothesis.score;
+      for (std::size_t j = 0; j < trials.size(); ++j) {
+        if (scores[j] < best_score * (1.0 - options.tie_tolerance) - 1e-15) {
+          best_score = scores[j];
+          best_index = trials[j];
         }
       }
       if (best_index != SIZE_MAX) {
@@ -320,7 +479,7 @@ void refine_hypothesis(const MeasurementSet& data, const std::vector<Term>& pool
     for (std::size_t position = 0; position < hypothesis.selected.size();) {
       std::vector<Term> trial = hypothesis.selected;
       trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(position));
-      const double score = cross_validation_score(data, trial, options);
+      const double score = engine.cv_score(trial);
       // A term is dropped when its removal keeps the score within the tie
       // band or below the noise floor — it was fitting sub-noise residuals.
       const double keep_bound = std::max(
@@ -340,13 +499,16 @@ void refine_hypothesis(const MeasurementSet& data, const std::vector<Term>& pool
 
 }  // namespace
 
-FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& pool,
-                        const FitOptions& options) {
+FitResult fit_with_pool_engine(FitEngine& engine_handle,
+                               const std::vector<Term>& pool) {
+  FitEngine::Impl& engine = *engine_handle.impl_;
+  const MeasurementSet& data = engine.data;
+  const FitOptions& options = engine.options;
   exareq::require(!data.empty(), "fit_with_pool: empty measurement set");
   exareq::require(options.max_terms >= 1, "fit_with_pool: max_terms must be >= 1");
   exareq::require(options.beam_width >= 1, "fit_with_pool: beam_width must be >= 1");
 
-  double constant_score = cross_validation_score(data, {}, options);
+  double constant_score = engine.cv_score({});
   // A constant hypothesis can be inadmissible only for tiny data sets; fall
   // back to scoring it as the in-sample error then.
   if (!std::isfinite(constant_score)) {
@@ -365,7 +527,7 @@ FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& poo
   Hypothesis best;
   best.score = constant_score;
   if (constant_score > options.score_tolerance) {
-    const auto first_candidates = score_extensions(data, pool, {}, options);
+    const auto first_candidates = score_extensions(engine, pool, {});
     // Branch on every candidate whose single-term score sits within a
     // factor of the best one (the PMNF grid clusters many near-degenerate
     // shapes at the top, and the right *foundation* term is frequently not
@@ -386,8 +548,8 @@ FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& poo
       Hypothesis branch;
       branch.selected = {pool[seed.pool_index]};
       branch.score = seed.score;
-      grow_hypothesis(data, pool, options, branch);
-      refine_hypothesis(data, pool, options, branch);
+      grow_hypothesis(engine, pool, branch);
+      refine_hypothesis(engine, pool, branch);
       const bool better =
           branch.score < best.score * (1.0 - options.tie_tolerance) - 1e-12;
       const bool tied_but_simpler =
@@ -408,7 +570,8 @@ FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& poo
   for (bool pruned = true; pruned && !selected.empty();) {
     pruned = false;
     const CoefficientFit trial_fit =
-        fit_coefficients(data, selected, rows, options);
+        fit_coefficients(data.values(), engine.columns_for(selected), rows,
+                         options, engine.solves);
     if (!trial_fit.admissible) break;
     const Model trial_model = make_model(data, selected, trial_fit);
     for (std::size_t t = 0; t < selected.size(); ++t) {
@@ -422,16 +585,24 @@ FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& poo
             max_share,
             std::fabs(contributing.evaluate(data.coordinate(k))) / total);
       }
-      if (max_share < options.min_term_contribution) {
-        selected.erase(selected.begin() + static_cast<std::ptrdiff_t>(t));
-        current_score = cross_validation_score(data, selected, options);
-        pruned = true;
-        break;
-      }
+      if (max_share >= options.min_term_contribution) continue;
+      std::vector<Term> trial = selected;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(t));
+      const double rescored = engine.cv_score(trial);
+      // The pruned basis can be CV-inadmissible even though the full
+      // hypothesis was fine (the dropped term may be what keeps a fold fit
+      // non-negative or stable). Pruning must never launder a finite score
+      // into +inf: keep the term and the pre-prune score in that case.
+      if (!std::isfinite(rescored)) continue;
+      selected = std::move(trial);
+      current_score = rescored;
+      pruned = true;
+      break;
     }
   }
 
-  CoefficientFit fit = fit_coefficients(data, selected, rows, options);
+  CoefficientFit fit = fit_coefficients(
+      data.values(), engine.columns_for(selected), rows, options, engine.solves);
   if (!fit.admissible) {
     // Degenerate data (fewer points than coefficients was excluded by the
     // CV admissibility test, so this only happens for the constant case on
@@ -445,6 +616,18 @@ FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& poo
   FitResult result;
   result.model = make_model(data, selected, fit);
   result.quality = evaluate_quality(data, result.model, current_score);
+  result.stats = engine_handle.stats();
+  return result;
+}
+
+FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& pool,
+                        const FitOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  FitEngine engine(data, options);
+  FitResult result = fit_with_pool_engine(engine, pool);
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   return result;
 }
 

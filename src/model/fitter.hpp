@@ -9,12 +9,17 @@
 // simplest wins, which keeps models interpretable.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "model/linalg.hpp"
 #include "model/measurement.hpp"
 #include "model/model.hpp"
 #include "model/search_space.hpp"
+
+namespace exareq {
+class ThreadPool;
+}
 
 namespace exareq::model {
 
@@ -65,6 +70,29 @@ struct FitOptions {
   /// that fits well but extrapolates badly. Branching on the best few first
   /// terms and keeping the best final hypothesis resolves this.
   std::size_t beam_width = 6;
+  /// Threads used by the search engine: candidate scoring, replacement
+  /// moves, and (one level up) per-metric fits run on a shared pool of this
+  /// size. 1 runs everything inline on the caller; 0 means hardware
+  /// concurrency. Every thread count selects bit-identical models: tasks
+  /// are pure and reduced serially in index order.
+  std::size_t threads = 1;
+};
+
+/// Observability counters of the model-search engine, aggregated per fit
+/// and summable across metrics (engine-stats layer).
+struct EngineStats {
+  std::size_t hypotheses_scored = 0;  ///< CV scorings requested (incl. memo hits)
+  std::size_t score_cache_hits = 0;   ///< served from the hypothesis-score memo
+  std::size_t cv_solves = 0;          ///< least-squares solves actually run
+  std::size_t basis_column_hits = 0;  ///< basis columns served from the cache
+  std::size_t basis_columns_built = 0;  ///< distinct basis columns evaluated
+  double wall_seconds = 0.0;          ///< wall time of the fit
+  std::size_t threads = 1;            ///< resolved engine thread count
+
+  /// Fraction of score + column lookups answered from a cache.
+  double cache_hit_rate() const;
+
+  EngineStats& operator+=(const EngineStats& other);
 };
 
 /// Quality summary of a fitted model over its training data.
@@ -75,10 +103,56 @@ struct FitQuality {
   std::vector<double> relative_errors;  ///< per measurement point
 };
 
-/// A fitted model together with its quality metrics.
+/// A fitted model together with its quality metrics and the engine-stats
+/// counters accumulated while searching for it.
 struct FitResult {
   Model model;
   FitQuality quality;
+  EngineStats stats;
+};
+
+/// Memoizing scoring engine over one MeasurementSet: owns the basis-column
+/// cache, a hypothesis-score memo, and the observability counters. All
+/// scoring entry points are thread-safe; the free fitting functions create
+/// one engine per fit, and `fit_multi_parameter` shares per-slice engines
+/// across the factor-ranking loop.
+class FitEngine {
+ public:
+  /// The data set must outlive the engine. Resolves `options.threads`
+  /// (0 = hardware concurrency) and attaches the shared pool when > 1.
+  FitEngine(const MeasurementSet& data, const FitOptions& options);
+  ~FitEngine();
+
+  FitEngine(const FitEngine&) = delete;
+  FitEngine& operator=(const FitEngine&) = delete;
+
+  const MeasurementSet& data() const;
+  const FitOptions& options() const;
+
+  /// Resolved thread count; the pool itself (null when serial).
+  std::size_t thread_count() const;
+  exareq::ThreadPool* pool() const;
+
+  /// Memoized leave-one-out CV score of a basis (+inf when inadmissible).
+  double cv_score(const std::vector<Term>& basis);
+
+  /// Full-data refit of a fixed basis; the full-fit admissibility check is
+  /// shared with the CV scoring so the solve counters do not double-count.
+  /// Throws NumericError when the basis is inadmissible.
+  FitResult refit(const std::vector<Term>& basis);
+
+  /// Snapshot of the counters (wall_seconds stays 0; timing belongs to the
+  /// fit driver that owns the engine).
+  EngineStats stats() const;
+
+  /// Opaque implementation; defined in fitter.cpp where the search helpers
+  /// operate on it directly.
+  struct Impl;
+
+ private:
+  friend FitResult fit_with_pool_engine(FitEngine& engine,
+                                        const std::vector<Term>& pool);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Fits the best hypothesis built from `pool` (terms whose coefficients are
@@ -86,6 +160,10 @@ struct FitResult {
 /// of data's parameters. Throws InvalidArgument on an empty data set.
 FitResult fit_with_pool(const MeasurementSet& data, const std::vector<Term>& pool,
                         const FitOptions& options = {});
+
+/// Same search, but on a caller-provided engine so several fits over the
+/// same data can share its caches and counters.
+FitResult fit_with_pool_engine(FitEngine& engine, const std::vector<Term>& pool);
 
 /// Single-parameter fit over the full search space (paper Eq. 1).
 FitResult fit_single_parameter(const MeasurementSet& data,

@@ -1,10 +1,12 @@
 #include "model/multiparam.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exareq::model {
 namespace {
@@ -53,7 +55,8 @@ bool contains_factor(const std::vector<Factor>& factors, const Factor& f) {
 
 std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                                            std::size_t parameter,
-                                           const MultiParamOptions& options) {
+                                           const MultiParamOptions& options,
+                                           EngineStats* stats_out) {
   exareq::require(slice.parameter_count() == 1,
                   "rank_candidate_factors: slice must be single-parameter");
   SearchSpace space = options.space;
@@ -62,11 +65,7 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                 options.collective_parameters.end(),
                 parameter) != options.collective_parameters.end();
 
-  struct Scored {
-    Factor factor;
-    double score;
-  };
-  std::vector<Scored> scored;
+  std::vector<Factor> candidates;
   for (const Factor& factor : space.factors_for(0)) {
     if (factor.special != SpecialFn::kNone &&
         std::find(options.allowed_collectives.begin(),
@@ -74,11 +73,35 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                   factor.special) == options.allowed_collectives.end()) {
       continue;
     }
+    candidates.push_back(factor);
+  }
+
+  // One engine per slice: the ranking, and below it the greedy slice fit,
+  // share the basis-column cache and score memo. Candidate factors are
+  // scored in parallel into an index-addressed array; ranking itself is a
+  // serial stable sort, so the result is thread-count invariant.
+  FitEngine engine(slice, options.fit);
+  std::vector<double> scores(candidates.size(),
+                             std::numeric_limits<double>::infinity());
+  const auto score_one = [&](std::size_t i) {
     Term term;
     term.coefficient = 1.0;
-    term.factors = {factor};
-    const double score = cross_validation_score(slice, {term}, options.fit);
-    if (std::isfinite(score)) scored.push_back({factor, score});
+    term.factors = {candidates[i]};
+    scores[i] = engine.cv_score({term});
+  };
+  if (exareq::ThreadPool* pool = engine.pool()) {
+    pool->parallel_for(candidates.size(), score_one);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+  }
+
+  struct Scored {
+    Factor factor;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (std::isfinite(scores[i])) scored.push_back({candidates[i], scores[i]});
   }
   std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
     return a.score < b.score;
@@ -92,9 +115,17 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
 
   // The slice may be an additive mixture of shapes that no single factor
   // explains; a greedy multi-term fit on the slice surfaces exactly those
-  // component factors, so merge them in.
+  // component factors, so merge them in. The fit reuses the slice engine,
+  // so every single-factor hypothesis it scores is a memo hit.
   if (slice.size() >= 4) {
-    const FitResult slice_fit = fit_single_parameter(slice, space, options.fit);
+    std::vector<Term> slice_pool;
+    for (const Factor& factor : space.factors_for(0)) {
+      Term term;
+      term.coefficient = 1.0;
+      term.factors = {factor};
+      slice_pool.push_back(std::move(term));
+    }
+    const FitResult slice_fit = fit_with_pool_engine(engine, slice_pool);
     for (const Term& term : slice_fit.model.terms()) {
       for (const Factor& factor : term.factors) {
         if (!contains_factor(ranked, factor)) ranked.push_back(factor);
@@ -113,6 +144,7 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
   }
 
   for (Factor& factor : ranked) factor.parameter = parameter;
+  if (stats_out != nullptr) *stats_out += engine.stats();
   return ranked;
 }
 
@@ -162,6 +194,7 @@ std::vector<Term> build_joint_pool(
 FitResult fit_multi_parameter(const MeasurementSet& data,
                               const MultiParamOptions& options) {
   exareq::require(!data.empty(), "fit_multi_parameter: empty measurement set");
+  const auto started = std::chrono::steady_clock::now();
   const std::size_t m = data.parameter_count();
   if (m == 1) {
     SearchSpace space = options.space;
@@ -172,15 +205,22 @@ FitResult fit_multi_parameter(const MeasurementSet& data,
     return fit_single_parameter(data, space, options.fit);
   }
 
+  EngineStats ranking_stats;
   std::vector<std::vector<Factor>> factors_per_parameter(m);
   for (std::size_t l = 0; l < m; ++l) {
     const Coordinate anchor = best_anchor(data, l);
     const MeasurementSet slice = data.slice(l, anchor);
-    factors_per_parameter[l] = rank_candidate_factors(slice, l, options);
+    factors_per_parameter[l] =
+        rank_candidate_factors(slice, l, options, &ranking_stats);
   }
 
   const std::vector<Term> pool = build_joint_pool(factors_per_parameter);
-  return fit_with_pool(data, pool, options.fit);
+  FitResult result = fit_with_pool(data, pool, options.fit);
+  result.stats += ranking_stats;
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
 }
 
 }  // namespace exareq::model

@@ -40,10 +40,12 @@ struct MultiParamOptions {
 
 /// Candidate factors for one parameter ranked by single-parameter
 /// cross-validation score on the given slice; exposed for tests and the
-/// ablation bench.
+/// ablation bench. When `stats_out` is non-null the slice engine's counters
+/// are accumulated into it.
 std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                                            std::size_t parameter,
-                                           const MultiParamOptions& options);
+                                           const MultiParamOptions& options,
+                                           EngineStats* stats_out = nullptr);
 
 /// Builds the joint term pool (singles and pairwise products; for three or
 /// more parameters also the product of every parameter's best factor).

@@ -1,0 +1,54 @@
+#include "model/term_cache.hpp"
+
+#include <cstring>
+
+namespace exareq::model {
+namespace {
+
+void append_raw(std::string& key, const void* bytes, std::size_t size) {
+  key.append(static_cast<const char*>(bytes), size);
+}
+
+void append_factor(std::string& key, const Factor& factor) {
+  append_raw(key, &factor.parameter, sizeof(factor.parameter));
+  append_raw(key, &factor.poly_exponent, sizeof(factor.poly_exponent));
+  append_raw(key, &factor.log_exponent, sizeof(factor.log_exponent));
+  const auto special = static_cast<int>(factor.special);
+  append_raw(key, &special, sizeof(special));
+}
+
+void append_term(std::string& key, const Term& term) {
+  key.push_back('t');
+  for (const Factor& factor : term.factors) append_factor(key, factor);
+}
+
+}  // namespace
+
+std::string basis_key(const std::vector<Term>& basis) {
+  std::string key;
+  key.reserve(basis.size() * 32);
+  for (const Term& term : basis) append_term(key, term);
+  return key;
+}
+
+TermCache::TermCache(const MeasurementSet& data) : data_(&data) {}
+
+const std::vector<double>& TermCache::column(const Term& term) {
+  std::string key;
+  append_term(key, term);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = columns_.find(key);
+  if (it != columns_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto values = std::make_unique<std::vector<double>>();
+  values->reserve(data_->size());
+  for (const Coordinate& x : data_->coordinates()) {
+    values->push_back(term.evaluate_basis(x));
+  }
+  return *columns_.emplace(key, std::move(values)).first->second;
+}
+
+}  // namespace exareq::model

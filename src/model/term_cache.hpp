@@ -1,0 +1,53 @@
+// Per-MeasurementSet basis-column cache.
+//
+// Every hypothesis scoring step needs the column of a term's basis values
+// over all coordinates of the data set — for the full-fit design matrix,
+// for each leave-one-out fold, and for the left-out prediction. Without a
+// cache the same `Term::evaluate_basis` column is recomputed
+// O(pool x folds x search rounds) times per fit; with it, each distinct
+// basis is evaluated exactly once and folds merely index into the column.
+// Caching changes nothing numerically: the cached values are the very
+// doubles `evaluate_basis` would return.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/measurement.hpp"
+#include "model/model.hpp"
+
+namespace exareq::model {
+
+/// Order-sensitive structural key of a term list (coefficients excluded);
+/// also used to memoize hypothesis scores in the fit engine.
+std::string basis_key(const std::vector<Term>& basis);
+
+/// Thread-safe memoized basis columns over one MeasurementSet. The set must
+/// outlive the cache.
+class TermCache {
+ public:
+  explicit TermCache(const MeasurementSet& data);
+
+  /// Basis values of `term` at every coordinate of the data set, computed
+  /// on first use. The returned reference stays valid for the cache's
+  /// lifetime (entries are never evicted).
+  const std::vector<double>& column(const Term& term);
+
+  std::size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  const MeasurementSet* data_;
+  mutable std::mutex mutex_;
+  // unique_ptr keeps returned references stable across rehashes.
+  std::unordered_map<std::string, std::unique_ptr<std::vector<double>>> columns_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace exareq::model

@@ -1,9 +1,11 @@
 #include "pipeline/campaign.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "support/error.hpp"
 #include "support/format.hpp"
+#include "support/thread_pool.hpp"
 
 namespace exareq::pipeline {
 
@@ -187,8 +189,14 @@ CampaignData CampaignData::from_csv(const exareq::CsvDocument& doc,
     m.bytes_sent_received = doc.number_at(row, comm_col);
     m.stack_distance = doc.number_at(row, sd_col);
     for (const ChannelColumn& column : channel_columns) {
+      const double bytes = doc.number_at(row, column.column);
+      // Zero-byte cells are fill-ins `to_csv` writes for configurations
+      // where the call path never occurred. Materializing them would grow
+      // phantom channel entries on every round trip; `channel_data` already
+      // treats missing channels as 0 bytes.
+      if (bytes == 0.0) continue;
       ChannelMeasurement entry = column.traits;
-      entry.bytes = doc.number_at(row, column.column);
+      entry.bytes = bytes;
       m.channels.emplace(column.name, entry);
     }
     data.measurements.push_back(m);
@@ -257,35 +265,72 @@ RequirementModels model_requirements(const CampaignData& data,
   model::MetricTraits communication;
   communication.is_communication = true;
 
-  models.bytes_used = generator.generate(data.metric_data(Metric::kBytesUsed), plain);
-  models.flops = generator.generate(data.metric_data(Metric::kFlops), plain);
-  models.bytes_sent_received = generator.generate(
-      data.metric_data(Metric::kBytesSentReceived), communication);
-  models.loads_stores =
-      generator.generate(data.metric_data(Metric::kLoadsStores), plain);
-  models.stack_distance =
-      generator.generate(data.metric_data(Metric::kStackDistance), plain);
+  // Every fit writes into its own slot, so the per-metric and per-channel
+  // fits can run concurrently; nested engine parallelism runs inline on the
+  // same shared pool (the depth guard in ThreadPool prevents deadlock and
+  // oversubscription). Results are identical at any thread count.
+  const std::vector<std::string> channel_names = data.channel_names();
+  models.comm_channels.resize(channel_names.size());
 
-  for (const std::string& name : data.channel_names()) {
-    ChannelModel channel;
-    channel.name = name;
-    channel.traits = data.channel_traits(name);
-    model::MetricTraits traits;
-    traits.is_communication = true;
-    traits.collectives.clear();
-    if (channel.traits.uses_allreduce) {
-      traits.collectives.push_back(model::SpecialFn::kAllreduce);
-    }
-    if (channel.traits.uses_bcast) {
-      traits.collectives.push_back(model::SpecialFn::kBcast);
-    }
-    if (channel.traits.uses_alltoall) {
-      traits.collectives.push_back(model::SpecialFn::kAlltoall);
-    }
-    channel.fit = generator.generate(data.channel_data(name), traits);
-    models.comm_channels.push_back(std::move(channel));
+  std::vector<std::function<void()>> fits;
+  fits.push_back([&] {
+    models.bytes_used =
+        generator.generate(data.metric_data(Metric::kBytesUsed), plain);
+  });
+  fits.push_back([&] {
+    models.flops = generator.generate(data.metric_data(Metric::kFlops), plain);
+  });
+  fits.push_back([&] {
+    models.bytes_sent_received = generator.generate(
+        data.metric_data(Metric::kBytesSentReceived), communication);
+  });
+  fits.push_back([&] {
+    models.loads_stores =
+        generator.generate(data.metric_data(Metric::kLoadsStores), plain);
+  });
+  fits.push_back([&] {
+    models.stack_distance =
+        generator.generate(data.metric_data(Metric::kStackDistance), plain);
+  });
+  for (std::size_t i = 0; i < channel_names.size(); ++i) {
+    fits.push_back([&, i] {
+      const std::string& name = channel_names[i];
+      ChannelModel channel;
+      channel.name = name;
+      channel.traits = data.channel_traits(name);
+      model::MetricTraits traits;
+      traits.is_communication = true;
+      traits.collectives.clear();
+      if (channel.traits.uses_allreduce) {
+        traits.collectives.push_back(model::SpecialFn::kAllreduce);
+      }
+      if (channel.traits.uses_bcast) {
+        traits.collectives.push_back(model::SpecialFn::kBcast);
+      }
+      if (channel.traits.uses_alltoall) {
+        traits.collectives.push_back(model::SpecialFn::kAlltoall);
+      }
+      channel.fit = generator.generate(data.channel_data(name), traits);
+      models.comm_channels[i] = std::move(channel);
+    });
+  }
+
+  std::size_t threads = options.fit.threads;
+  if (threads == 0) threads = exareq::ThreadPool::hardware_threads();
+  if (threads <= 1) {
+    for (const auto& fit : fits) fit();
+  } else {
+    exareq::shared_pool(threads).parallel_for(
+        fits.size(), [&](std::size_t i) { fits[i](); });
   }
   return models;
+}
+
+model::EngineStats RequirementModels::engine_stats() const {
+  model::EngineStats total;
+  for (Metric metric : all_metrics()) total += result(metric).stats;
+  for (const ChannelModel& channel : comm_channels) total += channel.fit.stats;
+  return total;
 }
 
 double RequirementModels::comm_bytes_at(double p, double n) const {

@@ -91,4 +91,25 @@ std::string render_assessment(const RequirementModels& models) {
   return os.str();
 }
 
+std::string render_engine_stats(const RequirementModels& models) {
+  TextTable table({"Fit", "Hypotheses", "CV solves", "Cache hit %", "Wall [ms]"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  const auto add = [&](const std::string& label, const model::EngineStats& s) {
+    table.add_row({label, format_count(s.hypotheses_scored),
+                   format_count(s.cv_solves),
+                   format_fixed(100.0 * s.cache_hit_rate(), 1),
+                   format_fixed(1e3 * s.wall_seconds, 1)});
+  };
+  for (Metric metric : all_metrics()) {
+    add(metric_label(metric), models.result(metric).stats);
+  }
+  for (const ChannelModel& channel : models.comm_channels) {
+    add("#Bytes sent & recv [" + channel.name + "]", channel.fit.stats);
+  }
+  const model::EngineStats total = models.engine_stats();
+  add("Total (threads=" + std::to_string(total.threads) + ")", total);
+  return table.render();
+}
+
 }  // namespace exareq::pipeline

@@ -29,4 +29,9 @@ std::string render_models(const RequirementModels& models,
 /// signs) and which parameter dominates each metric at scale.
 std::string render_assessment(const RequirementModels& models);
 
+/// Engine observability table: hypotheses scored, least-squares solves,
+/// cache hit rate, and wall time per metric and call-path fit, plus a
+/// totals row.
+std::string render_engine_stats(const RequirementModels& models);
+
 }  // namespace exareq::pipeline

@@ -1,0 +1,140 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace exareq {
+namespace {
+
+/// Depth of parallel_for bodies running on this thread. Non-zero means we
+/// are already inside a parallel region (worker or participating caller),
+/// so further parallel_for calls must run inline to avoid deadlocking on
+/// the shared job slot.
+thread_local std::size_t g_parallel_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++g_parallel_depth; }
+  ~DepthGuard() { --g_parallel_depth; }
+};
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  thread_count_ = threads;
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::execute(Job& job) {
+  const DepthGuard guard;
+  for (;;) {
+    const std::size_t index = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.count) break;
+    try {
+      (*job.body)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      // Keep the exception of the smallest failing index so the error a
+      // caller sees does not depend on thread scheduling.
+      if (index < job.error_index) {
+        job.error_index = index;
+        job.error = std::current_exception();
+      }
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      // Touch the mutex before notifying so the completion cannot slip
+      // between the waiting caller's predicate check and its sleep.
+      { const std::lock_guard<std::mutex> lock(mutex_); }
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    execute(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || g_parallel_depth > 0) {
+    const DepthGuard guard;
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->count = count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  execute(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->count;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& shared_pool(std::size_t threads) {
+  static std::mutex pool_mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  const std::lock_guard<std::mutex> lock(pool_mutex);
+  if (pool == nullptr || pool->thread_count() != threads) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool;
+}
+
+}  // namespace exareq

@@ -1,0 +1,67 @@
+// Fixed-size thread pool for the model-search engine.
+//
+// The pool deliberately avoids work stealing: `parallel_for` hands out task
+// indices from a single atomic counter and every side effect of a task must
+// be stored under its own index, so results can be reduced serially in index
+// order afterwards. That makes every parallel computation in the engine
+// bit-identical to its serial equivalent regardless of the thread count —
+// the property the `--threads 1` reproducibility contract relies on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exareq {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs `parallel_for` bodies on `threads` threads in
+  /// total: `threads - 1` workers plus the calling thread. `threads == 1`
+  /// creates no workers and every call runs inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return thread_count_; }
+
+  /// Runs body(i) for every i in [0, count) and blocks until all calls have
+  /// finished. Task side effects must be indexed by i (see file comment).
+  /// Nested calls — from a worker or from a body running on the caller —
+  /// execute inline on the current thread, so the engine can parallelize an
+  /// outer loop (metrics) without oversubscribing the inner ones (terms).
+  /// If bodies throw, the exception of the smallest failing index is
+  /// rethrown here once every task has settled.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency, never less than 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job;
+  void worker_loop();
+  void execute(Job& job);
+
+  std::size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by the model engine, (re)created on demand with
+/// the requested size. Intended for one top-level analysis at a time: do not
+/// call with different sizes from concurrently running fits.
+ThreadPool& shared_pool(std::size_t threads);
+
+}  // namespace exareq

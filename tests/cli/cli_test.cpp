@@ -94,6 +94,21 @@ TEST(CliTest, MeasureThenAnalyzeFromFile) {
   // Loading from a file must not re-measure.
   EXPECT_EQ(modeled.err.find("[measuring"), std::string::npos);
 
+  // The engine observability block is part of the model report.
+  EXPECT_NE(modeled.out.find("Engine stats:"), std::string::npos);
+  EXPECT_NE(modeled.out.find("Hypotheses"), std::string::npos);
+  EXPECT_NE(modeled.out.find("CV solves"), std::string::npos);
+  EXPECT_NE(modeled.out.find("Total (threads="), std::string::npos);
+
+  // --threads 1 selects the same models as the default pool.
+  const CliRun serial =
+      run({"model", "Kripke", "--in", path, "--threads", "1"});
+  EXPECT_EQ(serial.exit_code, 0) << serial.err;
+  const auto models_prefix = [](const std::string& text) {
+    return text.substr(0, text.find("Engine stats:"));
+  };
+  EXPECT_EQ(models_prefix(serial.out), models_prefix(modeled.out));
+
   const CliRun upgraded = run({"upgrade", "Kripke", "--in", path});
   EXPECT_EQ(upgraded.exit_code, 0) << upgraded.err;
   EXPECT_NE(upgraded.out.find("Double the racks"), std::string::npos);
@@ -133,6 +148,15 @@ TEST(CliTest, MissingInputFileFails) {
   const CliRun result = run({"model", "Kripke", "--in", "/nonexistent.csv"});
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, ThreadsFlagRejectsBadValues) {
+  for (const char* bad : {"-1", "1.5", "many"}) {
+    const CliRun result = run({"model", "Kripke", "--in", "/nonexistent.csv",
+                               "--threads", bad});
+    EXPECT_EQ(result.exit_code, 1) << bad;
+    EXPECT_NE(result.err.find("--threads"), std::string::npos) << bad;
+  }
 }
 
 TEST(CliTest, ParseIntList) {

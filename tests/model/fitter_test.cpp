@@ -208,6 +208,96 @@ TEST(FitterTest, CollinearPoolTermsDoNotCrash) {
   EXPECT_EQ(result.model.terms().size(), 1u);
 }
 
+TEST(FitterTest, PruningNeverTradesAFiniteScoreForInf) {
+  // Regression: y = 1000 x + 2 sqrt(x) + 1e-4 x^2. The sqrt term's share
+  // never reaches min_term_contribution, so the contribution pruning tries
+  // to drop it — but its concavity is what keeps the tiny x^2 coefficient
+  // non-negative, so the pruned basis {x, x^2} is CV-inadmissible. The
+  // engine must keep the term and the finite pre-prune score instead of
+  // reporting cv_score = +inf and collapsing the model to a constant.
+  MeasurementSet data({"x"});
+  double x = 4.0;
+  for (int i = 0; i < 6; ++i) {
+    data.add({x}, 1e3 * x + 2.0 * std::sqrt(x) + 1e-4 * x * x);
+    x *= 2.0;
+  }
+  const auto term = [](double poly) {
+    Term t;
+    t.coefficient = 1.0;
+    t.factors = {pmnf_factor(0, poly, 0.0)};
+    return t;
+  };
+  FitOptions options;
+  options.score_tolerance = 0.0;
+  options.improvement_threshold = 0.05;
+  const FitResult result =
+      fit_with_pool(data, {term(1.0), term(0.5), term(2.0)}, options);
+  EXPECT_TRUE(std::isfinite(result.quality.cv_score))
+      << result.model.to_string();
+  ASSERT_FALSE(result.model.is_constant()) << result.model.to_string();
+  // The dominant linear trend must survive.
+  EXPECT_NEAR(result.model.evaluate1(128.0), 1e3 * 128.0, 0.01 * 1e3 * 128.0);
+}
+
+TEST(FitterTest, ThreadCountDoesNotChangeTheModel) {
+  // The reproducibility contract: any thread count selects bit-identical
+  // models — parallel tasks are pure and reduced serially in index order.
+  const std::vector<double> wide{4.0,   8.0,   16.0,  32.0,  64.0,
+                                 128.0, 256.0, 512.0, 1024.0};
+  const auto data =
+      sample_1d(wide, [](double v) { return 2e4 * v * std::log2(v) + 700.0 * v; },
+                0.004, 17);
+  FitOptions serial;
+  serial.threads = 1;
+  const FitResult reference = fit_single_parameter(
+      data, SearchSpace::paper_default(), serial);
+  for (std::size_t threads : {2u, 8u}) {
+    FitOptions options;
+    options.threads = threads;
+    const FitResult result = fit_single_parameter(
+        data, SearchSpace::paper_default(), options);
+    EXPECT_EQ(result.model.to_string(), reference.model.to_string())
+        << threads << " threads";
+    EXPECT_EQ(result.quality.cv_score, reference.quality.cv_score)
+        << threads << " threads";
+    ASSERT_EQ(result.model.terms().size(), reference.model.terms().size());
+    for (std::size_t i = 0; i < result.model.terms().size(); ++i) {
+      EXPECT_EQ(result.model.terms()[i].coefficient,
+                reference.model.terms()[i].coefficient)
+          << threads << " threads, term " << i;
+    }
+  }
+}
+
+TEST(FitterTest, EngineStatsCountTheSearch) {
+  const auto data = sample_1d(kProcessCounts,
+                              [](double v) { return 3e3 * v * std::log2(v); });
+  const FitResult result = fit_single_parameter(data);
+  EXPECT_GT(result.stats.hypotheses_scored, 0u);
+  EXPECT_GT(result.stats.cv_solves, 0u);
+  // The beam branches rescore shared prefixes, so the memo must hit.
+  EXPECT_GT(result.stats.score_cache_hits + result.stats.basis_column_hits, 0u);
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+  EXPECT_EQ(result.stats.threads, 1u);
+  const double rate = result.stats.cache_hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+TEST(FitterTest, EngineRefitSolvesOncePerFoldPlusFull) {
+  // refit shares the full-fit admissibility check with the CV scoring: one
+  // full solve plus one per leave-one-out fold, never a double-solve.
+  const auto data =
+      sample_1d(kProcessCounts, [](double v) { return 4.0 * v + 100.0; });
+  Term linear;
+  linear.coefficient = 1.0;
+  linear.factors = {pmnf_factor(0, 1.0, 0.0)};
+  FitEngine engine(data, FitOptions{});
+  const FitResult result = engine.refit({linear});
+  EXPECT_NEAR(result.model.terms()[0].coefficient, 4.0, 1e-9);
+  EXPECT_EQ(engine.stats().cv_solves, data.size() + 1);
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: the fitter must recover every planted exponent pair from
 // the paper's Table II over clean synthetic data.

@@ -80,7 +80,7 @@ TEST_P(PlantedRecoveryTest, ExtrapolatesTenfoldWithinFivePercent) {
   traits.is_communication = planted.communication;
   const FitResult fit = generator.generate(data, traits);
 
-  for (const auto [p, n] : {std::pair{512.0, 8192.0}, {1024.0, 16384.0}}) {
+  for (const auto& [p, n] : {std::pair{512.0, 8192.0}, {1024.0, 16384.0}}) {
     const double truth = planted.truth(p, n);
     const double predicted = fit.model.evaluate2(p, n);
     EXPECT_NEAR(predicted, truth, 0.05 * truth)

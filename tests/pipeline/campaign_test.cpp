@@ -104,6 +104,34 @@ TEST(CampaignTest, CsvRoundTripPreservesEverything) {
   }
 }
 
+TEST(CampaignTest, CsvRoundTripDoesNotMaterializePhantomChannels) {
+  // A call path absent from one configuration is written as a 0-byte cell
+  // by to_csv; from_csv must not materialize it as a channel entry, or
+  // every round trip grows phantom channels on such configurations.
+  CampaignData data;
+  data.app_name = "Synthetic";
+  AppMeasurement with_halo;
+  with_halo.processes = 4;
+  with_halo.problem_size = 64;
+  with_halo.bytes_sent_received = 3e6;
+  with_halo.channels["halo"] = ChannelMeasurement{3e6, false, false, false};
+  AppMeasurement without_halo;  // p = 1: no halo traffic occurred
+  without_halo.processes = 1;
+  without_halo.problem_size = 64;
+  data.measurements = {with_halo, without_halo};
+
+  const CampaignData restored =
+      CampaignData::from_csv(data.to_csv(), data.app_name);
+  ASSERT_EQ(restored.measurements.size(), 2u);
+  EXPECT_EQ(restored.measurements[0].channels.size(), 1u);
+  EXPECT_TRUE(restored.measurements[1].channels.empty());
+  // And again: the round trip must be a fixed point.
+  const CampaignData twice =
+      CampaignData::from_csv(restored.to_csv(), restored.app_name);
+  EXPECT_TRUE(twice.measurements[1].channels.empty());
+  EXPECT_DOUBLE_EQ(twice.measurements[0].channels.at("halo").bytes, 3e6);
+}
+
 TEST(CampaignTest, MetricLabelsMatchTableI) {
   EXPECT_EQ(metric_label(Metric::kBytesUsed), "#Bytes used");
   EXPECT_EQ(metric_label(Metric::kFlops), "#FLOP");

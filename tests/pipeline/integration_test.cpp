@@ -46,6 +46,19 @@ double n_ratio(const model::Model& m, double p, double n) {
 constexpr double kBigP = 1048576.0;  // 2^20
 constexpr double kBigN = 1048576.0;
 
+// --- engine observability ----------------------------------------------------
+
+TEST(IntegrationTest, EngineStatsAccumulateAcrossAllFits) {
+  const model::EngineStats stats = artifacts(apps::AppId::kMilc).models.engine_stats();
+  EXPECT_GT(stats.hypotheses_scored, 0u);
+  EXPECT_GT(stats.cv_solves, 0u);
+  EXPECT_GT(stats.score_cache_hits + stats.basis_column_hits, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.threads, 1u);
+  EXPECT_GE(stats.cache_hit_rate(), 0.0);
+  EXPECT_LE(stats.cache_hit_rate(), 1.0);
+}
+
 // --- model quality (paper Fig. 3) -------------------------------------------
 
 TEST(IntegrationTest, ModelErrorsMatchFigureThree) {

@@ -108,5 +108,26 @@ TEST(ReportTest, AssessmentFlagsGrowingStackDistance) {
   EXPECT_NE(text.find("stack distance grows"), std::string::npos);
 }
 
+TEST(ReportTest, EngineStatsTableListsEveryFitAndATotal) {
+  RequirementModels models = sample_models(false, true);
+  models.flops.stats.hypotheses_scored = 1234;
+  models.flops.stats.cv_solves = 567;
+  models.flops.stats.wall_seconds = 0.25;
+  models.flops.stats.threads = 4;
+  ChannelModel channel;
+  channel.name = "cg_allreduce";
+  channel.fit = fit_of(coupled_model());
+  channel.fit.stats.hypotheses_scored = 10;
+  models.comm_channels.push_back(channel);
+
+  const std::string text = render_engine_stats(models);
+  EXPECT_NE(text.find("Hypotheses"), std::string::npos);
+  EXPECT_NE(text.find("CV solves"), std::string::npos);
+  EXPECT_NE(text.find("1,234"), std::string::npos);
+  EXPECT_NE(text.find("cg_allreduce"), std::string::npos);
+  // The totals row carries the resolved thread count (max across fits).
+  EXPECT_NE(text.find("Total (threads=4)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace exareq::pipeline

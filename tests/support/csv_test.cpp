@@ -48,6 +48,23 @@ TEST(CsvTest, HandlesCrLfLineEndings) {
   EXPECT_EQ(doc.rows()[0][1], "2");
 }
 
+TEST(CsvTest, QuotedFieldPreservesCrLfVerbatim) {
+  // Only line terminators outside quotes are normalized; a CRLF inside a
+  // quoted field is data and must survive untouched.
+  const std::string text = "a,b\r\n\"two\r\nlines\",x\r\n";
+  const CsvDocument doc = CsvDocument::parse_string(text);
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][0], "two\r\nlines");
+  EXPECT_EQ(doc.rows()[0][1], "x");
+}
+
+TEST(CsvTest, ParsesFileWithoutTrailingNewline) {
+  const CsvDocument doc = CsvDocument::parse_string("a,b\n1,2\n3,4");
+  ASSERT_EQ(doc.rows().size(), 2u);
+  EXPECT_EQ(doc.rows()[1][0], "3");
+  EXPECT_EQ(doc.rows()[1][1], "4");
+}
+
 TEST(CsvTest, RejectsRaggedRows) {
   EXPECT_THROW(CsvDocument::parse_string("a,b\n1\n"), InvalidArgument);
 }

@@ -128,6 +128,29 @@ TEST(StatsTest, BinCountsClampsOutOfRange) {
   EXPECT_EQ(counts[1], 1u);
 }
 
+TEST(StatsTest, BinCountsTopEdgeValueFallsInLastBin) {
+  // The top edge is closed: a value exactly on it belongs to the last bin,
+  // while interior edges are half-open (value on edge i opens bin i).
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const auto top = bin_counts(std::vector<double>{2.0}, edges);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+  const auto interior = bin_counts(std::vector<double>{1.0}, edges);
+  EXPECT_EQ(interior[0], 0u);
+  EXPECT_EQ(interior[1], 1u);
+  const auto bottom = bin_counts(std::vector<double>{0.0}, edges);
+  EXPECT_EQ(bottom[0], 1u);
+  EXPECT_EQ(bottom[1], 0u);
+}
+
+TEST(StatsTest, BinCountsClampsBelowRangeIntoFirstBin) {
+  const std::vector<double> edges{10.0, 20.0, 30.0};
+  const auto counts =
+      bin_counts(std::vector<double>{-1e300, 9.999, 35.0}, edges);
+  EXPECT_EQ(counts[0], 2u);  // both below-range values clamp to bin 0
+  EXPECT_EQ(counts[1], 1u);  // above-range clamps to the last bin
+}
+
 TEST(StatsTest, BinCountsRejectsNonIncreasingEdges) {
   const std::vector<double> values{1.0};
   EXPECT_THROW(bin_counts(values, std::vector<double>{0.0, 0.0}), InvalidArgument);

@@ -1,0 +1,99 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace exareq {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedCallsExecuteInline) {
+  // An outer task calling parallel_for again must not deadlock on the
+  // pool's single job slot: nested calls run inline on the current thread.
+  ThreadPool pool(3);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 10;
+  std::vector<std::vector<int>> sums(kOuter, std::vector<int>(kInner, 0));
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&, i](std::size_t j) {
+      sums[i][j] = static_cast<int>(i * kInner + j);
+    });
+  });
+  int total = 0;
+  for (const auto& row : sums) total += std::accumulate(row.begin(), row.end(), 0);
+  const int n = kOuter * kInner;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionOfSmallestFailingIndex) {
+  ThreadPool pool(4);
+  // Several failing indices: the reported error must be deterministic —
+  // the smallest index wins regardless of execution order.
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 97 || i == 13 || i == 55) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 13");
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, SharedPoolReusesInstanceForSameSize) {
+  ThreadPool& a = shared_pool(2);
+  ThreadPool& b = shared_pool(2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.thread_count(), 2u);
+  std::atomic<int> count{0};
+  a.parallel_for(32, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace exareq
