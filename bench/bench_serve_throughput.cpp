@@ -1,0 +1,147 @@
+// Throughput benchmark for the serve subsystem: a preloaded registry
+// answering a mixed eval/invert/upgrade workload at 1-8 worker threads.
+// Prints a scaling table and writes BENCH_serve.json (req/s, cache hit
+// rate, p99 latency) for trend tracking.
+#include <chrono>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace exareq;
+
+/// Deterministic mixed workload: mostly cheap evals over a reusable set of
+/// points (so the result cache sees repeats, as a real service would), plus
+/// footprint inversions and full upgrade-scenario sweeps.
+std::vector<std::string> make_workload(const std::string& app,
+                                       std::size_t requests) {
+  std::vector<std::string> lines;
+  lines.reserve(requests);
+  const char* metrics[] = {"footprint", "flops", "comm_bytes", "loads_stores"};
+  for (std::size_t i = 0; i < requests; ++i) {
+    switch (i % 10) {
+      case 8: {  // 10 % inversions over 16 distinct skeletons
+        const std::size_t v = i / 10 % 16;
+        lines.push_back("invert " + app + ' ' +
+                        std::to_string(1024 << (v % 4)) + ' ' +
+                        std::to_string((1 + v / 4) * 1000000000ULL));
+        break;
+      }
+      case 9: {  // 10 % upgrade sweeps over 8 distinct bases
+        const std::size_t v = i / 10 % 8;
+        lines.push_back("upgrade " + app + ' ' +
+                        std::to_string(2048 << (v % 4)) + ' ' +
+                        std::to_string((1 + v / 4) * 2000000000ULL));
+        break;
+      }
+      default: {  // 80 % evals over 64 distinct (metric, p, n) points
+        const std::size_t v = i * 7 % 64;
+        lines.push_back(std::string("eval ") + app + ' ' + metrics[v % 4] +
+                        ' ' + std::to_string(16 << (v / 4 % 4)) + ' ' +
+                        std::to_string(256 << (v / 16)));
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+struct RunResult {
+  std::size_t workers;
+  double seconds;
+  double requests_per_second;
+  double cache_hit_rate;
+  double p99_latency_us;
+};
+
+RunResult run_one(serve::ModelRegistry& registry,
+                  const std::vector<std::string>& workload,
+                  std::size_t workers) {
+  // A fresh server per worker count: cold cache, so hit rates compare.
+  serve::Server server(registry,
+                       {.workers = workers,
+                        .queue_capacity = workload.size(),
+                        .cache_capacity = 4096});
+  std::vector<std::future<std::string>> responses;
+  responses.reserve(workload.size());
+  const auto started = std::chrono::steady_clock::now();
+  for (const std::string& line : workload) {
+    responses.push_back(server.submit(line));
+  }
+  std::size_t errors = 0;
+  for (auto& response : responses) {
+    if (response.get().rfind("ok", 0) != 0) ++errors;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  if (errors > 0) {
+    std::cerr << "warning: " << errors << " error responses\n";
+  }
+  const serve::MetricsSnapshot snapshot = server.metrics();
+  return {workers, elapsed.count(),
+          static_cast<double>(workload.size()) / elapsed.count(),
+          snapshot.cache_hit_rate(), snapshot.p99_latency_us};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Serve throughput: mixed query workload vs. workers",
+                      "serving subsystem (beyond the paper)");
+
+  const codesign::AppRequirements& app =
+      bench::app_models(apps::AppId::kLulesh).requirements;
+  serve::ModelRegistry registry;
+  registry.insert(app);
+
+  constexpr std::size_t kRequests = 20000;
+  const std::vector<std::string> workload =
+      make_workload(app.name, kRequests);
+
+  std::vector<RunResult> results;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    results.push_back(run_one(registry, workload, workers));
+  }
+
+  TextTable table({"Workers", "Req/s", "Speedup", "Hit rate", "p99 [us]"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight});
+  for (const RunResult& r : results) {
+    table.add_row({std::to_string(r.workers),
+                   format_compact(r.requests_per_second),
+                   format_fixed(r.requests_per_second /
+                                    results.front().requests_per_second,
+                                2) +
+                       "x",
+                   format_fixed(100.0 * r.cache_hit_rate, 1) + " %",
+                   format_compact(r.p99_latency_us)});
+  }
+  std::cout << '\n' << table.render() << '\n';
+
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"serve_throughput\",\n"
+       << "  \"app\": \"" << app.name << "\",\n"
+       << "  \"requests\": " << kRequests << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\"workers\": " << r.workers << ", \"seconds\": " << r.seconds
+         << ", \"requests_per_second\": " << r.requests_per_second
+         << ", \"cache_hit_rate\": " << r.cache_hit_rate
+         << ", \"p99_latency_us\": " << r.p99_latency_us << '}'
+         << (i + 1 < results.size() ? "," : "") << '\n';
+  }
+  json << "  ]\n}\n";
+  std::ofstream("BENCH_serve.json") << json.str();
+  std::cout << "\nwrote BENCH_serve.json\n";
+  return 0;
+}

@@ -1,11 +1,17 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <csignal>
+#include <chrono>
 #include <fstream>
+#include <future>
 #include <map>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "codesign/strawman.hpp"
 #include "codesign/upgrade.hpp"
@@ -14,6 +20,10 @@
 #include "pipeline/campaign.hpp"
 #include "pipeline/codesign_bridge.hpp"
 #include "pipeline/report.hpp"
+#include "pipeline/serve_bridge.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/socket_server.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/table.hpp"
@@ -42,15 +52,45 @@ struct Flags {
                     "flag --" + name + " expects a number, got '" + *value + "'");
     return parsed;
   }
+
+  /// Integer flags are parsed as integers (not doubles-then-cast), so
+  /// "1.5" and "1e3" are rejected outright.
+  std::int64_t integer(const std::string& name, std::int64_t fallback) const {
+    const auto value = get(name);
+    if (!value.has_value()) return fallback;
+    std::int64_t parsed = 0;
+    const char* begin = value->data();
+    const char* end = value->data() + value->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+    exareq::require(ec == std::errc{} && ptr == end,
+                    "flag --" + name + " expects an integer, got '" + *value +
+                        "'");
+    return parsed;
+  }
+
+  bool flag_set(const std::string& name) const {
+    return values.find(name) != values.end();
+  }
 };
+
+/// Flags that take no value.
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags = {"status"};
+  return flags;
+}
 
 Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
   Flags flags;
   for (std::size_t i = first; i < args.size(); ++i) {
     exareq::require(args[i].rfind("--", 0) == 0,
                     "expected a --flag, got '" + args[i] + "'");
+    const std::string name = args[i].substr(2);
+    if (boolean_flags().count(name) != 0) {
+      flags.values[name] = "1";
+      continue;
+    }
     exareq::require(i + 1 < args.size(), "flag " + args[i] + " needs a value");
-    flags.values[args[i].substr(2)] = args[i + 1];
+    flags.values[name] = args[i + 1];
     ++i;
   }
   return flags;
@@ -74,9 +114,10 @@ pipeline::CampaignConfig campaign_config(const Flags& flags) {
 /// (default 0 = hardware concurrency; 1 = serial reference behavior).
 model::GeneratorOptions generator_options(const Flags& flags) {
   model::GeneratorOptions options;
-  const double threads = flags.number("threads", 0.0);
-  exareq::require(threads >= 0.0 && threads == static_cast<std::size_t>(threads),
-                  "--threads expects a non-negative integer");
+  const std::int64_t threads = flags.integer("threads", 0);
+  exareq::require(threads >= 0,
+                  "flag --threads expects a non-negative integer, got " +
+                      std::to_string(threads));
   options.fit.threads = static_cast<std::size_t>(threads);
   return options;
 }
@@ -135,16 +176,7 @@ int cmd_model(const apps::Application& app, const Flags& flags,
   if (const auto path = flags.get("models-out")) {
     std::ofstream file(*path);
     exareq::require(file.good(), "cannot write model file '" + *path + "'");
-    const codesign::AppRequirements req = pipeline::to_requirements(models);
-    file << "# exareq requirement models: " << app.name() << "\n";
-    for (const auto& [label, m] :
-         {std::pair<const char*, const model::Model*>{"footprint", &req.footprint},
-          {"flops", &req.flops},
-          {"comm_bytes", &req.comm_bytes},
-          {"loads_stores", &req.loads_stores},
-          {"stack_distance", &req.stack_distance}}) {
-      file << "# " << label << "\n" << model::serialize_model(*m);
-    }
+    file << model::serialize_bundle(pipeline::to_model_bundle(models));
     err << "wrote serialized models to " << *path << "\n";
   }
   return 0;
@@ -234,6 +266,100 @@ int cmd_locality(const apps::Application& app, const Flags& flags,
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Serve options from flags (workers/queue/deadline-ms/cache).
+serve::ServerOptions server_options(const Flags& flags) {
+  serve::ServerOptions options;
+  const std::int64_t workers = flags.integer("workers", 0);
+  exareq::require(workers >= 0, "--workers expects a non-negative integer");
+  options.workers = static_cast<std::size_t>(workers);
+  const std::int64_t queue = flags.integer("queue", 256);
+  exareq::require(queue >= 1, "--queue expects a positive integer");
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  const std::int64_t deadline = flags.integer("deadline-ms", 0);
+  exareq::require(deadline >= 0, "--deadline-ms expects a non-negative integer");
+  options.deadline = std::chrono::milliseconds(deadline);
+  const std::int64_t cache = flags.integer("cache", 1024);
+  exareq::require(cache >= 0, "--cache expects a non-negative integer");
+  options.cache_capacity = static_cast<std::size_t>(cache);
+  return options;
+}
+
+/// Splits a comma-separated file list ("a.models,b.models").
+std::vector<std::string> split_paths(const std::string& text) {
+  std::vector<std::string> paths;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) paths.push_back(item);
+  }
+  return paths;
+}
+
+int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
+  serve::ModelRegistry registry(
+      pipeline::make_registry_fitter(campaign_config(flags)));
+  if (const auto models = flags.get("models")) {
+    for (const std::string& path : split_paths(*models)) {
+      const std::string name = registry.load_file(path);
+      err << "loaded models for " << name << " from " << path << "\n";
+    }
+  }
+  serve::Server server(registry, server_options(flags));
+
+  const auto requests = flags.get("requests");
+  const auto socket_path = flags.get("socket");
+  exareq::require(requests.has_value() || socket_path.has_value(),
+                  "serve needs --requests FILE and/or --socket PATH");
+
+  if (requests.has_value()) {
+    std::ifstream file(*requests);
+    exareq::require(file.good(),
+                    "cannot open request file '" + *requests + "'");
+    // Submit everything up front so the admission queue, workers, and
+    // backpressure see the whole batch, then answer in request order.
+    std::vector<std::future<std::string>> responses;
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      responses.push_back(server.submit(line));
+    }
+    for (auto& response : responses) out << response.get() << "\n";
+    err << "served " << responses.size() << " requests\n";
+  }
+
+  if (socket_path.has_value()) {
+    serve::SocketServer socket(server, *socket_path);
+    socket.start();
+    err << "serving on " << *socket_path << " with " << server.worker_count()
+        << " workers (SIGINT/SIGTERM stops)\n";
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    socket.stop();
+    err << "shut down\n";
+  }
+
+  if (flags.flag_set("status")) out << server.status_report();
+  return 0;
+}
+
+int cmd_query(const Flags& flags, std::ostream& out) {
+  const auto socket_path = flags.get("socket");
+  const auto request = flags.get("request");
+  exareq::require(socket_path.has_value() && request.has_value(),
+                  "query needs --socket PATH and --request 'LINE'");
+  const std::string response =
+      serve::query_over_socket(*socket_path, *request);
+  out << response << "\n";
+  return response.rfind("ok", 0) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -245,11 +371,21 @@ std::string usage() {
          "           [--threads N]\n"
          "  strawman <app> [--in FILE] [--threads N]\n"
          "  locality <app> [--size N]\n"
-         "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64.\n"
+         "  serve   [--models F1,F2,..] [--requests FILE] [--socket PATH]\n"
+         "           [--workers N] [--queue N] [--deadline-ms D] [--cache N]\n"
+         "           [--status]\n"
+         "  query   --socket PATH --request 'eval LULESH flops 64 1024'\n"
+         "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64;\n"
+         "they are sorted, deduplicated, and need >= 2 distinct values.\n"
          "Analysis commands measure on the fly unless --in supplies a campaign\n"
          "CSV written by `measure`. --threads sizes the model engine's thread\n"
          "pool (0 = hardware concurrency, the default; any value selects the\n"
-         "same models).\n";
+         "same models).\n"
+         "`serve` answers eval/invert/upgrade/strawman/status queries from\n"
+         "model bundles (--models, written by `model --models-out`) or by\n"
+         "fitting on demand; --requests FILE serves a batch, --socket serves\n"
+         "a line protocol over a Unix socket, --status prints the metrics\n"
+         "report. See docs/SERVING.md.\n";
 }
 
 std::vector<std::int64_t> parse_int_list(const std::string& text) {
@@ -265,7 +401,13 @@ std::vector<std::int64_t> parse_int_list(const std::string& text) {
                     "expected a positive integer list, got '" + text + "'");
     values.push_back(value);
   }
-  exareq::require(!values.empty(), "empty integer list");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  // One distinct value cannot span a fit grid axis; reject early instead of
+  // failing later inside the model generator.
+  exareq::require(values.size() >= 2, "integer list '" + text +
+                                          "' has fewer than 2 distinct values "
+                                          "(degenerate fit grid)");
   return values;
 }
 
@@ -278,6 +420,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     const std::string& command = args[0];
     if (command == "list") return cmd_list(out);
+    if (command == "serve") return cmd_serve(parse_flags(args, 1), out, err);
+    if (command == "query") return cmd_query(parse_flags(args, 1), out);
 
     const bool known = command == "measure" || command == "model" ||
                        command == "upgrade" || command == "strawman" ||

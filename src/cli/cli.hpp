@@ -8,9 +8,14 @@
 //                        [--base-memory BYTES]
 //   exareq strawman <app> [--in campaign.csv]
 //   exareq locality <app> [--size N]
+//   exareq serve [--models a.models,b.models] [--requests FILE]
+//                [--socket PATH] [--workers N] [--queue N] [--status]
+//   exareq query --socket PATH --request 'eval LULESH flops 64 1024'
 //
 // `measure` writes a campaign CSV; the analysis commands either read one
-// (--in) or measure on the fly. Implemented as a library so the argument
+// (--in) or measure on the fly. `serve` runs the concurrent query service
+// (src/serve/) over preloaded model bundles or fit-on-demand; `query` is a
+// one-shot socket client. Implemented as a library so the argument
 // handling and command logic are unit-testable; the binary in tools/ is a
 // two-line shim.
 #pragma once
@@ -29,8 +34,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
 /// Usage text (also printed on bad invocations).
 std::string usage();
 
-/// Parses a comma-separated list of positive integers ("4,8,16").
-/// Throws InvalidArgument on malformed input.
+/// Parses a comma-separated list of positive integers ("4,8,16") into a
+/// sorted, deduplicated list. Throws InvalidArgument on malformed input or
+/// when fewer than 2 distinct values remain (a degenerate fit grid).
 std::vector<std::int64_t> parse_int_list(const std::string& text);
 
 }  // namespace exareq::cli

@@ -2,6 +2,11 @@
 // application (paper Sec. II-E): a set of requirement models r_i(p, n) that
 // can be evaluated for any system skeleton (process count + memory per
 // process).
+//
+// Re-entrancy: a const AppRequirements may be shared across threads —
+// model evaluation, fill_memory, and both co-design studies only read it.
+// The serving registry (src/serve/registry.hpp) hands out shared_ptr<const
+// AppRequirements> on exactly this contract.
 #pragma once
 
 #include <string>

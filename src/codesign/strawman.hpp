@@ -2,9 +2,14 @@
 // application onto three straw-man exaflop systems, determine the maximum
 // overall problem each can solve, and lower-bound the wall time of a common
 // benchmark problem by FLOP-requirement / FLOP-rate.
+//
+// Re-entrancy: every function here is safe to call from concurrent serve
+// workers — inputs are taken by const reference, paper_strawmen() builds a
+// fresh vector per call, and no mutable shared state exists in this layer.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 

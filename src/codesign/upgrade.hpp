@@ -1,6 +1,10 @@
 // System-upgrade study (paper Sec. III-A, Tables III-V): given a baseline
 // system that an application exactly exhausts, how do the largest solvable
 // problem and the per-process requirements change under relative upgrades?
+//
+// Re-entrancy: every function here is safe to call from concurrent serve
+// workers — inputs are taken by const reference, paper_upgrades() builds a
+// fresh vector per call, and no mutable shared state exists in this layer.
 #pragma once
 
 #include <string>

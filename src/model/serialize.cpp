@@ -155,4 +155,67 @@ Model parse_model(const std::string& text) {
   return Model(std::move(names), constant, std::move(terms));
 }
 
+namespace {
+
+const char* const kBundleHeaderPrefix = "exareq requirement models:";
+
+std::string trim(const std::string& text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::string serialize_bundle(const ModelBundle& bundle) {
+  std::ostringstream os;
+  os << "# " << kBundleHeaderPrefix << ' ' << bundle.name << '\n';
+  for (const auto& [label, m] : bundle.models) {
+    os << "# " << label << '\n' << serialize_model(m);
+  }
+  return os.str();
+}
+
+ModelBundle parse_bundle(const std::string& text) {
+  ModelBundle bundle;
+  std::istringstream is(text);
+  std::string line;
+  std::string pending_label;
+  while (std::getline(is, line)) {
+    const std::string content = trim(line);
+    if (content.empty()) continue;
+    if (content[0] == '#') {
+      const std::string comment = trim(content.substr(1));
+      if (comment.rfind(kBundleHeaderPrefix, 0) == 0) {
+        bundle.name = trim(comment.substr(std::string(kBundleHeaderPrefix).size()));
+      } else {
+        pending_label = comment;
+      }
+      continue;
+    }
+    // A model block runs from its "model v1" line through "end".
+    exareq::require(content == "model v1",
+                    "parse_bundle: expected '# label' or 'model v1', got '" +
+                        content + "'");
+    std::string block = content + '\n';
+    bool closed = false;
+    while (std::getline(is, line)) {
+      block += line + '\n';
+      if (trim(line) == "end") {
+        closed = true;
+        break;
+      }
+    }
+    exareq::require(closed, "parse_bundle: model block without 'end'");
+    std::string label = pending_label.empty()
+                            ? "model" + std::to_string(bundle.models.size())
+                            : pending_label;
+    pending_label.clear();
+    bundle.models.emplace_back(std::move(label), parse_model(block));
+  }
+  exareq::require(!bundle.models.empty(), "parse_bundle: no models in bundle");
+  return bundle;
+}
+
 }  // namespace exareq::model

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "model/model.hpp"
 
@@ -24,5 +26,30 @@ std::string serialize_model(const Model& m);
 
 /// Parses a serialized model; throws InvalidArgument on malformed input.
 Model parse_model(const std::string& text);
+
+/// A named collection of labeled models — the on-disk artifact one `exareq
+/// model --models-out` run produces and the serving registry consumes. The
+/// name is the application; labels are metric names ("footprint", ...).
+///
+/// File layout (comment lines carry the metadata):
+///   # exareq requirement models: LULESH
+///   # footprint
+///   model v1
+///   ...
+///   end
+///   # flops
+///   ...
+struct ModelBundle {
+  std::string name;
+  std::vector<std::pair<std::string, Model>> models;
+};
+
+/// Serializes a bundle (round-trips bit-exactly through parse_bundle).
+std::string serialize_bundle(const ModelBundle& bundle);
+
+/// Parses a bundle; models without a preceding `# label` comment get the
+/// label "model<index>". Throws InvalidArgument on malformed input or an
+/// empty bundle.
+ModelBundle parse_bundle(const std::string& text);
 
 }  // namespace exareq::model

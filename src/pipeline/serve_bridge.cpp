@@ -1,0 +1,31 @@
+#include "pipeline/serve_bridge.hpp"
+
+#include "apps/application.hpp"
+#include "pipeline/codesign_bridge.hpp"
+
+namespace exareq::pipeline {
+
+std::function<codesign::AppRequirements(const std::string&)>
+make_registry_fitter(CampaignConfig config, model::GeneratorOptions options) {
+  options.fit.threads = 1;
+  return [config, options](const std::string& name) {
+    const apps::Application& app =
+        apps::application(apps::app_id_from_name(name));
+    const CampaignData data = run_campaign(app, config);
+    return to_requirements(model_requirements(data, options));
+  };
+}
+
+model::ModelBundle to_model_bundle(const RequirementModels& models) {
+  const codesign::AppRequirements requirements = to_requirements(models);
+  model::ModelBundle bundle;
+  bundle.name = models.app_name;
+  bundle.models = {{"footprint", requirements.footprint},
+                   {"flops", requirements.flops},
+                   {"comm_bytes", requirements.comm_bytes},
+                   {"loads_stores", requirements.loads_stores},
+                   {"stack_distance", requirements.stack_distance}};
+  return bundle;
+}
+
+}  // namespace exareq::pipeline

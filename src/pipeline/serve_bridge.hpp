@@ -1,0 +1,30 @@
+// Campaign → registry bridge: packages the measurement/fit pipeline as the
+// serving registry's fit-on-demand callback, and fitted models as the
+// serialized bundles the registry loads from disk.
+#pragma once
+
+#include <functional>
+
+#include "codesign/requirements.hpp"
+#include "model/serialize.hpp"
+#include "pipeline/campaign.hpp"
+
+namespace exareq::pipeline {
+
+/// Returns a fit-on-demand callback for serve::ModelRegistry: resolves the
+/// application by name, measures it over `config`'s grid, fits all metrics
+/// with `options`, and converts to the co-design bundle. The fit engine is
+/// forced serial (threads = 1): registry fits for distinct apps may run
+/// concurrently on server workers, and the engine's process-wide shared
+/// pool must not be resized from concurrent fits — model selection is
+/// bit-identical at any thread count, so only latency is traded.
+std::function<codesign::AppRequirements(const std::string&)>
+make_registry_fitter(CampaignConfig config = {},
+                     model::GeneratorOptions options = {});
+
+/// The fitted models as a serializable bundle (labels footprint, flops,
+/// comm_bytes, loads_stores, stack_distance — what ModelRegistry::load_file
+/// expects, and what `exareq model --models-out` writes).
+model::ModelBundle to_model_bundle(const RequirementModels& models);
+
+}  // namespace exareq::pipeline

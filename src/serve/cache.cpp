@@ -1,0 +1,69 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace exareq::serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(std::max<std::size_t>(1, std::min(shards, std::max<std::size_t>(
+                                                            1, capacity)))) {
+  shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards_.size() - 1) /
+                                             shards_.size();
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shard_for(const std::string& key) {
+  // Re-mix std::hash: libstdc++ hashes strings well, but mask-based shard
+  // selection benefits from avalanching the low bits anyway.
+  std::size_t h = std::hash<std::string>{}(key);
+  h ^= h >> 17;
+  h *= 0x9e3779b97f4a7c15ull;
+  return shards_[h % shards_.size()];
+}
+
+std::optional<std::string> ShardedLruCache::get(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::put(const std::string& key, std::string value) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.index[key] = shard.order.begin();
+  if (shard.order.size() > shard_capacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.entries += shard.order.size();
+  }
+  return total;
+}
+
+}  // namespace exareq::serve

@@ -1,0 +1,73 @@
+// Sharded LRU result cache for the query service.
+//
+// Keys are canonicalized request strings (serve/protocol.hpp), values are
+// complete response lines. Sharding keeps lock contention bounded: each key
+// hashes to one shard with its own mutex, recency list, and counters, so
+// concurrent lookups for different keys rarely serialize. Capacity is
+// divided evenly among the shards and enforced per shard (global LRU order
+// across shards is deliberately not maintained — eviction precision is not
+// worth a global lock on the hot path).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exareq::serve {
+
+/// Aggregated counters over all shards.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+};
+
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total, split over `shards` shards (each shard gets
+  /// at least one slot). A capacity of 0 disables the cache: every get
+  /// misses, every put is dropped.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Inserts or refreshes an entry, evicting the shard's least recently
+  /// used entry when the shard is full.
+  void put(const std::string& key, std::string value);
+
+  CacheStats stats() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used; pairs of (key, response).
+    std::list<std::pair<std::string, std::string>> order;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t capacity_ = 0;
+  std::size_t shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace exareq::serve

@@ -1,0 +1,85 @@
+// Observability for the serving subsystem (the EngineStats of the query
+// path): every layer — admission queue, result cache, model registry —
+// exports counters that are merged into one MetricsSnapshot and rendered
+// as the `exareq serve --status` report.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace exareq::serve {
+
+/// Lock-free latency histogram over power-of-two microsecond buckets.
+/// `record` is wait-free; quantiles are approximate (upper bucket bound),
+/// which is all a p99 health indicator needs.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  ///< covers up to ~2^39 us
+
+  void record(double microseconds);
+
+  /// Approximate q-quantile in microseconds (0 when nothing was recorded).
+  double quantile_us(double q) const;
+
+  std::uint64_t count() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Plain-value snapshot of every serving counter, merged across layers.
+struct MetricsSnapshot {
+  // Request layer (admission queue + workers).
+  std::uint64_t requests = 0;        ///< submitted, including shed ones
+  std::uint64_t responses_ok = 0;    ///< "ok ..." responses
+  std::uint64_t responses_error = 0; ///< "error ..." responses (excl. sheds)
+  std::uint64_t sheds = 0;           ///< rejected at admission (queue full)
+  std::uint64_t deadline_drops = 0;  ///< expired before a worker picked them up
+  double p50_latency_us = 0.0;       ///< submit-to-response, executed requests
+  double p99_latency_us = 0.0;
+
+  // Result-cache layer.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+
+  // Registry layer.
+  std::uint64_t registry_lookups = 0;
+  std::uint64_t registry_hits = 0;       ///< answered from loaded models
+  std::uint64_t fits_started = 0;        ///< fit-on-demand invocations
+  std::uint64_t fits_completed = 0;
+  std::uint64_t fit_failures = 0;
+  std::uint64_t singleflight_waits = 0;  ///< misses that waited on another fit
+  std::uint64_t in_flight_fits = 0;      ///< currently fitting
+  std::uint64_t files_loaded = 0;
+  std::uint64_t apps_loaded = 0;
+
+  /// Fraction of cache lookups answered from the cache (0 when none).
+  double cache_hit_rate() const;
+};
+
+/// Thread-safe counters of the request layer; the cache and registry keep
+/// their own and everything is merged by Server::metrics().
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses_ok{0};
+  std::atomic<std::uint64_t> responses_error{0};
+  std::atomic<std::uint64_t> sheds{0};
+  std::atomic<std::uint64_t> deadline_drops{0};
+  LatencyHistogram latency;
+
+  /// Copies the request-layer counters into `snapshot`.
+  void merge_into(MetricsSnapshot& snapshot) const;
+};
+
+/// Multi-line status table (the `exareq serve --status` report).
+std::string render_status_report(const MetricsSnapshot& snapshot);
+
+/// One-line `key=value` form, the payload of a `status` protocol request.
+std::string status_line(const MetricsSnapshot& snapshot);
+
+}  // namespace exareq::serve

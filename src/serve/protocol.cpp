@@ -1,0 +1,155 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace exareq::serve {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_number(const std::string& token, const char* what) {
+  double value = 0.0;
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  exareq::require(ec == std::errc{} && ptr == end,
+                  std::string("bad ") + what + ": '" + token + "'");
+  return value;
+}
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string> names = {
+      "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
+  return names;
+}
+
+std::string lowercase(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+void expect_arity(const std::vector<std::string>& tokens, std::size_t arity,
+                  const char* form) {
+  exareq::require(tokens.size() == arity,
+                  std::string("request '") + tokens[0] + "' expects the form '" +
+                      form + "'");
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  exareq::require(!tokens.empty(), "empty request line");
+  Request request;
+  const std::string& verb = tokens[0];
+  if (verb == "status") {
+    expect_arity(tokens, 1, "status");
+    request.kind = RequestKind::kStatus;
+    return request;
+  }
+  if (verb == "eval") {
+    expect_arity(tokens, 5, "eval <app> <metric> <p> <n>");
+    request.kind = RequestKind::kEval;
+    request.app = tokens[1];
+    request.metric = tokens[2];
+    const auto& names = metric_names();
+    exareq::require(
+        std::find(names.begin(), names.end(), request.metric) != names.end(),
+        "unknown metric '" + request.metric +
+            "' (expected footprint|flops|comm_bytes|loads_stores|stack_distance)");
+    request.p = parse_number(tokens[3], "process count");
+    request.n = parse_number(tokens[4], "problem size");
+    exareq::require(request.p >= 1.0 && request.n >= 1.0,
+                    "eval coordinates must be >= 1");
+    return request;
+  }
+  if (verb == "invert" || verb == "upgrade") {
+    expect_arity(tokens, 4,
+                 verb == "invert" ? "invert <app> <processes> <memory_bytes>"
+                                  : "upgrade <app> <processes> <memory_bytes>");
+    request.kind =
+        verb == "invert" ? RequestKind::kInvert : RequestKind::kUpgrade;
+    request.app = tokens[1];
+    request.processes = parse_number(tokens[2], "process count");
+    request.memory_per_process = parse_number(tokens[3], "memory per process");
+    exareq::require(request.processes >= 1.0, "process count must be >= 1");
+    exareq::require(request.memory_per_process > 0.0,
+                    "memory per process must be positive");
+    return request;
+  }
+  if (verb == "strawman") {
+    expect_arity(tokens, 2, "strawman <app>");
+    request.kind = RequestKind::kStrawman;
+    request.app = tokens[1];
+    return request;
+  }
+  throw exareq::InvalidArgument(
+      "unknown request '" + verb +
+      "' (expected eval|invert|upgrade|strawman|status)");
+}
+
+std::string canonical_key(const Request& request) {
+  std::ostringstream os;
+  switch (request.kind) {
+    case RequestKind::kEval:
+      os << "eval|" << lowercase(request.app) << '|' << request.metric << '|'
+         << render_value(request.p) << '|' << render_value(request.n);
+      break;
+    case RequestKind::kInvert:
+      os << "invert|" << lowercase(request.app) << '|'
+         << render_value(request.processes) << '|'
+         << render_value(request.memory_per_process);
+      break;
+    case RequestKind::kUpgrade:
+      os << "upgrade|" << lowercase(request.app) << '|'
+         << render_value(request.processes) << '|'
+         << render_value(request.memory_per_process);
+      break;
+    case RequestKind::kStrawman:
+      os << "strawman|" << lowercase(request.app);
+      break;
+    case RequestKind::kStatus:
+      os << "status";
+      break;
+  }
+  return os.str();
+}
+
+bool cacheable(const Request& request) {
+  return request.kind != RequestKind::kStatus;
+}
+
+std::string ok_response(const std::string& payload) {
+  return "ok " + payload;
+}
+
+std::string error_response(const std::string& category,
+                           const std::string& message) {
+  std::string flat = message;
+  std::replace(flat.begin(), flat.end(), '\n', ' ');
+  std::replace(flat.begin(), flat.end(), '\r', ' ');
+  return "error " + category + ": " + flat;
+}
+
+std::string render_value(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace exareq::serve

@@ -1,0 +1,52 @@
+// The serving wire protocol: line-delimited requests and responses.
+//
+// One request per line, one response line per request, always in order:
+//   eval <app> <metric> <p> <n>      -> ok eval <value>
+//   invert <app> <processes> <mem>   -> ok invert <n> <overall>
+//   upgrade <app> <processes> <mem>  -> ok upgrade A:<5 ratios>;B:...;C:...
+//   strawman <app>                   -> ok strawman <system>:<fields>;...
+//   status                           -> ok status <key=value ...>
+// Failures answer `error <category>: <message>` on a single line; the
+// connection stays usable. Values are full-precision (%.17g) so results are
+// bit-identical to the in-process library calls the CLI commands make.
+#pragma once
+
+#include <string>
+
+namespace exareq::serve {
+
+enum class RequestKind { kEval, kInvert, kUpgrade, kStrawman, kStatus };
+
+/// One parsed request. Unused fields stay at their defaults.
+struct Request {
+  RequestKind kind = RequestKind::kStatus;
+  std::string app;     ///< all kinds except status
+  std::string metric;  ///< eval: footprint|flops|comm_bytes|loads_stores|stack_distance
+  double p = 0.0;      ///< eval: process count
+  double n = 0.0;      ///< eval: problem size per process
+  double processes = 0.0;           ///< invert/upgrade: system skeleton
+  double memory_per_process = 0.0;  ///< invert/upgrade: bytes per process
+};
+
+/// Parses one request line; throws InvalidArgument on malformed input.
+Request parse_request(const std::string& line);
+
+/// Canonical cache key: kind, lower-cased app, and full-precision numbers,
+/// so "eval LULESH flops 64 1024" and "eval lulesh flops 64.0 1e3+24" -- any
+/// spelling of the same request -- map to the same entry.
+std::string canonical_key(const Request& request);
+
+/// Status requests are never cached (they must observe live counters).
+bool cacheable(const Request& request);
+
+/// "ok <payload>".
+std::string ok_response(const std::string& payload);
+
+/// "error <category>: <message>" with newlines flattened to spaces.
+std::string error_response(const std::string& category,
+                           const std::string& message);
+
+/// Full-precision number rendering shared by every response payload.
+std::string render_value(double value);
+
+}  // namespace exareq::serve

@@ -1,0 +1,44 @@
+// QueryEngine: answers parsed requests against the ModelRegistry, through
+// the sharded LRU result cache.
+//
+// Each request kind reuses the exact library calls its one-shot CLI
+// counterpart makes, so a served answer is bit-identical to running the
+// corresponding `exareq` command on the same models:
+//   eval     -> model::Model::evaluate2 / evaluate1 (stack distance)
+//   invert   -> codesign::fill_memory (footprint inversion)
+//   upgrade  -> codesign::evaluate_upgrade over codesign::paper_upgrades()
+//   strawman -> codesign::evaluate_strawman + wall_time_lower_bound over
+//               codesign::paper_strawmen()
+#pragma once
+
+#include <string>
+
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace exareq::serve {
+
+class QueryEngine {
+ public:
+  /// `cache` may be null (every request computes). Both must outlive the
+  /// engine.
+  explicit QueryEngine(ModelRegistry& registry, ShardedLruCache* cache = nullptr);
+
+  /// Answers one request: cache lookup, compute on miss, insert. Library
+  /// errors become `error ...` response lines; never throws. Status
+  /// requests are not handled here (the server owns the counters).
+  std::string answer(const Request& request);
+
+  /// Parse + answer, for in-process callers without a server.
+  std::string answer_line(const std::string& line);
+
+  /// The uncached, throwing compute path: returns the `ok ...` response.
+  std::string compute(const Request& request);
+
+ private:
+  ModelRegistry& registry_;
+  ShardedLruCache* cache_;
+};
+
+}  // namespace exareq::serve

@@ -1,0 +1,163 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "model/serialize.hpp"
+#include "support/error.hpp"
+
+namespace exareq::serve {
+
+ModelRegistry::ModelRegistry(Fitter fit_on_demand)
+    : fitter_(std::move(fit_on_demand)) {}
+
+std::string ModelRegistry::key_of(const std::string& app) {
+  std::string key = app;
+  std::transform(key.begin(), key.end(), key.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return key;
+}
+
+void ModelRegistry::insert(codesign::AppRequirements models) {
+  models.validate();
+  exareq::require(!models.name.empty(), "ModelRegistry: bundle has no name");
+  auto shared =
+      std::make_shared<const codesign::AppRequirements>(std::move(models));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key_of(shared->name)];
+  exareq::require(!entry.fitting,
+                  "ModelRegistry: cannot replace '" + shared->name +
+                      "' while a fit for it is in flight");
+  if (!entry.models) ++stats_.apps;
+  entry.models = std::move(shared);
+}
+
+std::string ModelRegistry::load_file(const std::string& path) {
+  std::ifstream file(path);
+  exareq::require(file.good(), "cannot open model file '" + path + "'");
+  std::stringstream content;
+  content << file.rdbuf();
+  const model::ModelBundle bundle = model::parse_bundle(content.str());
+  exareq::require(!bundle.name.empty(),
+                  "model file '" + path + "' has no application name header");
+
+  codesign::AppRequirements requirements;
+  requirements.name = bundle.name;
+  bool have_footprint = false, have_flops = false, have_comm = false,
+       have_loads = false, have_stack = false;
+  for (const auto& [label, m] : bundle.models) {
+    if (label == "footprint") {
+      requirements.footprint = m;
+      have_footprint = true;
+    } else if (label == "flops") {
+      requirements.flops = m;
+      have_flops = true;
+    } else if (label == "comm_bytes") {
+      requirements.comm_bytes = m;
+      have_comm = true;
+    } else if (label == "loads_stores") {
+      requirements.loads_stores = m;
+      have_loads = true;
+    } else if (label == "stack_distance") {
+      requirements.stack_distance = m;
+      have_stack = true;
+    } else {
+      throw exareq::InvalidArgument("model file '" + path +
+                                    "' has unknown model label '" + label + "'");
+    }
+  }
+  exareq::require(
+      have_footprint && have_flops && have_comm && have_loads && have_stack,
+      "model file '" + path +
+          "' must contain footprint, flops, comm_bytes, loads_stores and "
+          "stack_distance models");
+  insert(std::move(requirements));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.files_loaded;
+  return bundle.name;
+}
+
+std::shared_ptr<const codesign::AppRequirements> ModelRegistry::find(
+    const std::string& app) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key_of(app));
+  if (it == entries_.end()) return nullptr;
+  return it->second.models;
+}
+
+std::shared_ptr<const codesign::AppRequirements> ModelRegistry::get(
+    const std::string& app) {
+  const std::string key = key_of(app);
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  for (;;) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.models) {
+      ++stats_.hits;
+      return it->second.models;
+    }
+    if (it == entries_.end() || !it->second.fitting) break;
+    // Another thread is fitting this app: wait for it instead of starting
+    // a duplicate fit (single-flight).
+    ++stats_.singleflight_waits;
+    fit_done_.wait(lock);
+  }
+  exareq::require(static_cast<bool>(fitter_),
+                  "no models loaded for '" + app +
+                      "' and the registry has no fit-on-demand callback");
+  entries_[key].fitting = true;
+  ++stats_.fits_started;
+  ++stats_.in_flight_fits;
+  lock.unlock();
+
+  std::shared_ptr<const codesign::AppRequirements> fitted;
+  std::exception_ptr failure;
+  try {
+    codesign::AppRequirements models = fitter_(app);
+    models.validate();
+    if (models.name.empty()) models.name = app;
+    fitted =
+        std::make_shared<const codesign::AppRequirements>(std::move(models));
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  lock.lock();
+  --stats_.in_flight_fits;
+  Entry& entry = entries_[key];
+  entry.fitting = false;
+  if (failure) {
+    // A failed fit is not cached: drop the placeholder so the next lookup
+    // retries, and wake the waiters so one of them can.
+    ++stats_.fit_failures;
+    if (!entry.models) entries_.erase(key);
+    fit_done_.notify_all();
+    std::rethrow_exception(failure);
+  }
+  ++stats_.fits_completed;
+  if (!entry.models) ++stats_.apps;
+  entry.models = fitted;
+  fit_done_.notify_all();
+  return fitted;
+}
+
+std::vector<std::string> ModelRegistry::app_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    if (entry.models) names.push_back(entry.models->name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace exareq::serve

@@ -1,0 +1,96 @@
+// ModelRegistry: the serving subsystem's store of fitted requirement
+// models, one codesign::AppRequirements bundle per application.
+//
+// Models enter the registry three ways: preloaded in process (`insert`),
+// loaded from a serialized bundle file written by `exareq model
+// --models-out` (`load_file`, via model/serialize.hpp), or fitted on demand
+// through a caller-supplied Fitter (the pipeline's campaign runner, wired
+// by pipeline/serve_bridge.hpp). On-demand fits are single-flight: when
+// several queries miss the same application concurrently, exactly one
+// thread runs the fit while the others wait on it and share the result —
+// the fit is seconds of work, so stampeding it would multiply the service's
+// heaviest operation.
+//
+// Lookups after load are lock-held only for a map find; the returned
+// shared_ptr keeps a bundle alive across its use even if the registry is
+// mutated concurrently. Keys are case-insensitive (matching the CLI's app
+// lookup).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+
+namespace exareq::serve {
+
+/// Registry counters (merged into MetricsSnapshot by the server).
+struct RegistryStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;  ///< answered from already-loaded models
+  std::uint64_t fits_started = 0;
+  std::uint64_t fits_completed = 0;
+  std::uint64_t fit_failures = 0;
+  std::uint64_t singleflight_waits = 0;
+  std::uint64_t in_flight_fits = 0;
+  std::uint64_t files_loaded = 0;
+  std::uint64_t apps = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// Produces requirement models for an application name; may take seconds
+  /// (measure + fit). Called outside the registry lock; must be thread-safe
+  /// for distinct names.
+  using Fitter = std::function<codesign::AppRequirements(const std::string&)>;
+
+  /// Without a fitter, a miss throws InvalidArgument instead of fitting.
+  explicit ModelRegistry(Fitter fit_on_demand = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Stores (or replaces) a validated bundle under its name.
+  void insert(codesign::AppRequirements models);
+
+  /// Loads one serialized bundle file (labels footprint/flops/comm_bytes/
+  /// loads_stores/stack_distance); returns the application name. Throws
+  /// InvalidArgument on unreadable or malformed files.
+  std::string load_file(const std::string& path);
+
+  /// Returns the application's models, fitting on demand on a miss. Throws
+  /// when the app is unknown and no fitter is configured, or the fit fails
+  /// (a failed fit is not cached; the next lookup retries).
+  std::shared_ptr<const codesign::AppRequirements> get(const std::string& app);
+
+  /// Lookup without fit-on-demand; nullptr on a miss.
+  std::shared_ptr<const codesign::AppRequirements> find(
+      const std::string& app) const;
+
+  /// Loaded application names, sorted.
+  std::vector<std::string> app_names() const;
+
+  RegistryStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const codesign::AppRequirements> models;
+    bool fitting = false;
+  };
+
+  static std::string key_of(const std::string& app);
+
+  Fitter fitter_;
+  mutable std::mutex mutex_;
+  std::condition_variable fit_done_;
+  std::map<std::string, Entry> entries_;
+  RegistryStats stats_;
+};
+
+}  // namespace exareq::serve

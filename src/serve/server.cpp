@@ -1,0 +1,144 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exareq::serve {
+
+Server::Server(ModelRegistry& registry, ServerOptions options)
+    : registry_(registry),
+      options_(options),
+      workers_(options.workers == 0 ? exareq::ThreadPool::hardware_threads()
+                                    : options.workers),
+      cache_(options.cache_capacity, options.cache_shards),
+      engine_(registry, options.cache_capacity > 0 ? &cache_ : nullptr) {
+  exareq::require(options_.queue_capacity >= 1,
+                  "Server: queue capacity must be >= 1");
+  // The dispatcher parks in parallel_for: each of the `workers_` bodies is
+  // one queue-draining loop, so the pool's threads (pool size - 1 workers
+  // plus the dispatcher itself) all serve requests concurrently.
+  pool_ = std::make_unique<exareq::ThreadPool>(workers_);
+  dispatcher_ = std::thread([this] {
+    pool_->parallel_for(workers_, [this](std::size_t) { worker_loop(); });
+  });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<std::string> Server::submit(std::string line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      promise.set_value(
+          error_response("shutdown", "server is no longer accepting requests"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      metrics_.sheds.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(error_response(
+          "shed", "admission queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")"));
+      return future;
+    }
+    queue_.push_back(Job{std::move(line), std::move(promise),
+                         std::chrono::steady_clock::now()});
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+std::string Server::handle(const std::string& line) {
+  return submit(line).get();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    std::string response;
+    if (options_.deadline.count() > 0 &&
+        started - job.enqueued > options_.deadline) {
+      metrics_.deadline_drops.fetch_add(1, std::memory_order_relaxed);
+      response = error_response(
+          "deadline",
+          "request waited longer than " +
+              std::to_string(options_.deadline.count()) + " ms for a worker");
+    } else {
+      response = process(job.line);
+    }
+
+    const auto finished = std::chrono::steady_clock::now();
+    metrics_.latency.record(
+        std::chrono::duration<double, std::micro>(finished - job.enqueued)
+            .count());
+    if (response.rfind("ok", 0) == 0) {
+      metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.responses_error.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.promise.set_value(std::move(response));
+  }
+}
+
+std::string Server::process(const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& error) {
+    return error_response("bad-request", error.what());
+  }
+  if (request.kind == RequestKind::kStatus) {
+    return ok_response("status " + status_line(metrics()));
+  }
+  return engine_.answer(request);
+}
+
+MetricsSnapshot Server::metrics() const {
+  MetricsSnapshot snapshot;
+  metrics_.merge_into(snapshot);
+  const CacheStats cache = cache_.stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_evictions = cache.evictions;
+  snapshot.cache_entries = cache.entries;
+  const RegistryStats registry = registry_.stats();
+  snapshot.registry_lookups = registry.lookups;
+  snapshot.registry_hits = registry.hits;
+  snapshot.fits_started = registry.fits_started;
+  snapshot.fits_completed = registry.fits_completed;
+  snapshot.fit_failures = registry.fit_failures;
+  snapshot.singleflight_waits = registry.singleflight_waits;
+  snapshot.in_flight_fits = registry.in_flight_fits;
+  snapshot.files_loaded = registry.files_loaded;
+  snapshot.apps_loaded = registry.apps;
+  return snapshot;
+}
+
+std::string Server::status_report() const {
+  return render_status_report(metrics());
+}
+
+}  // namespace exareq::serve

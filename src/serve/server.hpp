@@ -1,0 +1,113 @@
+// The request front end of `exareq serve`: a bounded admission queue
+// drained by workers on a support::ThreadPool, with per-request deadlines
+// and load-shedding backpressure.
+//
+// Life of a request:
+//   submit(line) --admission--> bounded queue --worker--> parse ->
+//     result cache -> QueryEngine (registry, maybe fit-on-demand) ->
+//     promise fulfilled with one response line.
+//
+// Backpressure is shed-on-admission: when the queue is full, submit()
+// resolves the future immediately with `error shed: ...` instead of
+// blocking the caller — a loaded service must fail fast, not buffer
+// unboundedly or stall its clients. Deadlines bound queueing delay: a
+// request that waited longer than the deadline before a worker picked it
+// up is answered `error deadline: ...` without being executed (execution
+// itself is not preempted; co-design queries are short once started except
+// for a cold fit, which single-flight already bounds).
+//
+// The workers are the pool's threads: the dispatcher thread parks inside
+// ThreadPool::parallel_for(workers, worker_loop), so each pool thread runs
+// one queue-draining loop until stop(). Requests already admitted are
+// drained (never dropped) on shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/registry.hpp"
+
+namespace exareq {
+class ThreadPool;
+}
+
+namespace exareq::serve {
+
+struct ServerOptions {
+  /// Worker threads draining the queue; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Admission-queue capacity; submissions beyond it are shed.
+  std::size_t queue_capacity = 256;
+  /// Maximum queueing delay before a request is dropped; 0 disables.
+  std::chrono::milliseconds deadline{0};
+  /// Result-cache entries (0 disables caching) and shard count.
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+};
+
+class Server {
+ public:
+  /// The registry must outlive the server.
+  explicit Server(ModelRegistry& registry, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one request line. The future resolves to the response line;
+  /// it is already resolved (shed/shutdown error) when admission fails.
+  std::future<std::string> submit(std::string line);
+
+  /// Synchronous convenience: submit + wait.
+  std::string handle(const std::string& line);
+
+  /// Merged counters of every layer (request, cache, registry).
+  MetricsSnapshot metrics() const;
+
+  /// The `--status` table over metrics().
+  std::string status_report() const;
+
+  const ServerOptions& options() const { return options_; }
+  std::size_t worker_count() const { return workers_; }
+
+  /// Drains admitted requests, stops the workers, joins. Idempotent;
+  /// called by the destructor.
+  void stop();
+
+ private:
+  struct Job {
+    std::string line;
+    std::promise<std::string> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  std::string process(const std::string& line);
+
+  ModelRegistry& registry_;
+  ServerOptions options_;
+  std::size_t workers_ = 1;
+  ShardedLruCache cache_;
+  QueryEngine engine_;
+  Metrics metrics_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+
+  std::unique_ptr<exareq::ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace exareq::serve

@@ -1,0 +1,58 @@
+// Unix-domain-socket front end for the serve subsystem.
+//
+// Line-delimited: clients write request lines (serve/protocol.hpp) and read
+// exactly one response line per request, in order. Each accepted connection
+// is handled on its own thread; per-line work goes through Server::handle,
+// so admission control, deadlines, and shedding apply to socket traffic
+// exactly as to in-process callers.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace exareq::serve {
+
+class Server;
+
+class SocketServer {
+ public:
+  /// Binds nothing yet; `server` must outlive this object.
+  SocketServer(Server& server, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens on the socket path (an existing socket file is
+  /// replaced) and starts the accept loop. Throws Error on system errors.
+  void start();
+
+  /// Shuts the listener and every open connection down, joins all threads,
+  /// and unlinks the socket file. Idempotent; called by the destructor.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server& server_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+/// One-shot client: connects, sends `line`, returns the response line.
+/// Throws Error when the socket is unreachable or closes early.
+std::string query_over_socket(const std::string& socket_path,
+                              const std::string& line);
+
+}  // namespace exareq::serve

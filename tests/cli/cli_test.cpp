@@ -161,11 +161,15 @@ TEST(CliTest, ThreadsFlagRejectsBadValues) {
 
 TEST(CliTest, ParseIntList) {
   EXPECT_EQ(parse_int_list("4,8,16"), (std::vector<std::int64_t>{4, 8, 16}));
-  EXPECT_EQ(parse_int_list("7"), (std::vector<std::int64_t>{7}));
+  // Unordered and duplicated input is sorted and deduplicated.
+  EXPECT_EQ(parse_int_list("16,8,4,8"), (std::vector<std::int64_t>{4, 8, 16}));
   EXPECT_THROW(parse_int_list(""), exareq::InvalidArgument);
   EXPECT_THROW(parse_int_list("4,x"), exareq::InvalidArgument);
   EXPECT_THROW(parse_int_list("4,-2"), exareq::InvalidArgument);
   EXPECT_THROW(parse_int_list("4,,8"), exareq::InvalidArgument);
+  // Fewer than 2 distinct values is a degenerate fit grid.
+  EXPECT_THROW(parse_int_list("7"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_int_list("7,7,7"), exareq::InvalidArgument);
 }
 
 }  // namespace

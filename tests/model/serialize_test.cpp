@@ -89,5 +89,37 @@ TEST(SerializeTest, RejectsMalformedInput) {
                exareq::InvalidArgument);  // missing end
 }
 
+TEST(SerializeTest, BundleRoundTripPreservesNamesAndLabels) {
+  ModelBundle original;
+  original.name = "LULESH";
+  original.models = {{"footprint", lulesh_like()},
+                     {"stack_distance", Model::constant_model({"n"}, 42.0)}};
+  const std::string text = serialize_bundle(original);
+  EXPECT_NE(text.find("exareq requirement models: LULESH"), std::string::npos);
+  EXPECT_NE(text.find("# footprint"), std::string::npos);
+
+  const ModelBundle restored = parse_bundle(text);
+  EXPECT_EQ(restored.name, "LULESH");
+  ASSERT_EQ(restored.models.size(), 2u);
+  EXPECT_EQ(restored.models[0].first, "footprint");
+  EXPECT_EQ(restored.models[1].first, "stack_distance");
+  expect_models_equal(restored.models[0].second, original.models[0].second);
+  expect_models_equal(restored.models[1].second, original.models[1].second);
+}
+
+TEST(SerializeTest, BundleParserLabelsUnlabeledModels) {
+  const std::string text =
+      "# exareq requirement models: X\n" + serialize_model(lulesh_like());
+  const ModelBundle bundle = parse_bundle(text);
+  ASSERT_EQ(bundle.models.size(), 1u);
+  EXPECT_EQ(bundle.models[0].first, "model0");
+}
+
+TEST(SerializeTest, BundleRejectsEmptyInput) {
+  EXPECT_THROW(parse_bundle(""), exareq::InvalidArgument);
+  EXPECT_THROW(parse_bundle("# exareq requirement models: X\n"),
+               exareq::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace exareq::model

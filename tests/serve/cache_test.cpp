@@ -1,0 +1,99 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace exareq::serve {
+namespace {
+
+TEST(ServeCacheTest, PutGetAndMissCounters) {
+  ShardedLruCache cache(16, 4);
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  cache.put("a", "1");
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "1");
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServeCacheTest, PutRefreshesValueAndRecency) {
+  ShardedLruCache cache(8, 1);
+  cache.put("k", "old");
+  cache.put("k", "new");
+  EXPECT_EQ(*cache.get("k"), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServeCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is global and assertable.
+  ShardedLruCache cache(3, 1);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  ASSERT_TRUE(cache.get("a").has_value());  // refresh a; b is now LRU
+  cache.put("d", "4");                      // evicts b
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_TRUE(cache.get("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ServeCacheTest, ZeroCapacityDisablesCaching) {
+  ShardedLruCache cache(0);
+  cache.put("a", "1");
+  EXPECT_EQ(cache.get("a"), std::nullopt);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServeCacheTest, ShardCountNeverExceedsCapacity) {
+  ShardedLruCache cache(2, 8);
+  EXPECT_LE(cache.shard_count(), 2u);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  cache.put("c", "3");
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 2u + cache.shard_count());  // per-shard rounding
+}
+
+// The TSan canary: many threads hammering a small cache with overlapping
+// keys must neither race nor lose counter updates.
+TEST(ServeCacheTest, ConcurrentMixedLoadIsCoherent) {
+  ShardedLruCache cache(32, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key" + std::to_string((t * 7 + i) % 100);
+        if (i % 3 == 0) {
+          cache.put(key, "value" + std::to_string(i));
+        } else {
+          const auto value = cache.get(key);
+          if (value.has_value()) {
+            ASSERT_EQ(value->rfind("value", 0), 0u);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const CacheStats stats = cache.stats();
+  // Every non-put op is exactly one hit or one miss.
+  const std::uint64_t gets = kThreads * (kOpsPerThread -
+                                         (kOpsPerThread + 2) / 3);
+  EXPECT_EQ(stats.hits + stats.misses, gets);
+  EXPECT_LE(stats.entries, 32u + cache.shard_count());
+}
+
+}  // namespace
+}  // namespace exareq::serve

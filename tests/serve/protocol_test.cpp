@@ -1,0 +1,88 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace exareq::serve {
+namespace {
+
+TEST(ServeProtocolTest, ParsesEval) {
+  const Request r = parse_request("eval LULESH flops 64 1024");
+  EXPECT_EQ(r.kind, RequestKind::kEval);
+  EXPECT_EQ(r.app, "LULESH");
+  EXPECT_EQ(r.metric, "flops");
+  EXPECT_EQ(r.p, 64.0);
+  EXPECT_EQ(r.n, 1024.0);
+}
+
+TEST(ServeProtocolTest, ParsesInvertUpgradeStrawmanStatus) {
+  const Request invert = parse_request("invert MILC 65536 2147483648");
+  EXPECT_EQ(invert.kind, RequestKind::kInvert);
+  EXPECT_EQ(invert.processes, 65536.0);
+  EXPECT_EQ(invert.memory_per_process, 2147483648.0);
+
+  const Request upgrade = parse_request("upgrade MILC 1024 1e9");
+  EXPECT_EQ(upgrade.kind, RequestKind::kUpgrade);
+  EXPECT_EQ(upgrade.memory_per_process, 1e9);
+
+  const Request strawman = parse_request("strawman icoFoam");
+  EXPECT_EQ(strawman.kind, RequestKind::kStrawman);
+  EXPECT_EQ(strawman.app, "icoFoam");
+
+  const Request status = parse_request("  status  ");
+  EXPECT_EQ(status.kind, RequestKind::kStatus);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request(""), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("frobnicate x"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("eval LULESH flops 64"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("eval LULESH watts 64 1024"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("eval LULESH flops sixty 1024"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("eval LULESH flops 0.5 1024"),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("invert MILC 64 0"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("status extra"), exareq::InvalidArgument);
+}
+
+TEST(ServeProtocolTest, CanonicalKeyUnifiesSpellings) {
+  const Request a = parse_request("eval LULESH flops 64 1024");
+  const Request b = parse_request("eval lulesh flops 64.0 1.024e3");
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+
+  const Request c = parse_request("eval LULESH flops 64 1025");
+  EXPECT_NE(canonical_key(a), canonical_key(c));
+
+  const Request d = parse_request("eval LULESH footprint 64 1024");
+  EXPECT_NE(canonical_key(a), canonical_key(d));
+
+  // invert and upgrade share their numeric fields but not their kind.
+  const Request e = parse_request("invert MILC 64 1e9");
+  const Request f = parse_request("upgrade MILC 64 1e9");
+  EXPECT_NE(canonical_key(e), canonical_key(f));
+}
+
+TEST(ServeProtocolTest, StatusIsNotCacheable) {
+  EXPECT_FALSE(cacheable(parse_request("status")));
+  EXPECT_TRUE(cacheable(parse_request("strawman MILC")));
+}
+
+TEST(ServeProtocolTest, ResponsesAreSingleLines) {
+  EXPECT_EQ(ok_response("eval 42"), "ok eval 42");
+  const std::string error =
+      error_response("bad-request", "first line\nsecond line");
+  EXPECT_EQ(error, "error bad-request: first line second line");
+  EXPECT_EQ(error.find('\n'), std::string::npos);
+}
+
+TEST(ServeProtocolTest, RenderValueRoundTripsDoubles) {
+  for (const double value : {1.0, 1.0 / 3.0, 2147483648.0, 6.02e23, 1e-12}) {
+    EXPECT_EQ(std::stod(render_value(value)), value);
+  }
+}
+
+}  // namespace
+}  // namespace exareq::serve

@@ -1,0 +1,165 @@
+#include "serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "model/serialize.hpp"
+#include "serve_test_util.hpp"
+#include "support/error.hpp"
+
+namespace exareq::serve {
+namespace {
+
+using testing::make_test_requirements;
+
+std::string temp_path(const std::string& stem) {
+  return "/tmp/exareq_serve_registry_" + stem + "_" +
+         std::to_string(::getpid()) + ".models";
+}
+
+model::ModelBundle to_bundle(const codesign::AppRequirements& app) {
+  model::ModelBundle bundle;
+  bundle.name = app.name;
+  bundle.models = {{"footprint", app.footprint},
+                   {"flops", app.flops},
+                   {"comm_bytes", app.comm_bytes},
+                   {"loads_stores", app.loads_stores},
+                   {"stack_distance", app.stack_distance}};
+  return bundle;
+}
+
+TEST(ServeRegistryTest, InsertAndCaseInsensitiveLookup) {
+  ModelRegistry registry;
+  registry.insert(make_test_requirements("TestApp"));
+  const auto models = registry.get("testapp");
+  ASSERT_NE(models, nullptr);
+  EXPECT_EQ(models->name, "TestApp");
+  EXPECT_EQ(registry.app_names(), std::vector<std::string>{"TestApp"});
+  EXPECT_EQ(registry.get("TESTAPP"), models);
+}
+
+TEST(ServeRegistryTest, MissWithoutFitterThrows) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.get("nope"), exareq::InvalidArgument);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+// Satellite: serialization round trip through the registry — write models
+// with serialize.hpp, load via ModelRegistry, assert bit-identical
+// evaluation at grid and extrapolation points.
+TEST(ServeRegistryTest, SerializedBundleRoundTripsBitIdentical) {
+  const codesign::AppRequirements original = make_test_requirements("RoundTrip");
+  const std::string path = temp_path("roundtrip");
+  {
+    std::ofstream file(path);
+    file << model::serialize_bundle(to_bundle(original));
+  }
+
+  ModelRegistry registry;
+  EXPECT_EQ(registry.load_file(path), "RoundTrip");
+  const auto loaded = registry.get("RoundTrip");
+  ASSERT_NE(loaded, nullptr);
+
+  const double grid_p[] = {4, 8, 16, 32, 64};
+  const double grid_n[] = {64, 128, 256, 512, 1024};
+  const double extrapolation_p[] = {1e6, 1e8};
+  const double extrapolation_n[] = {1e9, 1e12};
+  std::vector<std::pair<double, double>> points;
+  for (double p : grid_p)
+    for (double n : grid_n) points.emplace_back(p, n);
+  for (double p : extrapolation_p)
+    for (double n : extrapolation_n) points.emplace_back(p, n);
+
+  for (const auto& [p, n] : points) {
+    EXPECT_EQ(loaded->footprint.evaluate2(p, n),
+              original.footprint.evaluate2(p, n));
+    EXPECT_EQ(loaded->flops.evaluate2(p, n), original.flops.evaluate2(p, n));
+    EXPECT_EQ(loaded->comm_bytes.evaluate2(p, n),
+              original.comm_bytes.evaluate2(p, n));
+    EXPECT_EQ(loaded->loads_stores.evaluate2(p, n),
+              original.loads_stores.evaluate2(p, n));
+    EXPECT_EQ(loaded->stack_distance.evaluate1(n),
+              original.stack_distance.evaluate1(n));
+  }
+  EXPECT_EQ(registry.stats().files_loaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeRegistryTest, LoadFileRejectsIncompleteBundles) {
+  const codesign::AppRequirements app = make_test_requirements("Partial");
+  model::ModelBundle bundle = to_bundle(app);
+  bundle.models.pop_back();  // drop stack_distance
+  const std::string path = temp_path("partial");
+  {
+    std::ofstream file(path);
+    file << model::serialize_bundle(bundle);
+  }
+  ModelRegistry registry;
+  EXPECT_THROW(registry.load_file(path), exareq::InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ServeRegistryTest, ConcurrentMissesTriggerExactlyOneFit) {
+  std::atomic<int> calls{0};
+  std::promise<void> gate;
+  std::shared_future<void> released = gate.get_future().share();
+  ModelRegistry registry([&](const std::string& name) {
+    calls.fetch_add(1);
+    released.wait();
+    return make_test_requirements(name);
+  });
+
+  constexpr int kThreads = 8;
+  std::vector<std::future<std::shared_ptr<const codesign::AppRequirements>>>
+      lookups;
+  lookups.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    lookups.push_back(std::async(std::launch::async,
+                                 [&registry] { return registry.get("hot"); }));
+  }
+  // Wait until every thread has entered get() — one is fitting (blocked on
+  // the gate), the rest can only be waiting on it.
+  while (registry.stats().lookups < kThreads) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(registry.stats().in_flight_fits, 1u);
+  gate.set_value();
+
+  std::vector<std::shared_ptr<const codesign::AppRequirements>> results;
+  results.reserve(kThreads);
+  for (auto& lookup : lookups) results.push_back(lookup.get());
+  for (const auto& result : results) {
+    EXPECT_EQ(result, results.front());  // all share one fit result
+  }
+  EXPECT_EQ(calls.load(), 1);
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.fits_started, 1u);
+  EXPECT_EQ(stats.fits_completed, 1u);
+  EXPECT_EQ(stats.in_flight_fits, 0u);
+  EXPECT_GE(stats.singleflight_waits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ServeRegistryTest, FailedFitIsRetriedNotCached) {
+  std::atomic<int> calls{0};
+  ModelRegistry registry([&](const std::string& name) {
+    if (calls.fetch_add(1) == 0) {
+      throw exareq::NumericError("transient failure");
+    }
+    return make_test_requirements(name);
+  });
+  EXPECT_THROW(registry.get("flaky"), exareq::NumericError);
+  EXPECT_EQ(registry.stats().fit_failures, 1u);
+  const auto models = registry.get("flaky");
+  ASSERT_NE(models, nullptr);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(registry.stats().fits_completed, 1u);
+}
+
+}  // namespace
+}  // namespace exareq::serve

@@ -1,0 +1,41 @@
+// Shared helpers for the serve test suite: deterministic synthetic
+// requirement bundles that are cheap to build (no measuring, no fitting)
+// yet exercise every query kind, including footprint inversion.
+#pragma once
+
+#include <string>
+
+#include "codesign/requirements.hpp"
+#include "model/basis.hpp"
+#include "model/model.hpp"
+
+namespace exareq::serve::testing {
+
+/// footprint = 1024 + 8 n   (monotone in n, so inversion works)
+/// flops     = 100 + 4 n^2
+/// comm      = 64 n log2(p)
+/// loads     = 50 + 10 n
+/// stack     = 10 + 5 n
+inline codesign::AppRequirements make_test_requirements(
+    const std::string& name) {
+  using model::Model;
+  using model::Term;
+  using model::pmnf_factor;
+  codesign::AppRequirements app;
+  app.name = name;
+  app.footprint =
+      Model({"p", "n"}, 1024.0, {Term{8.0, {pmnf_factor(1, 1.0, 0.0)}}});
+  app.flops =
+      Model({"p", "n"}, 100.0, {Term{4.0, {pmnf_factor(1, 2.0, 0.0)}}});
+  app.comm_bytes = Model(
+      {"p", "n"}, 0.0,
+      {Term{64.0, {pmnf_factor(0, 0.0, 1.0), pmnf_factor(1, 1.0, 0.0)}}});
+  app.loads_stores =
+      Model({"p", "n"}, 50.0, {Term{10.0, {pmnf_factor(1, 1.0, 0.0)}}});
+  app.stack_distance =
+      Model({"n"}, 10.0, {Term{5.0, {pmnf_factor(0, 1.0, 0.0)}}});
+  app.validate();
+  return app;
+}
+
+}  // namespace exareq::serve::testing

@@ -1,0 +1,358 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "codesign/requirements.hpp"
+#include "model/serialize.hpp"
+#include "serve/socket_server.hpp"
+#include "serve_test_util.hpp"
+#include "support/error.hpp"
+
+namespace exareq::serve {
+namespace {
+
+using testing::make_test_requirements;
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+ModelRegistry& preloaded_registry(ModelRegistry& registry) {
+  registry.insert(make_test_requirements("alpha"));
+  registry.insert(make_test_requirements("beta"));
+  return registry;
+}
+
+TEST(ServeServerTest, AnswersAreBitIdenticalToDirectLibraryCalls) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 2});
+
+  const codesign::AppRequirements direct = make_test_requirements("alpha");
+  EXPECT_EQ(server.handle("eval alpha flops 64 1024"),
+            "ok eval " + render_value(direct.flops.evaluate2(64.0, 1024.0)));
+  EXPECT_EQ(server.handle("eval alpha stack_distance 1 777"),
+            "ok eval " + render_value(direct.stack_distance.evaluate1(777.0)));
+
+  const codesign::FilledSystem filled =
+      codesign::fill_memory(direct, {4096.0, 2.0e9});
+  EXPECT_EQ(server.handle("invert alpha 4096 2e9"),
+            "ok invert " + render_value(filled.problem_size_per_process) + ' ' +
+                render_value(filled.overall_problem_size));
+}
+
+TEST(ServeServerTest, ConcurrentMixedWorkloadMatchesUncachedEngine) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+
+  std::vector<std::string> lines;
+  for (const char* app : {"alpha", "beta"}) {
+    for (const char* metric :
+         {"footprint", "flops", "comm_bytes", "loads_stores"}) {
+      for (int p : {4, 16, 64}) {
+        lines.push_back(std::string("eval ") + app + ' ' + metric + ' ' +
+                        std::to_string(p) + " 512");
+      }
+    }
+    lines.push_back(std::string("invert ") + app + " 1024 1e9");
+    lines.push_back(std::string("upgrade ") + app + " 1024 1e9");
+    lines.push_back(std::string("strawman ") + app);
+  }
+  // Duplicates exercise the cache under concurrency.
+  const std::vector<std::string> first_round = lines;
+  lines.insert(lines.end(), first_round.begin(), first_round.end());
+
+  // Reference answers from an uncached engine, computed serially.
+  QueryEngine reference(registry);
+  std::vector<std::string> expected;
+  expected.reserve(lines.size());
+  for (const std::string& line : lines) {
+    expected.push_back(reference.answer_line(line));
+  }
+
+  Server server(registry, {.workers = 4, .queue_capacity = 1024});
+  std::vector<std::future<std::string>> responses;
+  responses.reserve(lines.size());
+  for (const std::string& line : lines) {
+    responses.push_back(server.submit(line));
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(responses[i].get(), expected[i]) << lines[i];
+  }
+
+  const MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.requests, lines.size());
+  EXPECT_EQ(snapshot.responses_ok, lines.size());
+  EXPECT_EQ(snapshot.responses_error, 0u);
+  EXPECT_EQ(snapshot.sheds, 0u);
+  EXPECT_EQ(snapshot.cache_hits + snapshot.cache_misses, lines.size());
+  // Each unique request misses at most once (single worker interleavings can
+  // make two workers miss the same key before the first insert lands, but
+  // every second copy submitted after the first resolved is bounded by it).
+  EXPECT_GE(snapshot.cache_hits, 1u);
+}
+
+// Acceptance criterion: a cache hit on a repeated query skips the fit path,
+// verified via the metrics counters.
+TEST(ServeServerTest, RepeatedQueryHitsCacheAndSkipsFitPath) {
+  std::atomic<int> fit_calls{0};
+  ModelRegistry registry([&](const std::string& name) {
+    fit_calls.fetch_add(1);
+    return make_test_requirements(name);
+  });
+  Server server(registry, {.workers = 2});
+
+  const std::string first = server.handle("eval ondemand flops 8 64");
+  ASSERT_TRUE(starts_with(first, "ok eval ")) << first;
+  EXPECT_EQ(fit_calls.load(), 1);
+  const MetricsSnapshot after_first = server.metrics();
+  EXPECT_EQ(after_first.cache_misses, 1u);
+  EXPECT_EQ(after_first.fits_started, 1u);
+  const std::uint64_t lookups_after_first = after_first.registry_lookups;
+
+  // Same query, different but canonically equal spelling.
+  const std::string second = server.handle("eval ONDEMAND flops 8.0 6.4e1");
+  EXPECT_EQ(second, first);
+  const MetricsSnapshot after_second = server.metrics();
+  EXPECT_EQ(after_second.cache_hits, 1u);
+  EXPECT_EQ(after_second.cache_misses, 1u);
+  EXPECT_EQ(after_second.fits_started, 1u);      // no second fit
+  EXPECT_EQ(fit_calls.load(), 1);                // fitter not re-entered
+  EXPECT_EQ(after_second.registry_lookups,       // registry not even consulted
+            lookups_after_first);
+  EXPECT_GT(after_second.cache_hit_rate(), 0.0);
+}
+
+// Acceptance criterion: a full admission queue sheds load with an explicit
+// error response instead of blocking.
+TEST(ServeServerTest, FullQueueShedsWithExplicitError) {
+  std::atomic<bool> fitting{false};
+  std::promise<void> gate;
+  std::shared_future<void> released = gate.get_future().share();
+  ModelRegistry registry([&](const std::string& name) {
+    fitting.store(true);
+    released.wait();
+    return make_test_requirements(name);
+  });
+  preloaded_registry(registry);
+
+  Server server(registry, {.workers = 1, .queue_capacity = 2});
+  // Occupy the single worker with a slow fit.
+  std::future<std::string> slow = server.submit("eval gated flops 4 32");
+  while (!fitting.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fill the admission queue behind it.
+  std::future<std::string> queued1 = server.submit("eval alpha flops 4 32");
+  std::future<std::string> queued2 = server.submit("eval alpha flops 4 64");
+
+  // The queue is full: further submissions must resolve immediately.
+  std::future<std::string> shed = server.submit("eval alpha flops 4 128");
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);  // no blocking
+  const std::string response = shed.get();
+  EXPECT_TRUE(starts_with(response, "error shed")) << response;
+  EXPECT_NE(response.find("queue full"), std::string::npos) << response;
+  EXPECT_EQ(server.metrics().sheds, 1u);
+
+  gate.set_value();
+  EXPECT_TRUE(starts_with(slow.get(), "ok eval "));
+  EXPECT_TRUE(starts_with(queued1.get(), "ok eval "));
+  EXPECT_TRUE(starts_with(queued2.get(), "ok eval "));
+  const MetricsSnapshot snapshot = server.metrics();
+  EXPECT_EQ(snapshot.requests, 4u);
+  EXPECT_EQ(snapshot.responses_ok, 3u);
+}
+
+TEST(ServeServerTest, ExpiredDeadlineDropsQueuedRequest) {
+  std::atomic<bool> fitting{false};
+  std::promise<void> gate;
+  std::shared_future<void> released = gate.get_future().share();
+  ModelRegistry registry([&](const std::string& name) {
+    fitting.store(true);
+    released.wait();
+    return make_test_requirements(name);
+  });
+  preloaded_registry(registry);
+
+  Server server(registry,
+                {.workers = 1, .deadline = std::chrono::milliseconds(5)});
+  std::future<std::string> slow = server.submit("eval gated flops 4 32");
+  while (!fitting.load()) {
+    // Slow worker start-up (e.g. under TSan) can expire the gated request's
+    // own deadline before the fit begins; resubmit until the fitter engages.
+    if (slow.wait_for(std::chrono::milliseconds(0)) ==
+        std::future_status::ready) {
+      EXPECT_TRUE(starts_with(slow.get(), "error deadline"));
+      slow = server.submit("eval gated flops 4 32");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::future<std::string> stale = server.submit("eval alpha flops 4 32");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+
+  // The stale request waited behind the fit, past its deadline.
+  const std::string response = stale.get();
+  EXPECT_TRUE(starts_with(response, "error deadline")) << response;
+  EXPECT_TRUE(starts_with(slow.get(), "ok eval "));
+  EXPECT_GE(server.metrics().deadline_drops, 1u);
+}
+
+TEST(ServeServerTest, MalformedLinesAreErrorsNotCrashes) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 1});
+  EXPECT_TRUE(starts_with(server.handle("frobnicate"), "error bad-request"));
+  EXPECT_TRUE(starts_with(server.handle("eval alpha watts 4 32"),
+                          "error bad-request"));
+  // Unknown app, no fitter configured.
+  EXPECT_TRUE(starts_with(server.handle("eval nosuch flops 4 32"),
+                          "error bad-request"));
+  EXPECT_EQ(server.metrics().responses_error, 3u);
+}
+
+TEST(ServeServerTest, StatusRequestAndReportExposeCounters) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 2});
+  EXPECT_TRUE(starts_with(server.handle("eval alpha flops 4 32"), "ok eval"));
+
+  const std::string status = server.handle("status");
+  EXPECT_TRUE(starts_with(status, "ok status ")) << status;
+  EXPECT_NE(status.find("requests="), std::string::npos);
+  EXPECT_NE(status.find("cache_misses=1"), std::string::npos) << status;
+  EXPECT_NE(status.find("apps=2"), std::string::npos) << status;
+
+  const std::string report = server.status_report();
+  for (const char* needle :
+       {"requests", "cache", "registry", "p99 latency", "hit rate"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ServeServerTest, StopDrainsAdmittedRequestsAndRejectsNewOnes) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 2});
+  std::vector<std::future<std::string>> admitted;
+  for (int i = 0; i < 16; ++i) {
+    admitted.push_back(
+        server.submit("eval alpha flops 4 " + std::to_string(32 + i)));
+  }
+  server.stop();
+  for (auto& response : admitted) {
+    EXPECT_TRUE(starts_with(response.get(), "ok eval "));
+  }
+  const std::string rejected = server.handle("eval alpha flops 4 32");
+  EXPECT_TRUE(starts_with(rejected, "error shutdown")) << rejected;
+}
+
+std::string unique_socket_path(const std::string& stem) {
+  return "/tmp/exareq_serve_" + stem + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+TEST(ServeSocketTest, RoundTripsRequestsOverUnixSocket) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 2});
+  SocketServer socket_server(server, unique_socket_path("roundtrip"));
+  socket_server.start();
+
+  const codesign::AppRequirements direct = make_test_requirements("alpha");
+  EXPECT_EQ(
+      query_over_socket(socket_server.path(), "eval alpha flops 64 1024"),
+      "ok eval " + render_value(direct.flops.evaluate2(64.0, 1024.0)));
+  EXPECT_TRUE(starts_with(query_over_socket(socket_server.path(), "garbage"),
+                          "error bad-request"));
+  socket_server.stop();
+  EXPECT_THROW(query_over_socket(socket_server.path(), "status"),
+               exareq::Error);
+}
+
+TEST(ServeSocketTest, ServesManyConcurrentClients) {
+  ModelRegistry registry;
+  preloaded_registry(registry);
+  Server server(registry, {.workers = 4, .queue_capacity = 1024});
+  SocketServer socket_server(server, unique_socket_path("concurrent"));
+  socket_server.start();
+
+  QueryEngine reference(registry);
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 16;
+  std::vector<std::future<int>> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::async(std::launch::async, [&, c] {
+      int mismatches = 0;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string line = "eval " + std::string(c % 2 ? "alpha" : "beta") +
+                                 " flops " + std::to_string(4 << (c % 3)) + ' ' +
+                                 std::to_string(32 + i);
+        if (query_over_socket(socket_server.path(), line) !=
+            reference.answer_line(line)) {
+          ++mismatches;
+        }
+      }
+      return mismatches;
+    }));
+  }
+  for (auto& client : clients) {
+    EXPECT_EQ(client.get(), 0);
+  }
+  EXPECT_EQ(server.metrics().responses_ok,
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  socket_server.stop();
+}
+
+// End-to-end: fit models through the one-shot CLI, persist them with
+// --models-out, load the bundle into a registry, and check that served
+// answers are bit-identical to evaluating the parsed models directly.
+TEST(ServeCliIntegrationTest, ServedAnswersMatchOneShotCliModels) {
+  const std::string path = "/tmp/exareq_serve_cli_models_" +
+                           std::to_string(::getpid()) + ".models";
+  std::ostringstream out, err;
+  const int code = cli::run_cli(
+      {"model", "LULESH", "--processes", "2,4,8,16,32", "--sizes",
+       "16,32,64,128,256", "--models-out", path},
+      out, err);
+  ASSERT_EQ(code, 0) << err.str();
+
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const model::ModelBundle bundle = model::parse_bundle(content.str());
+
+  ModelRegistry registry;
+  EXPECT_EQ(registry.load_file(path), bundle.name);
+  Server server(registry, {.workers = 2});
+  for (const auto& [label, model] : bundle.models) {
+    for (const double p : {8.0, 1e6}) {
+      for (const double n : {128.0, 1e9}) {
+        const double direct = label == "stack_distance" ? model.evaluate1(n)
+                                                        : model.evaluate2(p, n);
+        EXPECT_EQ(server.handle("eval " + bundle.name + ' ' + label + ' ' +
+                                render_value(p) + ' ' + render_value(n)),
+                  "ok eval " + render_value(direct))
+            << label;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace exareq::serve
