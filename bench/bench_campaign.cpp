@@ -1,0 +1,226 @@
+// Measurement-campaign benchmark: wall time and peak RSS of the full grid
+// per application at several campaign thread counts, plus a streamed-vs-
+// materialized comparison of the locality path (wall time, analyzer bytes,
+// and the weighted median, which must be identical). Prints scaling tables
+// and writes BENCH_campaign.json for trend tracking.
+//
+//   bench_campaign [--processes L] [--sizes L] [--threads-list L]
+//                  [--locality-size N] [--out FILE]
+//
+// Note: campaign speedup is bounded by the machine's core count (each grid
+// point already spawns p simulated-rank threads), so expect flat scaling on
+// a single-core runner — the CSV-identity check still exercises the
+// concurrent path.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "cli/cli.hpp"
+#include "memtrace/locality.hpp"
+#include "pipeline/campaign.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace exareq;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Process high-water RSS in kilobytes (monotone over the process life).
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+struct CampaignRun {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  long peak_rss_kb = 0;
+};
+
+struct LocalityRun {
+  double seconds = 0.0;
+  std::size_t bytes = 0;
+  double weighted_median = 0.0;
+  std::size_t trace_length = 0;
+};
+
+struct AppResult {
+  std::string name;
+  std::vector<CampaignRun> campaigns;
+  bool csv_identical = true;
+  LocalityRun streamed;
+  LocalityRun materialized;
+};
+
+AppResult bench_app(apps::AppId id, const pipeline::CampaignConfig& base,
+                    const std::vector<std::int64_t>& threads_list,
+                    std::int64_t locality_size) {
+  const apps::Application& app = apps::application(id);
+  AppResult result;
+  result.name = app.name();
+
+  std::string reference_csv;
+  for (const std::int64_t threads : threads_list) {
+    pipeline::CampaignConfig config = base;
+    config.threads = static_cast<std::size_t>(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const pipeline::CampaignData data = pipeline::run_campaign(app, config);
+    CampaignRun run;
+    run.threads = config.threads;
+    run.seconds = seconds_since(start);
+    run.peak_rss_kb = peak_rss_kb();
+    result.campaigns.push_back(run);
+    const std::string csv = data.to_csv().to_string();
+    if (reference_csv.empty()) {
+      reference_csv = csv;
+    } else if (csv != reference_csv) {
+      result.csv_identical = false;
+    }
+  }
+
+  const memtrace::LocalityConfig config = pipeline::LocalityOptions{}.config;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    memtrace::LocalityAnalyzer analyzer(config);
+    app.trace_locality(locality_size, analyzer);
+    const memtrace::LocalityReport report =
+        analyzer.finish(static_cast<double>(analyzer.recorded()));
+    result.streamed.seconds = seconds_since(start);
+    result.streamed.bytes = analyzer.memory_bytes();
+    result.streamed.weighted_median = report.weighted_median_stack_distance;
+    result.streamed.trace_length = report.trace_length;
+  }
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const memtrace::AccessTrace trace = app.locality_trace(locality_size);
+    memtrace::LocalityAnalyzer analyzer(config);
+    trace.replay(analyzer);
+    const memtrace::LocalityReport report =
+        analyzer.finish(static_cast<double>(trace.size()));
+    result.materialized.seconds = seconds_since(start);
+    result.materialized.bytes = trace.memory_bytes() + analyzer.memory_bytes();
+    result.materialized.weighted_median =
+        report.weighted_median_stack_distance;
+    result.materialized.trace_length = report.trace_length;
+  }
+  return result;
+}
+
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& name, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--" + name) return args[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  pipeline::CampaignConfig base;
+  base.process_counts.clear();
+  for (const std::int64_t p :
+       cli::parse_int_list(flag_value(args, "processes", "2,4,8,16"))) {
+    base.process_counts.push_back(static_cast<int>(p));
+  }
+  base.problem_sizes = cli::parse_int_list(
+      flag_value(args, "sizes", "32,64,128,256"));
+  const std::vector<std::int64_t> threads_list =
+      cli::parse_int_list(flag_value(args, "threads-list", "1,2,4,8"));
+  const std::int64_t locality_size =
+      std::stoll(flag_value(args, "locality-size", "4096"));
+  const std::string out_path = flag_value(args, "out", "BENCH_campaign.json");
+
+  std::cout << "campaign benchmark: " << base.process_counts.size() << " x "
+            << base.problem_sizes.size() << " grid, hardware threads = "
+            << ThreadPool::hardware_threads() << "\n";
+
+  std::vector<AppResult> results;
+  for (const apps::AppId id : apps::all_app_ids()) {
+    results.push_back(bench_app(id, base, threads_list, locality_size));
+    const AppResult& r = results.back();
+
+    TextTable table({"Threads", "Seconds", "Speedup", "Peak RSS [MB]"});
+    table.set_alignment(
+        {Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    for (const CampaignRun& run : r.campaigns) {
+      table.add_row({std::to_string(run.threads),
+                     format_fixed(run.seconds, 3),
+                     format_fixed(r.campaigns.front().seconds / run.seconds, 2)
+                         + "x",
+                     format_fixed(static_cast<double>(run.peak_rss_kb) / 1024.0,
+                                  1)});
+    }
+    std::cout << '\n' << r.name
+              << (r.csv_identical ? " (CSV identical across thread counts)"
+                                  : " (CSV MISMATCH!)")
+              << '\n'
+              << table.render();
+    std::cout << "locality n = " << locality_size << ": streamed "
+              << format_fixed(r.streamed.seconds, 3) << " s / "
+              << r.streamed.bytes << " B, materialized "
+              << format_fixed(r.materialized.seconds, 3) << " s / "
+              << r.materialized.bytes << " B, weighted median "
+              << format_compact(r.streamed.weighted_median)
+              << (r.streamed.weighted_median == r.materialized.weighted_median
+                      ? " (equal)"
+                      : " (MISMATCH!)")
+              << '\n';
+    exareq::require(r.csv_identical,
+                    "bench_campaign: CSV differs across thread counts");
+    exareq::require(
+        r.streamed.weighted_median == r.materialized.weighted_median,
+        "bench_campaign: streamed and materialized medians differ");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"campaign\",\n"
+       << "  \"hardware_threads\": " << ThreadPool::hardware_threads() << ",\n"
+       << "  \"grid\": {\"process_counts\": " << base.process_counts.size()
+       << ", \"problem_sizes\": " << base.problem_sizes.size() << "},\n"
+       << "  \"locality_size\": " << locality_size << ",\n"
+       << "  \"apps\": [\n";
+  for (std::size_t a = 0; a < results.size(); ++a) {
+    const AppResult& r = results[a];
+    json << "    {\"app\": \"" << r.name << "\", \"csv_identical\": "
+         << (r.csv_identical ? "true" : "false") << ",\n"
+         << "     \"campaign\": [";
+    for (std::size_t i = 0; i < r.campaigns.size(); ++i) {
+      const CampaignRun& run = r.campaigns[i];
+      json << (i ? ", " : "") << "{\"threads\": " << run.threads
+           << ", \"seconds\": " << run.seconds
+           << ", \"peak_rss_kb\": " << run.peak_rss_kb << '}';
+    }
+    json << "],\n"
+         << "     \"locality\": {\"trace_length\": "
+         << r.streamed.trace_length
+         << ", \"weighted_median\": " << r.streamed.weighted_median
+         << ",\n       \"streamed\": {\"seconds\": " << r.streamed.seconds
+         << ", \"bytes\": " << r.streamed.bytes
+         << "},\n       \"materialized\": {\"seconds\": "
+         << r.materialized.seconds
+         << ", \"bytes\": " << r.materialized.bytes << "}}}"
+         << (a + 1 < results.size() ? "," : "") << '\n';
+  }
+  json << "  ]\n}\n";
+  std::ofstream(out_path) << json.str();
+  std::cout << "\nwrote " << out_path << '\n';
+  return 0;
+}

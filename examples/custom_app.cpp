@@ -75,19 +75,17 @@ class HeatStencil final : public apps::Application {
     }
   }
 
-  memtrace::AccessTrace locality_trace(std::int64_t n) const override {
-    memtrace::AccessTrace trace;
-    const auto grid = trace.register_group("grid");
+  void trace_locality(std::int64_t n, memtrace::TraceSink& sink) const override {
+    const auto grid = sink.register_group("grid");
     const auto cells = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
     for (int pass = 0; pass < 40; ++pass) {
       // Sliding 3-point stencil: constant working set.
       for (std::uint64_t c = 1; c + 1 < cells; ++c) {
-        trace.record(0x1000 + c - 1, grid);
-        trace.record(0x1000 + c, grid);
-        trace.record(0x1000 + c + 1, grid);
+        sink.record(0x1000 + c - 1, grid);
+        sink.record(0x1000 + c, grid);
+        sink.record(0x1000 + c + 1, grid);
       }
     }
-    return trace;
   }
 };
 

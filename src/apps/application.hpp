@@ -50,9 +50,19 @@ class Application {
                         std::int64_t n) const = 0;
 
   /// Single-process traced kernel for locality (stack distance) analysis —
-  /// the Threadspotter substitute's input. Stack distance models in the
+  /// the Threadspotter substitute's input. The kernel streams its accesses
+  /// into `sink` (typically a memtrace::LocalityAnalyzer, which analyzes on
+  /// the fly in O(distinct addresses) memory). Stack distance models in the
   /// paper depend on n only (Table II), so p is not a parameter here.
-  virtual memtrace::AccessTrace locality_trace(std::int64_t n) const = 0;
+  virtual void trace_locality(std::int64_t n, memtrace::TraceSink& sink) const = 0;
+
+  /// Materialized convenience form of trace_locality, kept for tests and
+  /// ad-hoc inspection: runs the traced kernel into an in-memory trace.
+  memtrace::AccessTrace locality_trace(std::int64_t n) const {
+    memtrace::AccessTrace trace;
+    trace_locality(n, trace);
+    return trace;
+  }
 };
 
 /// Registry access.

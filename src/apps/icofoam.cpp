@@ -150,11 +150,11 @@ void IcoFoamProxy::run_rank(simmpi::Communicator& comm,
   }
 }
 
-memtrace::AccessTrace IcoFoamProxy::locality_trace(std::int64_t n) const {
+void IcoFoamProxy::trace_locality(std::int64_t n,
+                                  memtrace::TraceSink& sink) const {
   exareq::require(n >= 1, "icoFoam: locality trace needs n >= 1");
-  memtrace::AccessTrace trace;
-  const auto cell_stencil = trace.register_group("cell_stencil");
-  const auto face_flux = trace.register_group("face_flux");
+  const auto cell_stencil = sink.register_group("cell_stencil");
+  const auto face_flux = sink.register_group("face_flux");
   // Gauss-Seidel style sweeps touch each cell's small stencil repeatedly —
   // a constant working set.
   const auto cells = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
@@ -163,12 +163,11 @@ memtrace::AccessTrace IcoFoamProxy::locality_trace(std::int64_t n) const {
   for (std::uint64_t c = 0; c < cells; ++c) {
     for (int pass = 0; pass < passes; ++pass) {
       for (std::uint64_t s = 0; s < 5; ++s) {
-        trace.record(0xB00000 + c * 8 + s, cell_stencil);
+        sink.record(0xB00000 + c * 8 + s, cell_stencil);
       }
-      trace.record(0xC00000 + c, face_flux);
+      sink.record(0xC00000 + c, face_flux);
     }
   }
-  return trace;
 }
 
 }  // namespace exareq::apps

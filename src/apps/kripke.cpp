@@ -94,11 +94,11 @@ void KripkeProxy::run_rank(simmpi::Communicator& comm,
   }
 }
 
-memtrace::AccessTrace KripkeProxy::locality_trace(std::int64_t n) const {
+void KripkeProxy::trace_locality(std::int64_t n,
+                                 memtrace::TraceSink& sink) const {
   exareq::require(n >= 1, "Kripke: locality trace needs n >= 1");
-  memtrace::AccessTrace trace;
-  const auto zone_state = trace.register_group("zone_state");
-  const auto angular_flux = trace.register_group("angular_flux");
+  const auto zone_state = sink.register_group("zone_state");
+  const auto angular_flux = sink.register_group("angular_flux");
   // Per zone, the sweep repeatedly touches the same fixed-size block of
   // unknowns (groups x directions) before moving on: the working set — and
   // with it the stack distance — is constant regardless of n.
@@ -110,13 +110,12 @@ memtrace::AccessTrace KripkeProxy::locality_trace(std::int64_t n) const {
       std::max<std::uint64_t>(3, 10000 / zones));
   for (std::uint64_t z = 0; z < zones; ++z) {
     for (int pass = 0; pass < passes; ++pass) {
-      trace.record(0x100000 + z, zone_state);
+      sink.record(0x100000 + z, zone_state);
       for (std::uint64_t u = 0; u < unknowns; ++u) {
-        trace.record(0x200000 + z * unknowns + u, angular_flux);
+        sink.record(0x200000 + z * unknowns + u, angular_flux);
       }
     }
   }
-  return trace;
 }
 
 }  // namespace exareq::apps

@@ -29,7 +29,7 @@ class KripkeProxy final : public Application {
   }
   void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
                 std::int64_t n) const override;
-  memtrace::AccessTrace locality_trace(std::int64_t n) const override;
+  void trace_locality(std::int64_t n, memtrace::TraceSink& sink) const override;
 };
 
 }  // namespace exareq::apps

@@ -105,11 +105,11 @@ void LuleshProxy::run_rank(simmpi::Communicator& comm,
   }
 }
 
-memtrace::AccessTrace LuleshProxy::locality_trace(std::int64_t n) const {
+void LuleshProxy::trace_locality(std::int64_t n,
+                                 memtrace::TraceSink& sink) const {
   exareq::require(n >= 1, "LULESH: locality trace needs n >= 1");
-  memtrace::AccessTrace trace;
-  const auto element_state = trace.register_group("element_state");
-  const auto corner_nodes = trace.register_group("corner_nodes");
+  const auto element_state = sink.register_group("element_state");
+  const auto corner_nodes = sink.register_group("corner_nodes");
   // Hexahedral elements touch their 8 corner nodes repeatedly while
   // integrating — a fixed working set per element.
   const auto elements = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
@@ -117,13 +117,12 @@ memtrace::AccessTrace LuleshProxy::locality_trace(std::int64_t n) const {
       std::max<std::uint64_t>(3, 10000 / elements));
   for (std::uint64_t e = 0; e < elements; ++e) {
     for (int pass = 0; pass < passes; ++pass) {
-      trace.record(0x400000 + e, element_state);
+      sink.record(0x400000 + e, element_state);
       for (std::uint64_t corner = 0; corner < 8; ++corner) {
-        trace.record(0x500000 + e * 8 + corner, corner_nodes);
+        sink.record(0x500000 + e * 8 + corner, corner_nodes);
       }
     }
   }
-  return trace;
 }
 
 }  // namespace exareq::apps

@@ -154,11 +154,11 @@ void MilcProxy::run_rank(simmpi::Communicator& comm,
   }
 }
 
-memtrace::AccessTrace MilcProxy::locality_trace(std::int64_t n) const {
+void MilcProxy::trace_locality(std::int64_t n,
+                               memtrace::TraceSink& sink) const {
   exareq::require(n >= 1, "MILC: locality trace needs n >= 1");
-  memtrace::AccessTrace trace;
-  const auto lattice = trace.register_group("lattice_sweep");
-  const auto accumulators = trace.register_group("accumulators");
+  const auto lattice = sink.register_group("lattice_sweep");
+  const auto accumulators = sink.register_group("accumulators");
   // Full-lattice sweeps: a site is touched again only after every other
   // site — the stack distance grows linearly with n (the paper's flagged
   // MILC locality issue). Three sweeps give every site two reuse samples.
@@ -169,11 +169,10 @@ memtrace::AccessTrace MilcProxy::locality_trace(std::int64_t n) const {
       std::max<std::int64_t>(3, 20000 / static_cast<std::int64_t>(sites)));
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (std::uint64_t s = 0; s < sites; ++s) {
-      trace.record(0x700000 + s, lattice);
-      if (s % 16 == 0) trace.record(0x800000 + (s % 4), accumulators);
+      sink.record(0x700000 + s, lattice);
+      if (s % 16 == 0) sink.record(0x800000 + (s % 4), accumulators);
     }
   }
-  return trace;
 }
 
 }  // namespace exareq::apps

@@ -146,11 +146,11 @@ void RelearnProxy::run_rank(simmpi::Communicator& comm,
   }
 }
 
-memtrace::AccessTrace RelearnProxy::locality_trace(std::int64_t n) const {
+void RelearnProxy::trace_locality(std::int64_t n,
+                                  memtrace::TraceSink& sink) const {
   exareq::require(n >= 1, "Relearn: locality trace needs n >= 1");
-  memtrace::AccessTrace trace;
-  const auto neuron_state = trace.register_group("neuron_state");
-  const auto synapse_list = trace.register_group("synapse_list");
+  const auto neuron_state = sink.register_group("neuron_state");
+  const auto synapse_list = sink.register_group("synapse_list");
   // Each neuron repeatedly touches its own state and a short synapse list —
   // a constant working set independent of n.
   const auto neurons = static_cast<std::uint64_t>(std::min<std::int64_t>(n, 512));
@@ -158,13 +158,12 @@ memtrace::AccessTrace RelearnProxy::locality_trace(std::int64_t n) const {
       std::max<std::uint64_t>(3, 10000 / neurons));
   for (std::uint64_t neuron = 0; neuron < neurons; ++neuron) {
     for (int pass = 0; pass < passes; ++pass) {
-      trace.record(0x900000 + neuron, neuron_state);
+      sink.record(0x900000 + neuron, neuron_state);
       for (std::uint64_t s = 0; s < 6; ++s) {
-        trace.record(0xA00000 + neuron * 8 + s, synapse_list);
+        sink.record(0xA00000 + neuron * 8 + s, synapse_list);
       }
     }
   }
-  return trace;
 }
 
 }  // namespace exareq::apps

@@ -107,6 +107,11 @@ pipeline::CampaignConfig campaign_config(const Flags& flags) {
   if (const auto sizes = flags.get("sizes")) {
     config.problem_sizes = parse_int_list(*sizes);
   }
+  const std::int64_t threads = flags.integer("threads", 0);
+  exareq::require(threads >= 0,
+                  "flag --threads expects a non-negative integer, got " +
+                      std::to_string(threads));
+  config.threads = static_cast<std::size_t>(threads);
   return config;
 }
 
@@ -245,11 +250,13 @@ int cmd_locality(const apps::Application& app, const Flags& flags,
                  std::ostream& out) {
   const auto n = static_cast<std::int64_t>(flags.number("size", 256.0));
   exareq::require(n >= 1, "--size must be >= 1");
-  const memtrace::AccessTrace trace = app.locality_trace(n);
   memtrace::LocalityConfig config;
   config.sampler = memtrace::SamplerConfig{64, 512, 0};
-  const auto report = memtrace::analyze_locality(
-      trace, config, static_cast<double>(trace.size()));
+  // Streamed: the kernel feeds the analyzer directly, no materialized trace.
+  memtrace::LocalityAnalyzer analyzer(config);
+  app.trace_locality(n, analyzer);
+  const auto report =
+      analyzer.finish(static_cast<double>(analyzer.recorded()));
   out << "Locality report for " << app.name() << " at n = " << n << ":\n";
   TextTable table({"Group", "Samples", "Median SD", "Median RD", "Reliable"});
   for (const auto& group : report.groups) {
@@ -365,7 +372,7 @@ int cmd_query(const Flags& flags, std::ostream& out) {
 std::string usage() {
   return "usage: exareq <command> [...]\n"
          "  list                                     list the bundled applications\n"
-         "  measure <app> [--processes L] [--sizes L] [--out FILE]\n"
+         "  measure <app> [--processes L] [--sizes L] [--threads N] [--out FILE]\n"
          "  model   <app> [--in FILE] [--models-out FILE] [--threads N]\n"
          "  upgrade <app> [--in FILE] [--base-processes P] [--base-memory B]\n"
          "           [--threads N]\n"
@@ -378,9 +385,10 @@ std::string usage() {
          "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64;\n"
          "they are sorted, deduplicated, and need >= 2 distinct values.\n"
          "Analysis commands measure on the fly unless --in supplies a campaign\n"
-         "CSV written by `measure`. --threads sizes the model engine's thread\n"
-         "pool (0 = hardware concurrency, the default; any value selects the\n"
-         "same models).\n"
+         "CSV written by `measure`. --threads sizes the thread pool used for\n"
+         "measurement campaigns (grid points run concurrently) and for the\n"
+         "model engine (0 = hardware concurrency, the default; results are\n"
+         "bit-identical at any thread count).\n"
          "`serve` answers eval/invert/upgrade/strawman/status queries from\n"
          "model bundles (--models, written by `model --models-out`) or by\n"
          "fitting on demand; --requests FILE serves a batch, --socket serves\n"

@@ -1,34 +1,87 @@
 #include "memtrace/distance.hpp"
 
+#include <limits>
 #include <unordered_set>
 
 namespace exareq::memtrace {
 
-DistanceAnalyzer::DistanceAnalyzer(std::size_t expected_trace_length)
-    : marks_(expected_trace_length) {
-  last_access_.reserve(expected_trace_length / 4 + 16);
+namespace {
+constexpr std::size_t kUnmapped = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+DistanceAnalyzer::DistanceAnalyzer(std::size_t expected_distinct_addresses)
+    : marks_(expected_distinct_addresses) {
+  last_access_.reserve(expected_distinct_addresses / 4 + 16);
 }
 
-AccessDistances DistanceAnalyzer::observe(std::uint64_t address) {
+std::size_t DistanceAnalyzer::allocate_mark() {
+  if (next_mark_ == marks_.capacity() &&
+      marks_.total() * 2 <= marks_.capacity()) {
+    compact();
+  }
+  // Otherwise the Fenwick tree grows (doubling, O(capacity) rebuild) when
+  // the returned slot is set — which only happens while more than half the
+  // slots are live, so capacity stays within 4x the live-address peak.
+  return next_mark_++;
+}
+
+void DistanceAnalyzer::compact() {
+  // Renumber the live marks onto a dense prefix, preserving their order.
+  const std::size_t capacity = marks_.capacity();
+  std::vector<std::size_t> renumbered(capacity, kUnmapped);
+  std::size_t next = 0;
+  for (std::size_t mark = 0; mark < capacity; ++mark) {
+    if (marks_.is_set(mark)) renumbered[mark] = next++;
+  }
+  for (auto& [address, slot] : last_access_) {
+    // An entry whose mark was already cleared this step (the in-flight
+    // access) keeps its stale value; the caller overwrites it immediately.
+    if (slot.mark < capacity && renumbered[slot.mark] != kUnmapped) {
+      slot.mark = renumbered[slot.mark];
+    }
+  }
+  std::vector<std::uint8_t> compacted(capacity, 0);
+  std::fill(compacted.begin(), compacted.begin() + static_cast<std::ptrdiff_t>(next), 1);
+  marks_.assign(std::move(compacted));
+  next_mark_ = next;
+}
+
+AccessDistances DistanceAnalyzer::observe(std::uint64_t address,
+                                          bool compute_stack_distance) {
   AccessDistances distances;
   const std::size_t now = position_++;
   const auto it = last_access_.find(address);
   if (it != last_access_.end()) {
-    const std::size_t previous = it->second;
+    const Slot previous = it->second;
     distances.cold = false;
-    distances.reuse_distance = now - previous - 1;
-    // Every distinct address accessed strictly between `previous` and `now`
-    // has its most-recent-access mark inside (previous, now); the mark at
-    // `previous` is this address itself and is excluded.
-    distances.stack_distance =
-        now > previous + 1 ? marks_.range_count(previous + 1, now - 1) : 0;
-    marks_.clear(previous);
-    it->second = now;
+    distances.reuse_distance = now - previous.position - 1;
+    if (compute_stack_distance) {
+      // Every distinct address accessed strictly between the previous
+      // access and now has its most-recent-access mark strictly between
+      // the previous mark and the next free slot; the mark at
+      // previous.mark is this address itself and is excluded.
+      distances.stack_distance =
+          next_mark_ > previous.mark + 1
+              ? marks_.range_count(previous.mark + 1, next_mark_ - 1)
+              : 0;
+    }
+    marks_.clear(previous.mark);
+    it->second.position = now;
+    it->second.mark = allocate_mark();
+    marks_.set(it->second.mark);
   } else {
-    last_access_.emplace(address, now);
+    const std::size_t mark = allocate_mark();
+    last_access_.emplace(address, Slot{now, mark});
+    marks_.set(mark);
   }
-  marks_.set(now);
   return distances;
+}
+
+std::size_t DistanceAnalyzer::memory_bytes() const {
+  return marks_.memory_bytes() +
+         last_access_.bucket_count() * sizeof(void*) +
+         last_access_.size() * (sizeof(std::uint64_t) + sizeof(Slot) +
+                                2 * sizeof(void*));
 }
 
 std::vector<AccessDistances> compute_distances(const AccessTrace& trace) {

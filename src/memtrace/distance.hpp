@@ -11,11 +11,19 @@
 // Stack distances are computed with Olken's algorithm: a Fenwick tree marks
 // the trace position of the most recent access to each live address, so the
 // number of distinct addresses between two positions is a range count —
-// O(log T) per access instead of the naive O(T).
+// O(log n) per access instead of the naive O(T).
+//
+// The analyzer's memory is O(distinct addresses), not O(trace length):
+// every access consumes one mark slot, and when the slot space fills up
+// while at most half of it is live, the live marks are renumbered onto a
+// dense prefix (order-preserving, so all subsequent range counts — and
+// therefore all stack distances — are unchanged). Reuse distances are
+// computed from a separate monotone stream position that compaction never
+// touches. Each compaction frees at least half the slots, so its O(capacity)
+// cost is amortized O(1) per access.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,13 +40,23 @@ struct AccessDistances {
   std::uint64_t stack_distance = 0;
 };
 
-/// Streaming exact distance analyzer (Olken).
+/// Streaming exact distance analyzer (Olken with mark compaction).
 class DistanceAnalyzer {
  public:
-  explicit DistanceAnalyzer(std::size_t expected_trace_length = 1024);
+  explicit DistanceAnalyzer(std::size_t expected_distinct_addresses = 1024);
 
   /// Processes the next access of the stream and returns its distances.
-  AccessDistances observe(std::uint64_t address);
+  AccessDistances observe(std::uint64_t address) {
+    return observe(address, true);
+  }
+
+  /// Burst-aware variant: with `compute_stack_distance == false` the marks
+  /// and last-access bookkeeping are maintained exactly but the O(log n)
+  /// Fenwick range query — the dominant per-access cost — is skipped and
+  /// the returned stack_distance is 0. Cold flags and reuse distances are
+  /// always exact. Distances reported with `true` are identical whether or
+  /// not other positions were queried.
+  AccessDistances observe(std::uint64_t address, bool compute_stack_distance);
 
   /// Number of accesses observed so far.
   std::size_t position() const { return position_; }
@@ -46,13 +64,26 @@ class DistanceAnalyzer {
   /// Number of distinct addresses observed so far.
   std::size_t distinct_addresses() const { return last_access_.size(); }
 
+  /// Bytes held by the analyzer's mark and last-access structures;
+  /// proportional to the distinct-address count, not the stream length.
+  std::size_t memory_bytes() const;
+
  private:
+  struct Slot {
+    std::size_t position = 0;  ///< stream position of the last access
+    std::size_t mark = 0;      ///< mark slot of the last access
+  };
+
+  std::size_t allocate_mark();
+  void compact();
+
   FenwickTree marks_;
-  std::unordered_map<std::uint64_t, std::size_t> last_access_;
-  std::size_t position_ = 0;
+  std::unordered_map<std::uint64_t, Slot> last_access_;
+  std::size_t position_ = 0;   ///< monotone stream position (never compacted)
+  std::size_t next_mark_ = 0;  ///< next free mark slot
 };
 
-/// Distances of every access of a trace (Olken, O(T log T)).
+/// Distances of every access of a trace (Olken, O(T log n) time).
 std::vector<AccessDistances> compute_distances(const AccessTrace& trace);
 
 /// Reference implementation, O(T^2); used to validate compute_distances in

@@ -1,5 +1,7 @@
 #include "memtrace/fenwick.hpp"
 
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace exareq::memtrace {
@@ -11,18 +13,34 @@ FenwickTree::FenwickTree(std::size_t initial_capacity) {
   marks_.assign(capacity, 0);
 }
 
+void FenwickTree::rebuild_tree() {
+  // Linear-time Fenwick construction: seed each node with its own mark,
+  // then push every node's partial sum into its parent once.
+  const std::size_t capacity = marks_.size();
+  tree_.assign(capacity + 1, 0);
+  for (std::size_t i = 1; i <= capacity; ++i) {
+    tree_[i] += marks_[i - 1];
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= capacity) tree_[parent] += tree_[i];
+  }
+}
+
 void FenwickTree::ensure_capacity(std::size_t position) {
   if (position < marks_.size()) return;
   std::size_t capacity = marks_.size();
   while (capacity <= position) capacity *= 2;
-  // Rebuild the tree from the marks; amortized constant per operation.
-  std::vector<std::uint8_t> old_marks = std::move(marks_);
-  marks_.assign(capacity, 0);
-  tree_.assign(capacity + 1, 0);
+  // Rebuild the tree over the widened mark array in O(capacity); with
+  // doubling this costs amortized O(1) per appended position.
+  marks_.resize(capacity, 0);
+  rebuild_tree();
+}
+
+void FenwickTree::assign(std::vector<std::uint8_t> marks) {
+  marks_ = std::move(marks);
+  if (marks_.size() < 16) marks_.resize(16, 0);
   total_ = 0;
-  for (std::size_t i = 0; i < old_marks.size(); ++i) {
-    if (old_marks[i]) set(i);
-  }
+  for (const std::uint8_t mark : marks_) total_ += mark != 0 ? 1 : 0;
+  rebuild_tree();
 }
 
 void FenwickTree::add(std::size_t position, int delta) {

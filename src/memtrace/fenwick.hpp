@@ -10,7 +10,8 @@
 namespace exareq::memtrace {
 
 /// Fenwick tree over boolean marks indexed by trace position. Grows
-/// automatically (amortized O(log n) per operation).
+/// automatically: each doubling rebuilds in O(capacity), so growth costs
+/// amortized O(1) per set() while queries and updates stay O(log n).
 class FenwickTree {
  public:
   explicit FenwickTree(std::size_t initial_capacity = 1024);
@@ -33,8 +34,22 @@ class FenwickTree {
   /// Total number of set marks.
   std::size_t total() const { return total_; }
 
+  /// Current position capacity (marks at or beyond it require growth).
+  std::size_t capacity() const { return marks_.size(); }
+
+  /// Replaces the whole mark set and rebuilds the tree in O(capacity).
+  /// Used by the streaming distance analyzer to renumber live marks.
+  void assign(std::vector<std::uint8_t> marks);
+
+  /// Bytes held by the tree and mark arrays (capacity accounting).
+  std::size_t memory_bytes() const {
+    return tree_.capacity() * sizeof(std::int32_t) +
+           marks_.capacity() * sizeof(std::uint8_t);
+  }
+
  private:
   void ensure_capacity(std::size_t position);
+  void rebuild_tree();
   void add(std::size_t position, int delta);
 
   std::vector<std::int32_t> tree_;    // 1-based Fenwick array

@@ -1,63 +1,72 @@
 #include "memtrace/locality.hpp"
 
-#include <algorithm>
-
 #include "support/error.hpp"
 #include "support/stats.hpp"
 
 namespace exareq::memtrace {
 
-LocalityReport analyze_locality(const AccessTrace& trace,
-                                const LocalityConfig& config,
-                                double total_memory_accesses) {
-  exareq::require(total_memory_accesses >= 0.0,
-                  "analyze_locality: negative access count");
-  LocalityReport report;
-  report.trace_length = trace.size();
+LocalityAnalyzer::LocalityAnalyzer(const LocalityConfig& config)
+    : config_(config) {}
 
-  const std::size_t group_count = trace.group_count();
-  std::vector<std::vector<double>> stack_samples(group_count);
-  std::vector<std::vector<double>> reuse_samples(group_count);
-  std::vector<std::size_t> sampled_accesses(group_count, 0);
-
-  // Exact distances over the full stream; the sampler only selects which
-  // accesses are *reported*, mirroring Threadspotter's burst strategy.
-  DistanceAnalyzer analyzer(trace.size());
-  std::size_t position = 0;
-  for (const Access& access : trace.accesses()) {
-    const AccessDistances distances = analyzer.observe(access.address);
-    if (config.sampler.sampled(position)) {
-      ++sampled_accesses[access.group];
-      ++report.total_sampled;
-      if (!distances.cold) {
-        stack_samples[access.group].push_back(
-            static_cast<double>(distances.stack_distance));
-        reuse_samples[access.group].push_back(
-            static_cast<double>(distances.reuse_distance));
-      }
-    }
-    ++position;
+GroupId LocalityAnalyzer::register_group(const std::string& name) {
+  for (GroupId id = 0; id < group_names_.size(); ++id) {
+    if (group_names_[id] == name) return id;
   }
+  group_names_.push_back(name);
+  stack_samples_.emplace_back();
+  reuse_samples_.emplace_back();
+  sampled_accesses_.push_back(0);
+  return static_cast<GroupId>(group_names_.size() - 1);
+}
 
+void LocalityAnalyzer::record(std::uint64_t address, GroupId group) {
+  exareq::require(group < group_names_.size(),
+                  "LocalityAnalyzer::record: group not registered");
+  // Exact distances over the full stream; the sampler selects which
+  // accesses are *reported*, mirroring Threadspotter's burst strategy. Off
+  // burst, the stack-distance query is skipped entirely (burst-aware mode) —
+  // the marks stay exact, so on-burst distances equal exact-mode values.
+  const bool sampled = config_.sampler.sampled(analyzer_.position());
+  const AccessDistances distances = analyzer_.observe(address, sampled);
+  if (sampled) {
+    ++sampled_accesses_[group];
+    ++total_sampled_;
+    if (!distances.cold) {
+      stack_samples_[group].push_back(
+          static_cast<double>(distances.stack_distance));
+      reuse_samples_[group].push_back(
+          static_cast<double>(distances.reuse_distance));
+    }
+  }
+}
+
+LocalityReport LocalityAnalyzer::finish(double total_memory_accesses) const {
+  exareq::require(total_memory_accesses >= 0.0,
+                  "LocalityAnalyzer::finish: negative access count");
+  LocalityReport report;
+  report.trace_length = analyzer_.position();
+  report.total_sampled = total_sampled_;
+
+  const std::size_t group_count = group_names_.size();
   report.groups.resize(group_count);
   double weighted_sum = 0.0;
   double weight_total = 0.0;
   for (GroupId g = 0; g < group_count; ++g) {
     GroupLocality& stats = report.groups[g];
     stats.group = g;
-    stats.name = trace.group_name(g);
-    stats.samples = stack_samples[g].size();
-    stats.sampled_accesses = sampled_accesses[g];
+    stats.name = group_names_[g];
+    stats.samples = stack_samples_[g].size();
+    stats.sampled_accesses = sampled_accesses_[g];
     stats.estimated_accesses =
-        report.total_sampled == 0
+        total_sampled_ == 0
             ? 0.0
-            : total_memory_accesses * static_cast<double>(sampled_accesses[g]) /
-                  static_cast<double>(report.total_sampled);
-    stats.reliable = stats.samples >= config.min_samples;
+            : total_memory_accesses * static_cast<double>(sampled_accesses_[g]) /
+                  static_cast<double>(total_sampled_);
+    stats.reliable = stats.samples >= config_.min_samples;
     if (stats.samples > 0) {
-      stats.median_stack_distance = exareq::median(stack_samples[g]);
-      stats.median_reuse_distance = exareq::median(reuse_samples[g]);
-      stats.stack_distance_mad = exareq::median_abs_deviation(stack_samples[g]);
+      stats.median_stack_distance = exareq::median(stack_samples_[g]);
+      stats.median_reuse_distance = exareq::median(reuse_samples_[g]);
+      stats.stack_distance_mad = exareq::median_abs_deviation(stack_samples_[g]);
     }
     if (stats.reliable) {
       weighted_sum += stats.median_stack_distance * stats.estimated_accesses;
@@ -67,6 +76,22 @@ LocalityReport analyze_locality(const AccessTrace& trace,
   report.weighted_median_stack_distance =
       weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
   return report;
+}
+
+std::size_t LocalityAnalyzer::memory_bytes() const {
+  std::size_t samples = 0;
+  for (const auto& v : stack_samples_) samples += v.capacity() * sizeof(double);
+  for (const auto& v : reuse_samples_) samples += v.capacity() * sizeof(double);
+  return analyzer_.memory_bytes() + samples +
+         sampled_accesses_.capacity() * sizeof(std::size_t);
+}
+
+LocalityReport analyze_locality(const AccessTrace& trace,
+                                const LocalityConfig& config,
+                                double total_memory_accesses) {
+  LocalityAnalyzer analyzer(config);
+  trace.replay(analyzer);
+  return analyzer.finish(total_memory_accesses);
 }
 
 }  // namespace exareq::memtrace

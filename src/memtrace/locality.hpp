@@ -7,6 +7,15 @@
 //    configuration are dropped as unreliable;
 //  * access counts per group estimated from an externally measured total
 //    (PAPI loads+stores) scaled by each group's sample share.
+//
+// The production entry point is the streaming LocalityAnalyzer: a TraceSink
+// the traced kernel writes into directly, so the trace is never materialized
+// and memory stays O(distinct addresses) + O(sampled positions). It is also
+// burst-aware: marks and last-access state are maintained exactly over the
+// full stream, but the O(log n) stack-distance query is only issued at
+// sampled positions, where its result equals the exact-mode value.
+// analyze_locality() is the materialized-trace wrapper kept for tests and
+// ad-hoc analysis; both produce bit-identical reports.
 #pragma once
 
 #include <cstdint>
@@ -55,9 +64,41 @@ struct LocalityReport {
   double weighted_median_stack_distance = 0.0;
 };
 
-/// Analyzes a trace. `total_memory_accesses` is the program-wide load/store
-/// count measured externally (PAPI substitute); pass trace.size() when the
-/// trace is complete.
+/// Streaming locality analysis: feed a kernel's access stream in directly
+/// (apps::Application::trace_locality), then call finish() once.
+class LocalityAnalyzer final : public TraceSink {
+ public:
+  explicit LocalityAnalyzer(const LocalityConfig& config);
+
+  GroupId register_group(const std::string& name) override;
+  void record(std::uint64_t address, GroupId group) override;
+
+  /// Number of accesses recorded so far (the stream length).
+  std::size_t recorded() const { return analyzer_.position(); }
+
+  /// Finalizes the report. `total_memory_accesses` is the program-wide
+  /// load/store count measured externally (PAPI substitute); pass
+  /// recorded() when the stream is complete.
+  LocalityReport finish(double total_memory_accesses) const;
+
+  /// Bytes held by the analyzer (distance state + gathered samples);
+  /// independent of the stream length.
+  std::size_t memory_bytes() const;
+
+ private:
+  LocalityConfig config_;
+  DistanceAnalyzer analyzer_;
+  std::vector<std::string> group_names_;
+  std::vector<std::vector<double>> stack_samples_;
+  std::vector<std::vector<double>> reuse_samples_;
+  std::vector<std::size_t> sampled_accesses_;
+  std::size_t total_sampled_ = 0;
+};
+
+/// Analyzes a materialized trace (replays it through a LocalityAnalyzer).
+/// `total_memory_accesses` is the program-wide load/store count measured
+/// externally (PAPI substitute); pass trace.size() when the trace is
+/// complete.
 LocalityReport analyze_locality(const AccessTrace& trace,
                                 const LocalityConfig& config,
                                 double total_memory_accesses);

@@ -33,4 +33,15 @@ std::size_t AccessTrace::distinct_addresses() const {
   return seen.size();
 }
 
+void AccessTrace::replay(TraceSink& sink) const {
+  std::vector<GroupId> ids;
+  ids.reserve(group_names_.size());
+  for (const std::string& name : group_names_) {
+    ids.push_back(sink.register_group(name));
+  }
+  for (const Access& a : accesses_) {
+    sink.record(a.address, ids[a.group]);
+  }
+}
+
 }  // namespace exareq::memtrace

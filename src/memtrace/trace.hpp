@@ -5,6 +5,12 @@
 // data structure. Our substitute asks the traced kernel to tag each access
 // with a group id obtained from register_group(); the MMM examples of the
 // paper's Sec. II-D use groups "A", "B", "C" for the three matrices.
+//
+// Kernels emit accesses through the TraceSink interface, so a consumer can
+// either materialize the stream (AccessTrace, used by tests and the
+// distance reference implementations) or analyze it on the fly without ever
+// storing it (memtrace::LocalityAnalyzer, the production path — memory
+// proportional to the number of distinct addresses, not the trace length).
 #pragma once
 
 #include <cstdint>
@@ -23,13 +29,27 @@ struct Access {
   GroupId group = 0;
 };
 
-/// An in-memory access trace. Addresses are abstract locations (byte
-/// addresses or element indices — distance metrics only compare equality).
-class AccessTrace {
+/// Consumer of a streamed access trace. Kernels first register their
+/// instruction groups, then emit accesses in program order.
+class TraceSink {
  public:
+  virtual ~TraceSink() = default;
+
   /// Registers an instruction group and returns its id. Re-registering the
-  /// same name returns the existing id.
-  GroupId register_group(const std::string& name);
+  /// same name returns the existing id; ids are dense and assigned in
+  /// first-registration order.
+  virtual GroupId register_group(const std::string& name) = 0;
+
+  /// Consumes one access; the group must have been registered.
+  virtual void record(std::uint64_t address, GroupId group) = 0;
+};
+
+/// An in-memory access trace — the materializing TraceSink. Addresses are
+/// abstract locations (byte addresses or element indices — distance metrics
+/// only compare equality).
+class AccessTrace final : public TraceSink {
+ public:
+  GroupId register_group(const std::string& name) override;
 
   /// Name of a registered group; throws InvalidArgument for unknown ids.
   const std::string& group_name(GroupId group) const;
@@ -37,7 +57,7 @@ class AccessTrace {
   std::size_t group_count() const { return group_names_.size(); }
 
   /// Appends one access; the group must have been registered.
-  void record(std::uint64_t address, GroupId group);
+  void record(std::uint64_t address, GroupId group) override;
 
   std::span<const Access> accesses() const { return accesses_; }
   std::size_t size() const { return accesses_.size(); }
@@ -45,6 +65,15 @@ class AccessTrace {
 
   /// Number of distinct addresses touched by the trace.
   std::size_t distinct_addresses() const;
+
+  /// Bytes held by the materialized access array (capacity accounting).
+  std::size_t memory_bytes() const {
+    return accesses_.capacity() * sizeof(Access);
+  }
+
+  /// Replays the trace into another sink: group registrations in id order
+  /// followed by every access in program order.
+  void replay(TraceSink& sink) const;
 
   void reserve(std::size_t expected) { accesses_.reserve(expected); }
   void clear() { accesses_.clear(); }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_set>
 
 #include "support/error.hpp"
 #include "support/format.hpp"
+#include "support/task_dag.hpp"
 #include "support/thread_pool.hpp"
 
 namespace exareq::pipeline {
@@ -52,14 +54,12 @@ double metric_value(const AppMeasurement& m, Metric metric) {
 
 model::MeasurementSet CampaignData::metric_data(Metric metric) const {
   if (metric == Metric::kStackDistance) {
-    // Locality depends on the problem size only; deduplicate over p.
+    // Locality depends on the problem size only; deduplicate over p,
+    // keeping the first occurrence of each problem size.
     model::MeasurementSet data({"n"});
-    std::vector<std::int64_t> seen;
+    std::unordered_set<std::int64_t> seen;
     for (const AppMeasurement& m : measurements) {
-      if (std::find(seen.begin(), seen.end(), m.problem_size) != seen.end()) {
-        continue;
-      }
-      seen.push_back(m.problem_size);
+      if (!seen.insert(m.problem_size).second) continue;
       data.add({static_cast<double>(m.problem_size)}, metric_value(m, metric));
     }
     return data;
@@ -74,11 +74,10 @@ model::MeasurementSet CampaignData::metric_data(Metric metric) const {
 
 std::vector<std::string> CampaignData::channel_names() const {
   std::vector<std::string> names;
+  std::unordered_set<std::string> seen;
   for (const AppMeasurement& m : measurements) {
     for (const auto& [name, channel] : m.channels) {
-      if (std::find(names.begin(), names.end(), name) == names.end()) {
-        names.push_back(name);
-      }
+      if (seen.insert(name).second) names.push_back(name);
     }
   }
   std::sort(names.begin(), names.end());
@@ -208,30 +207,64 @@ CampaignData run_campaign(const apps::Application& app,
                           const CampaignConfig& config) {
   exareq::require(!config.process_counts.empty() && !config.problem_sizes.empty(),
                   "run_campaign: empty campaign grid");
+  const std::size_t p_count = config.process_counts.size();
+  const std::size_t n_count = config.problem_sizes.size();
+
   CampaignData data;
   data.app_name = app.name();
-  data.measurements.reserve(config.process_counts.size() *
-                            config.problem_sizes.size());
-  for (std::int64_t n : config.problem_sizes) {
-    // Locality traces depend on n only; measure once per problem size.
-    bool locality_done = false;
-    for (int p : config.process_counts) {
-      LocalityOptions locality = config.locality;
-      locality.enabled = config.locality.enabled && !locality_done;
-      AppMeasurement m = measure_app(app, p, n, locality);
-      if (locality.enabled) {
-        locality_done = true;
-      } else if (config.locality.enabled && !data.measurements.empty()) {
-        // Reuse the stack distance measured at this n.
-        for (auto it = data.measurements.rbegin(); it != data.measurements.rend();
-             ++it) {
-          if (it->problem_size == n) {
-            m.stack_distance = it->stack_distance;
-            break;
-          }
-        }
+  // Every grid point writes its own preallocated slot (row-major: n outer,
+  // p inner — the serial iteration order), so the campaign can run on any
+  // number of threads and still produce bit-identical measurements.
+  data.measurements.resize(n_count * p_count);
+
+  // Grid measurements never compute locality themselves; locality traces
+  // depend on n only and run as one dedicated task per problem size.
+  LocalityOptions no_locality = config.locality;
+  no_locality.enabled = false;
+
+  TaskDag dag;
+  for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
+    for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
+      dag.add([&app, &config, &data, &no_locality, n_idx, p_idx, p_count] {
+        data.measurements[n_idx * p_count + p_idx] =
+            measure_app(app, config.process_counts[p_idx],
+                        config.problem_sizes[n_idx], no_locality);
+      });
+    }
+  }
+  std::vector<double> stack_distances(n_count, 0.0);
+  if (config.locality.enabled) {
+    for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
+      const std::size_t task = dag.add([&app, &config, &data, &stack_distances,
+                                        n_idx, p_count] {
+        memtrace::LocalityAnalyzer analyzer(config.locality.config);
+        app.trace_locality(config.problem_sizes[n_idx], analyzer);
+        // Access-count scaling uses the loads/stores of the first grid point
+        // at this n — exactly the measurement locality used to piggyback on
+        // in the serial campaign.
+        const double loads_stores =
+            data.measurements[n_idx * p_count].loads_stores;
+        stack_distances[n_idx] =
+            analyzer.finish(loads_stores).weighted_median_stack_distance;
+      });
+      dag.depend(task, n_idx * p_count);
+    }
+  }
+
+  std::size_t threads = config.threads;
+  if (threads == 0) threads = exareq::ThreadPool::hardware_threads();
+  if (threads <= 1) {
+    dag.run_serial();
+  } else {
+    dag.run(exareq::shared_pool(threads));
+  }
+
+  if (config.locality.enabled) {
+    for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
+      for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
+        data.measurements[n_idx * p_count + p_idx].stack_distance =
+            stack_distances[n_idx];
       }
-      data.measurements.push_back(m);
     }
   }
   return data;

@@ -36,6 +36,11 @@ struct CampaignConfig {
   std::vector<int> process_counts{4, 8, 16, 32, 64};
   std::vector<std::int64_t> problem_sizes{64, 128, 256, 512, 1024};
   LocalityOptions locality;
+  /// Worker threads for the campaign itself: grid points run concurrently,
+  /// each writing its own preallocated slot, so the resulting CampaignData
+  /// is bit-identical at any thread count. 0 means hardware concurrency,
+  /// 1 runs strictly serial on the calling thread.
+  std::size_t threads = 0;
 };
 
 /// All measurements of one application over the campaign grid.

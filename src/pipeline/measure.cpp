@@ -55,10 +55,12 @@ AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
   }
 
   if (locality.enabled) {
-    const memtrace::AccessTrace trace = app.locality_trace(n);
-    const memtrace::LocalityReport report = memtrace::analyze_locality(
-        trace, locality.config, measurement.loads_stores);
-    measurement.stack_distance = report.weighted_median_stack_distance;
+    // Streamed: the kernel writes straight into the analyzer, so no trace is
+    // ever materialized and memory stays O(distinct addresses).
+    memtrace::LocalityAnalyzer analyzer(locality.config);
+    app.trace_locality(n, analyzer);
+    measurement.stack_distance =
+        analyzer.finish(measurement.loads_stores).weighted_median_stack_distance;
   }
   return measurement;
 }

@@ -7,7 +7,11 @@ namespace exareq::pipeline {
 
 std::function<codesign::AppRequirements(const std::string&)>
 make_registry_fitter(CampaignConfig config, model::GeneratorOptions options) {
+  // Fit-on-demand can run for several apps at once on the server's workers,
+  // and the shared pool supports only one top-level client at a time — keep
+  // both the fit and the campaign strictly serial per request.
   options.fit.threads = 1;
+  config.threads = 1;
   return [config, options](const std::string& name) {
     const apps::Application& app =
         apps::application(apps::app_id_from_name(name));

@@ -1,0 +1,121 @@
+#include "support/task_dag.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+
+#include "support/error.hpp"
+
+namespace exareq {
+
+std::size_t TaskDag::add(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+void TaskDag::depend(std::size_t task, std::size_t prereq) {
+  exareq::require(task < tasks_.size() && prereq < tasks_.size(),
+                  "TaskDag::depend: unknown task id");
+  exareq::require(prereq < task,
+                  "TaskDag::depend: edges must point backwards (prereq < task)");
+  tasks_[prereq].dependents.push_back(task);
+  ++tasks_[task].pending_prereqs;
+}
+
+void TaskDag::rethrow_first_error() const {
+  for (const Task& task : tasks_) {
+    if (task.error) std::rethrow_exception(task.error);
+  }
+}
+
+void TaskDag::run_serial() {
+  for (Task& task : tasks_) {
+    if (task.skipped) {
+      for (const std::size_t dependent : task.dependents) {
+        tasks_[dependent].skipped = true;
+      }
+      continue;
+    }
+    try {
+      task.fn();
+    } catch (...) {
+      task.error = std::current_exception();
+      for (const std::size_t dependent : task.dependents) {
+        tasks_[dependent].skipped = true;
+      }
+    }
+  }
+  rethrow_first_error();
+}
+
+void TaskDag::run(ThreadPool& pool) {
+  const std::size_t count = tasks_.size();
+  if (count == 0) return;
+
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  // Min-heap of runnable task ids: the smallest ready id runs first, which
+  // keeps scheduling close to serial order without affecting results.
+  std::vector<std::size_t> ready;
+  std::size_t settled = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t id = 0; id < count; ++id) {
+      if (tasks_[id].pending_prereqs == 0) ready.push_back(id);
+    }
+    std::make_heap(ready.begin(), ready.end(), std::greater<>());
+  }
+
+  // Settles `id` under `lock`: propagates skips to dependents of a failed or
+  // skipped task and releases dependents whose last prerequisite this was.
+  const auto settle = [&](std::size_t id, bool failed) {
+    Task& task = tasks_[id];
+    ++settled;
+    for (const std::size_t dependent : task.dependents) {
+      if (failed || task.skipped) tasks_[dependent].skipped = true;
+      if (--tasks_[dependent].pending_prereqs == 0) {
+        ready.push_back(dependent);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>());
+      }
+    }
+  };
+
+  // parallel_for hands out `count` slots; each slot consumes exactly one
+  // task. A slot that finds no runnable task waits: because edges point
+  // backwards the graph is acyclic, so some task is always running or ready
+  // until all have settled, and every settle() notifies the waiters.
+  pool.parallel_for(count, [&](std::size_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ready_cv.wait(lock, [&] { return !ready.empty(); });
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>());
+    const std::size_t id = ready.back();
+    ready.pop_back();
+
+    Task& task = tasks_[id];
+    if (task.skipped) {
+      settle(id, false);
+      ready_cv.notify_all();
+      return;
+    }
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    task.error = error;
+    settle(id, error != nullptr);
+    ready_cv.notify_all();
+  });
+
+  exareq::require(settled == count, "TaskDag::run: scheduler lost tasks");
+  rethrow_first_error();
+}
+
+}  // namespace exareq

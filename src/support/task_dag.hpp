@@ -1,0 +1,61 @@
+// Small dependency-graph scheduler on top of ThreadPool.
+//
+// A TaskDag holds numbered tasks plus edges "task t may only start after
+// prereq q". Edges must point backwards (q < t), which makes the graph
+// acyclic by construction and task-id order a valid topological order —
+// run_serial() simply executes tasks in id order, and run(pool) schedules
+// every task whose prerequisites have settled onto the pool.
+//
+// The determinism contract matches ThreadPool::parallel_for: every task must
+// write only into its own preallocated slot, so the combined result is
+// bit-identical between run_serial() and run(pool) at any thread count.
+//
+// Failure model: a throwing task marks itself failed; its transitive
+// dependents are skipped (never started), but all independent tasks still
+// run to completion. Afterwards the exception of the smallest failing task
+// id is rethrown — the same error a serial run in id order would surface.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace exareq {
+
+class TaskDag {
+ public:
+  /// Adds a task and returns its id (ids are dense, starting at 0).
+  std::size_t add(std::function<void()> fn);
+
+  /// Declares that `task` must not start before `prereq` has finished.
+  /// Requires prereq < task (edges point backwards; see file comment).
+  void depend(std::size_t task, std::size_t prereq);
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Executes all tasks in id order on the calling thread.
+  void run_serial();
+
+  /// Executes all tasks on `pool`, respecting dependencies. Blocks until
+  /// every task has settled (finished, failed, or been skipped).
+  void run(ThreadPool& pool);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<std::size_t> dependents;
+    std::size_t pending_prereqs = 0;
+    bool skipped = false;
+    std::exception_ptr error;
+  };
+
+  /// Rethrows the error of the smallest failing task id, if any.
+  void rethrow_first_error() const;
+
+  std::vector<Task> tasks_;
+};
+
+}  // namespace exareq

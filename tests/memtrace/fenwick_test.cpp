@@ -65,6 +65,49 @@ TEST(FenwickTest, ClearUnsetThrows) {
   EXPECT_THROW(tree.clear(1), exareq::InvalidArgument);
 }
 
+TEST(FenwickTest, AssignReplacesMarksAndRebuilds) {
+  FenwickTree tree(8);
+  tree.set(1);
+  tree.set(6);
+  std::vector<std::uint8_t> marks(32, 0);
+  marks[0] = 1;
+  marks[5] = 1;
+  marks[31] = 1;
+  tree.assign(std::move(marks));
+  EXPECT_EQ(tree.capacity(), 32u);
+  EXPECT_EQ(tree.total(), 3u);
+  EXPECT_TRUE(tree.is_set(0));
+  EXPECT_FALSE(tree.is_set(1));  // old marks are gone
+  EXPECT_EQ(tree.prefix_count(5), 2u);
+  EXPECT_EQ(tree.range_count(1, 30), 1u);
+  EXPECT_EQ(tree.range_count(0, 31), 3u);
+}
+
+TEST(FenwickTest, AssignPadsTinyMarkSets) {
+  FenwickTree tree;
+  tree.assign({1, 0, 1});
+  EXPECT_GE(tree.capacity(), 3u);
+  EXPECT_EQ(tree.total(), 2u);
+  EXPECT_EQ(tree.prefix_count(2), 2u);
+  tree.set(10);  // padded capacity accepts positions past the mark vector
+  EXPECT_EQ(tree.total(), 3u);
+}
+
+TEST(FenwickTest, GrowthRebuildMatchesIncrementalState) {
+  // Dense mark sets survive a capacity-doubling rebuild: prefix counts over
+  // the old range are identical before and after growing.
+  FenwickTree tree(16);
+  for (std::size_t i = 0; i < 16; i += 2) tree.set(i);
+  std::vector<std::size_t> before;
+  for (std::size_t i = 0; i < 16; ++i) before.push_back(tree.prefix_count(i));
+  tree.set(4000);  // forces several doublings at once
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(tree.prefix_count(i), before[i]);
+  }
+  EXPECT_EQ(tree.total(), 9u);
+  EXPECT_EQ(tree.range_count(16, 4000), 1u);
+}
+
 TEST(FenwickTest, MatchesNaiveCounterUnderRandomWorkload) {
   exareq::Rng rng(77);
   FenwickTree tree(64);

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "memtrace/distance.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/sampling.hpp"
+#include "memtrace/trace.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+// Sampler configurations exercised by the property tests: exact mode, the
+// production default, and two odd-phase bursts.
+std::vector<SamplerConfig> sampler_configs() {
+  return {SamplerConfig::exact(), SamplerConfig{64, 512, 0},
+          SamplerConfig{16, 256, 8}, SamplerConfig{1, 7, 3}};
+}
+
+// A synthetic three-group trace mixing a small hot set, a strided sweep,
+// and random far accesses — enough address diversity to exercise marks,
+// clears, and compaction.
+AccessTrace synthetic_trace(std::size_t length, std::uint64_t seed) {
+  AccessTrace trace;
+  const GroupId hot = trace.register_group("hot");
+  const GroupId sweep = trace.register_group("sweep");
+  const GroupId random = trace.register_group("random");
+  exareq::Rng rng(seed);
+  std::uint64_t stride = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        trace.record(0x10 + static_cast<std::uint64_t>(rng.uniform_int(0, 7)),
+                     hot);
+        break;
+      case 1:
+        trace.record(0x1000 + (stride++ % 400), sweep);
+        break;
+      default:
+        trace.record(
+            0x100000 + static_cast<std::uint64_t>(rng.uniform_int(0, 5000)),
+            random);
+        break;
+    }
+  }
+  return trace;
+}
+
+void expect_reports_equal(const LocalityReport& a, const LocalityReport& b) {
+  EXPECT_EQ(a.trace_length, b.trace_length);
+  EXPECT_EQ(a.total_sampled, b.total_sampled);
+  EXPECT_EQ(a.weighted_median_stack_distance,
+            b.weighted_median_stack_distance);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].name, b.groups[g].name);
+    EXPECT_EQ(a.groups[g].samples, b.groups[g].samples);
+    EXPECT_EQ(a.groups[g].sampled_accesses, b.groups[g].sampled_accesses);
+    EXPECT_EQ(a.groups[g].median_stack_distance,
+              b.groups[g].median_stack_distance);
+    EXPECT_EQ(a.groups[g].median_reuse_distance,
+              b.groups[g].median_reuse_distance);
+    EXPECT_EQ(a.groups[g].stack_distance_mad, b.groups[g].stack_distance_mad);
+    EXPECT_EQ(a.groups[g].estimated_accesses, b.groups[g].estimated_accesses);
+    EXPECT_EQ(a.groups[g].reliable, b.groups[g].reliable);
+  }
+}
+
+TEST(StreamingLocalityTest, StreamedReportEqualsMaterializedReport) {
+  const AccessTrace trace = synthetic_trace(20000, 11);
+  for (const SamplerConfig& sampler : sampler_configs()) {
+    LocalityConfig config;
+    config.sampler = sampler;
+    // Streamed: feed the sink directly, no materialized trace involved.
+    LocalityAnalyzer analyzer(config);
+    trace.replay(analyzer);
+    const LocalityReport streamed =
+        analyzer.finish(static_cast<double>(trace.size()));
+    const LocalityReport materialized =
+        analyze_locality(trace, config, static_cast<double>(trace.size()));
+    expect_reports_equal(streamed, materialized);
+  }
+}
+
+TEST(StreamingLocalityTest, BurstAwareDistancesMatchReferenceAtSampledPositions) {
+  const AccessTrace trace = synthetic_trace(4000, 23);
+  const std::vector<AccessDistances> reference =
+      compute_distances_reference(trace);
+  for (const SamplerConfig& sampler : sampler_configs()) {
+    DistanceAnalyzer analyzer;
+    const auto accesses = trace.accesses();
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      const bool sampled = sampler.sampled(i);
+      const AccessDistances got = analyzer.observe(accesses[i].address, sampled);
+      EXPECT_EQ(got.cold, reference[i].cold);
+      if (!got.cold) {
+        EXPECT_EQ(got.reuse_distance, reference[i].reuse_distance);
+        if (sampled) {
+          ASSERT_EQ(got.stack_distance, reference[i].stack_distance)
+              << "position " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingLocalityTest, CompactionKeepsDistancesExact) {
+  // A tiny initial capacity forces many compaction cycles over a stream far
+  // longer than the address footprint.
+  const AccessTrace trace = synthetic_trace(30000, 47);
+  const std::vector<AccessDistances> olken = compute_distances(trace);
+  DistanceAnalyzer analyzer(16);
+  const auto accesses = trace.accesses();
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    const AccessDistances got = analyzer.observe(accesses[i].address);
+    ASSERT_EQ(got.cold, olken[i].cold);
+    ASSERT_EQ(got.reuse_distance, olken[i].reuse_distance);
+    ASSERT_EQ(got.stack_distance, olken[i].stack_distance) << "position " << i;
+  }
+}
+
+TEST(StreamingLocalityTest, DistanceStateIsIndependentOfStreamLength) {
+  // A fixed 8-address footprint over ever longer streams: the distance
+  // analyzer's memory (marks + last-access map) must stay flat — the stream
+  // position advances but compaction keeps the mark space bounded.
+  const auto run = [](std::size_t length) {
+    DistanceAnalyzer analyzer(16);
+    for (std::size_t i = 0; i < length; ++i) {
+      analyzer.observe(0x10 + (i % 8));
+    }
+    return analyzer.memory_bytes();
+  };
+  const std::size_t short_bytes = run(10000);
+  const std::size_t long_bytes = run(1000000);
+  EXPECT_EQ(short_bytes, long_bytes);
+}
+
+TEST(StreamingLocalityTest, StreamingUsesFarLessMemoryThanMaterializing) {
+  // Same stream, both paths: the streaming analyzer keeps distance state
+  // plus gathered samples (duty cycle ~1/8), the materialized path stores
+  // every access on top of that.
+  LocalityConfig config;
+  config.sampler = SamplerConfig{64, 512, 0};
+  LocalityAnalyzer streamed(config);
+  AccessTrace trace;
+  const GroupId gs = streamed.register_group("g");
+  const GroupId gt = trace.register_group("g");
+  for (std::size_t i = 0; i < 1000000; ++i) {
+    streamed.record(0x10 + (i % 8), gs);
+    trace.record(0x10 + (i % 8), gt);
+  }
+  EXPECT_LT(streamed.memory_bytes(), trace.memory_bytes() / 4);
+}
+
+TEST(StreamingLocalityTest, ReplayReproducesGroupsAndAccesses) {
+  const AccessTrace trace = synthetic_trace(500, 3);
+  AccessTrace copy;
+  trace.replay(copy);
+  ASSERT_EQ(copy.size(), trace.size());
+  ASSERT_EQ(copy.group_count(), trace.group_count());
+  for (std::size_t g = 0; g < trace.group_count(); ++g) {
+    EXPECT_EQ(copy.group_name(static_cast<GroupId>(g)),
+              trace.group_name(static_cast<GroupId>(g)));
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(copy.accesses()[i].address, trace.accesses()[i].address);
+    EXPECT_EQ(copy.accesses()[i].group, trace.accesses()[i].group);
+  }
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

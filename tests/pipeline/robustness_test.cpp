@@ -32,11 +32,9 @@ class FaultyApp final : public apps::Application {
     // rank.
   }
 
-  memtrace::AccessTrace locality_trace(std::int64_t) const override {
-    memtrace::AccessTrace trace;
-    const auto g = trace.register_group("g");
-    for (int i = 0; i < 2000; ++i) trace.record(0x10 + (i % 4), g);
-    return trace;
+  void trace_locality(std::int64_t, memtrace::TraceSink& sink) const override {
+    const auto g = sink.register_group("g");
+    for (int i = 0; i < 2000; ++i) sink.record(0x10 + (i % 4), g);
   }
 
  private:

@@ -1,0 +1,162 @@
+#include "support/task_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace exareq {
+namespace {
+
+TEST(TaskDagTest, SerialRunsInIdOrder) {
+  TaskDag dag;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    dag.add([&order, i] { order.push_back(i); });
+  }
+  dag.run_serial();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskDagTest, DependRequiresBackwardEdges) {
+  TaskDag dag;
+  dag.add([] {});
+  dag.add([] {});
+  EXPECT_THROW(dag.depend(0, 1), InvalidArgument);  // forward edge
+  EXPECT_THROW(dag.depend(1, 1), InvalidArgument);  // self edge
+  EXPECT_THROW(dag.depend(5, 0), InvalidArgument);  // unknown id
+  dag.depend(1, 0);
+}
+
+TEST(TaskDagTest, ParallelRespectsDependencies) {
+  // A chain interleaved with independent tasks: every chain link checks that
+  // its predecessor's value is already in place.
+  TaskDag dag;
+  constexpr std::size_t kLinks = 32;
+  std::vector<std::size_t> chain(kLinks, 0);
+  std::atomic<std::size_t> independent{0};
+  std::size_t previous_id = dag.add([&chain] { chain[0] = 1; });
+  for (std::size_t i = 1; i < kLinks; ++i) {
+    dag.add([&independent] { independent.fetch_add(1); });
+    const std::size_t id =
+        dag.add([&chain, i] { chain[i] = chain[i - 1] + 1; });
+    dag.depend(id, previous_id);
+    previous_id = id;
+  }
+  ThreadPool pool(4);
+  dag.run(pool);
+  for (std::size_t i = 0; i < kLinks; ++i) EXPECT_EQ(chain[i], i + 1);
+  EXPECT_EQ(independent.load(), kLinks - 1);
+}
+
+TEST(TaskDagTest, ParallelMatchesSerialSlots) {
+  // Every task writes its own slot; parallel and serial runs must agree.
+  const auto build = [](std::vector<int>& slots) {
+    TaskDag dag;
+    for (int i = 0; i < 40; ++i) {
+      dag.add([&slots, i] { slots[static_cast<std::size_t>(i)] = i * i; });
+    }
+    for (std::size_t t = 8; t < 40; t += 3) dag.depend(t, t - 8);
+    return dag;
+  };
+  std::vector<int> serial(40, -1);
+  std::vector<int> parallel(40, -1);
+  build(serial).run_serial();
+  ThreadPool pool(8);
+  build(parallel).run(pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(TaskDagTest, SmallestFailingTaskWins) {
+  // Two independent failures: the rethrown error is the smaller task id's,
+  // in both serial and parallel mode.
+  const auto build = [](TaskDag& dag, std::atomic<int>& ran) {
+    dag.add([&ran] { ran.fetch_add(1); });
+    dag.add([] { throw NumericError("task 1 failed"); });
+    dag.add([&ran] { ran.fetch_add(1); });
+    dag.add([] { throw NumericError("task 3 failed"); });
+    dag.add([&ran] { ran.fetch_add(1); });
+  };
+  {
+    TaskDag dag;
+    std::atomic<int> ran{0};
+    build(dag, ran);
+    EXPECT_THROW(
+        {
+          try {
+            dag.run_serial();
+          } catch (const NumericError& e) {
+            EXPECT_STREQ(e.what(), "task 1 failed");
+            throw;
+          }
+        },
+        NumericError);
+    EXPECT_EQ(ran.load(), 3);  // independent tasks still ran
+  }
+  {
+    TaskDag dag;
+    std::atomic<int> ran{0};
+    build(dag, ran);
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        {
+          try {
+            dag.run(pool);
+          } catch (const NumericError& e) {
+            EXPECT_STREQ(e.what(), "task 1 failed");
+            throw;
+          }
+        },
+        NumericError);
+    EXPECT_EQ(ran.load(), 3);
+  }
+}
+
+TEST(TaskDagTest, FailureSkipsTransitiveDependents) {
+  for (const bool parallel : {false, true}) {
+    TaskDag dag;
+    std::atomic<int> ran{0};
+    const std::size_t failing = dag.add([] { throw NumericError("boom"); });
+    const std::size_t child = dag.add([&ran] { ran.fetch_add(1); });
+    dag.depend(child, failing);
+    const std::size_t grandchild = dag.add([&ran] { ran.fetch_add(1); });
+    dag.depend(grandchild, child);
+    const std::size_t independent = dag.add([&ran] { ran.fetch_add(10); });
+    (void)independent;
+    if (parallel) {
+      ThreadPool pool(4);
+      EXPECT_THROW(dag.run(pool), NumericError);
+    } else {
+      EXPECT_THROW(dag.run_serial(), NumericError);
+    }
+    EXPECT_EQ(ran.load(), 10);  // only the independent task ran
+  }
+}
+
+TEST(TaskDagTest, RunsInlineOnSingleThreadPool) {
+  TaskDag dag;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    dag.add([&order, i] { order.push_back(i); });
+  }
+  dag.depend(5, 0);
+  dag.depend(3, 1);
+  ThreadPool pool(1);
+  dag.run(pool);
+  // Inline execution pops the smallest ready id first -> id order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(TaskDagTest, EmptyDagIsANoop) {
+  TaskDag dag;
+  dag.run_serial();
+  ThreadPool pool(2);
+  dag.run(pool);
+}
+
+}  // namespace
+}  // namespace exareq
