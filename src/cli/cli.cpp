@@ -397,6 +397,10 @@ std::string usage() {
 }
 
 std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  // getline drops a trailing empty item, so "4,8," would silently parse;
+  // reject the dangling separator explicitly.
+  exareq::require(text.empty() || text.back() != ',',
+                  "expected a positive integer list, got '" + text + "'");
   std::vector<std::int64_t> values;
   std::stringstream stream(text);
   std::string item;

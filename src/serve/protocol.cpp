@@ -52,6 +52,42 @@ void expect_arity(const std::vector<std::string>& tokens, std::size_t arity,
 
 }  // namespace
 
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  exareq::require(max_frame_bytes_ > 0,
+                  "FrameDecoder: max_frame_bytes must be positive");
+}
+
+std::vector<std::string> FrameDecoder::feed(std::string_view bytes) {
+  std::vector<std::string> frames;
+  while (!bytes.empty()) {
+    const std::size_t newline = bytes.find('\n');
+    if (newline == std::string_view::npos) {
+      if (buffer_.size() + bytes.size() > max_frame_bytes_) {
+        buffer_.clear();
+        throw InvalidArgument(
+            "frame exceeds " + std::to_string(max_frame_bytes_) +
+            " bytes without a terminator");
+      }
+      buffer_.append(bytes);
+      break;
+    }
+    std::string line = std::move(buffer_);
+    buffer_.clear();
+    line.append(bytes.substr(0, newline));
+    bytes.remove_prefix(newline + 1);
+    if (line.size() > max_frame_bytes_) {
+      throw InvalidArgument("frame exceeds " +
+                            std::to_string(max_frame_bytes_) +
+                            " bytes without a terminator");
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // telnet-style blank lines
+    frames.push_back(std::move(line));
+  }
+  return frames;
+}
+
 Request parse_request(const std::string& line) {
   const std::vector<std::string> tokens = tokenize(line);
   exareq::require(!tokens.empty(), "empty request line");

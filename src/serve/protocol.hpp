@@ -11,9 +11,42 @@
 // bit-identical to the in-process library calls the CLI commands make.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace exareq::serve {
+
+/// Splits a byte stream into newline-framed request lines with a bounded
+/// frame length — the protocol's framing layer, shared by the socket front
+/// end and the fuzz drivers. CR before the terminator is stripped and empty
+/// frames are skipped (telnet-style clients). A frame that grows beyond
+/// `max_frame_bytes` without a terminator throws InvalidArgument: an
+/// unbounded pending frame is how a misbehaving client pins server memory.
+/// Bytes after the last terminator stay buffered as a truncated frame until
+/// more input arrives (`partial_bytes` exposes them; a connection that
+/// closes mid-frame simply drops it).
+class FrameDecoder {
+ public:
+  static constexpr std::size_t kDefaultMaxFrameBytes = 64 * 1024;
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Appends bytes; returns every newline-completed request line. Throws
+  /// InvalidArgument on an oversized frame (the pending bytes are dropped,
+  /// so the decoder stays usable — callers normally close the connection).
+  std::vector<std::string> feed(std::string_view bytes);
+
+  /// True while an unterminated (truncated) frame is buffered.
+  bool has_partial_frame() const { return !buffer_.empty(); }
+  std::size_t partial_bytes() const { return buffer_.size(); }
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
 
 enum class RequestKind { kEval, kInvert, kUpgrade, kStrawman, kStatus };
 

@@ -6,7 +6,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string_view>
+#include <vector>
 
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "support/error.hpp"
 
@@ -108,19 +111,26 @@ void SocketServer::serve_connection(int fd) {
     std::erase(connection_fds_, fd);
     ::close(fd);
   };
-  std::string buffer;
+  FrameDecoder decoder;
   char chunk[4096];
   for (;;) {
     const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
     if (got < 0 && errno == EINTR) continue;
     if (got <= 0) break;  // EOF or shutdown
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
+    std::vector<std::string> lines;
+    try {
+      lines = decoder.feed(std::string_view(chunk, static_cast<std::size_t>(got)));
+    } catch (const exareq::Error& error) {
+      // Oversized frame: tell the client why, then drop the connection —
+      // the stream position is unrecoverable.
+      try {
+        send_all(fd, error_response("bad-request", error.what()) + '\n');
+      } catch (const exareq::Error&) {
+      }
+      finish();
+      return;
+    }
+    for (const std::string& line : lines) {
       try {
         send_all(fd, server_.handle(line) + '\n');
       } catch (const exareq::Error&) {

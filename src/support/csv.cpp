@@ -1,6 +1,7 @@
 #include "support/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -13,7 +14,8 @@ namespace {
 // Splits one logical CSV record (which may span physical lines inside
 // quotes) starting at the current stream position. Returns false at EOF
 // with no data consumed.
-bool read_record(std::istream& is, std::vector<std::string>& fields) {
+bool read_record(std::istream& is, std::vector<std::string>& fields,
+                 std::size_t record_index) {
   fields.clear();
   std::string field;
   bool in_quotes = false;
@@ -50,7 +52,10 @@ bool read_record(std::istream& is, std::vector<std::string>& fields) {
     }
   }
   if (!any) return false;
-  require(!in_quotes, "CsvDocument::parse: unterminated quoted field");
+  require(!in_quotes, "CsvDocument::parse: unterminated quoted field in " +
+                          (record_index == 0
+                               ? std::string("the header")
+                               : "row " + std::to_string(record_index)));
   fields.push_back(std::move(field));
   return true;
 }
@@ -60,6 +65,18 @@ bool read_record(std::istream& is, std::vector<std::string>& fields) {
 CsvDocument::CsvDocument(std::vector<std::string> header)
     : header_(std::move(header)) {
   require(!header_.empty(), "CsvDocument: header must not be empty");
+  // Duplicate column names make column_index silently ambiguous — every
+  // consumer would read whichever duplicate comes first. Headers are short
+  // (tens of columns), so the quadratic scan is fine.
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    for (std::size_t j = i + 1; j < header_.size(); ++j) {
+      if (header_[i] == header_[j]) {
+        throw InvalidArgument("CsvDocument: duplicate column '" + header_[i] +
+                              "' (columns " + std::to_string(i + 1) + " and " +
+                              std::to_string(j + 1) + ")");
+      }
+    }
+  }
 }
 
 std::size_t CsvDocument::column_index(const std::string& name) const {
@@ -78,12 +95,23 @@ double CsvDocument::number_at(std::size_t row, std::size_t column) const {
   require(row < rows_.size() && column < header_.size(),
           "CsvDocument::number_at: index out of range");
   const std::string& cell = rows_[row][column];
+  const auto context = [&] {
+    return "row " + std::to_string(row + 1) + ", column '" + header_[column] +
+           "' (index " + std::to_string(column + 1) + ")";
+  };
   double value = 0.0;
   const auto* begin = cell.data();
   const auto* end = cell.data() + cell.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
   require(ec == std::errc{} && ptr == end,
-          "CsvDocument::number_at: cell '" + cell + "' is not a number");
+          "CsvDocument::number_at: cell '" + cell + "' at " + context() +
+              " is not a number");
+  // from_chars accepts "nan" and "inf" spellings; a measurement file
+  // carrying them is corrupt, and letting them through poisons every
+  // downstream fit silently.
+  require(std::isfinite(value), "CsvDocument::number_at: cell '" + cell +
+                                    "' at " + context() +
+                                    " is not a finite number");
   return value;
 }
 
@@ -118,13 +146,13 @@ std::string CsvDocument::to_string() const {
 
 CsvDocument CsvDocument::parse(std::istream& is) {
   std::vector<std::string> fields;
-  require(read_record(is, fields), "CsvDocument::parse: empty input");
+  require(read_record(is, fields, 0), "CsvDocument::parse: empty input");
   CsvDocument doc(fields);
-  while (read_record(is, fields)) {
+  for (std::size_t row = 1; read_record(is, fields, row); ++row) {
     require(fields.size() == doc.column_count(),
-            "CsvDocument::parse: ragged row (expected " +
-                std::to_string(doc.column_count()) + " fields, got " +
-                std::to_string(fields.size()) + ")");
+            "CsvDocument::parse: ragged row " + std::to_string(row) +
+                " (expected " + std::to_string(doc.column_count()) +
+                " fields, got " + std::to_string(fields.size()) + ")");
     doc.add_row(fields);
   }
   return doc;

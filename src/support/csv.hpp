@@ -13,6 +13,8 @@ namespace exareq {
 class CsvDocument {
  public:
   CsvDocument() = default;
+  /// Throws InvalidArgument on an empty header or duplicate column names
+  /// (duplicates would make column_index silently ambiguous).
   explicit CsvDocument(std::vector<std::string> header);
 
   const std::vector<std::string>& header() const { return header_; }
@@ -26,13 +28,17 @@ class CsvDocument {
   void add_row(std::vector<std::string> cells);
 
   /// Convenience: numeric cell access with locale-independent parsing.
+  /// Throws InvalidArgument — naming the row and column — on cells that are
+  /// not numbers or not finite (NaN/inf spellings mark corrupt data).
   double number_at(std::size_t row, std::size_t column) const;
 
   /// Serializes with RFC-4180 quoting where needed.
   void write(std::ostream& os) const;
   std::string to_string() const;
 
-  /// Parses a document; throws Error on structural problems (ragged rows).
+  /// Parses a document; throws Error naming the offending row/column on
+  /// structural problems (ragged rows, duplicate headers, unterminated
+  /// quotes).
   static CsvDocument parse(std::istream& is);
   static CsvDocument parse_string(const std::string& text);
 

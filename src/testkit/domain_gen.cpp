@@ -1,0 +1,298 @@
+#include "testkit/domain_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "model/basis.hpp"
+#include "support/error.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+// Exponent grids the planted terms draw from. A subset of the paper's PMNF
+// grid — the oracle compares two fits of the same data, so the truth need
+// not be recoverable, only realistic.
+const std::vector<double> kPolyExponents = {0.0, 0.5, 1.0, 1.5, 2.0, 3.0};
+const std::vector<double> kLogExponents = {0.0, 1.0, 2.0};
+
+model::Term random_term(Rng& rng, std::size_t parameter_count) {
+  model::Term term;
+  term.coefficient = std::exp(rng.uniform(0.0, std::log(1e6)));
+  for (std::size_t p = 0; p < parameter_count; ++p) {
+    // Every term must depend on at least its last chance parameter so no
+    // term collapses to a bare constant.
+    const bool must_use = term.factors.empty() && p + 1 == parameter_count;
+    if (!must_use && rng.next_double() < 0.4) continue;
+    double poly = kPolyExponents[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kPolyExponents.size()) - 1))];
+    double log = kLogExponents[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kLogExponents.size()) - 1))];
+    if (poly == 0.0 && log == 0.0) poly = 1.0;  // identity factor is no factor
+    term.factors.push_back(model::pmnf_factor(p, poly, log));
+  }
+  return term;
+}
+
+}  // namespace
+
+model::Model PlantedDataset::truth() const {
+  return model::Model(parameter_names, constant, terms);
+}
+
+model::MeasurementSet PlantedDataset::build() const {
+  exareq::require(!axes.empty() && axes.size() == parameter_names.size(),
+                  "PlantedDataset: axes/parameter mismatch");
+  model::MeasurementSet data(parameter_names);
+  const model::Model planted = truth();
+  Rng noise(noise_seed);
+  // Row-major over the axis product, first parameter slowest — the same
+  // deterministic order at every thread count.
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (;;) {
+    model::Coordinate coordinate(axes.size());
+    for (std::size_t p = 0; p < axes.size(); ++p) {
+      coordinate[p] = axes[p][index[p]];
+    }
+    double value = planted.evaluate(coordinate);
+    if (noise_sigma > 0.0) value *= 1.0 + noise_sigma * noise.normal();
+    data.add(std::move(coordinate), value);
+    std::size_t p = axes.size();
+    while (p > 0 && ++index[p - 1] == axes[p - 1].size()) {
+      index[--p] = 0;
+    }
+    if (p == 0) break;
+  }
+  return data;
+}
+
+std::string PlantedDataset::describe() const {
+  std::ostringstream os;
+  os << "planted{" << truth().to_string() << "; grid";
+  for (const auto& axis : axes) os << " x" << axis.size();
+  os << "; noise " << noise_sigma << "; threads " << threads << "}";
+  return os.str();
+}
+
+Gen<PlantedDataset> planted_dataset_gen(double two_parameter_share) {
+  return Gen<PlantedDataset>([two_parameter_share](Rng& rng) {
+    PlantedDataset dataset;
+    const bool two_parameters = rng.next_double() < two_parameter_share;
+    if (two_parameters) {
+      // The paper's campaign grid; the multi-parameter generator needs its
+      // five-distinct-values-per-parameter rule satisfied.
+      dataset.parameter_names = {"p", "n"};
+      dataset.axes = {{4.0, 8.0, 16.0, 32.0, 64.0},
+                      {64.0, 128.0, 256.0, 512.0, 1024.0}};
+    } else {
+      dataset.parameter_names = {"n"};
+      std::vector<double> axis;
+      std::set<std::int64_t> exponents;
+      while (exponents.size() < 6) exponents.insert(rng.uniform_int(1, 11));
+      for (const std::int64_t e : exponents) {
+        axis.push_back(std::pow(2.0, static_cast<double>(e)));
+      }
+      dataset.axes = {std::move(axis)};
+    }
+    dataset.constant =
+        rng.next_double() < 0.3 ? 0.0 : std::exp(rng.uniform(0.0, std::log(1e4)));
+    const std::int64_t term_count = rng.uniform_int(1, 2);
+    for (std::int64_t t = 0; t < term_count; ++t) {
+      dataset.terms.push_back(
+          random_term(rng, dataset.parameter_names.size()));
+    }
+    const double sigma_choices[] = {0.0, 0.0, 0.001, 0.01};
+    dataset.noise_sigma = sigma_choices[rng.uniform_int(0, 3)];
+    dataset.noise_seed = rng.next_u64() | 1;
+    dataset.threads = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    return dataset;
+  });
+}
+
+Shrinker<PlantedDataset> planted_dataset_shrinker() {
+  return [](const PlantedDataset& dataset) {
+    std::vector<PlantedDataset> candidates;
+    if (dataset.noise_sigma > 0.0) {
+      PlantedDataset quiet = dataset;
+      quiet.noise_sigma = 0.0;
+      candidates.push_back(std::move(quiet));
+    }
+    if (dataset.threads > 2) {
+      PlantedDataset fewer = dataset;
+      fewer.threads = 2;
+      candidates.push_back(std::move(fewer));
+    }
+    if (dataset.terms.size() > 1) {
+      for (std::size_t t = 0; t < dataset.terms.size(); ++t) {
+        PlantedDataset simpler = dataset;
+        simpler.terms.erase(simpler.terms.begin() +
+                            static_cast<std::ptrdiff_t>(t));
+        candidates.push_back(std::move(simpler));
+      }
+    }
+    // Single-parameter grids may lose points down to the five-value rule.
+    if (dataset.axes.size() == 1 && dataset.axes[0].size() > 5) {
+      PlantedDataset shorter = dataset;
+      shorter.axes[0].pop_back();
+      candidates.push_back(std::move(shorter));
+    }
+    return candidates;
+  };
+}
+
+void AccessPattern::emit(memtrace::TraceSink& sink) const {
+  std::vector<memtrace::GroupId> groups;
+  for (std::size_t g = 0; g < group_count; ++g) {
+    groups.push_back(sink.register_group("g" + std::to_string(g)));
+  }
+  for (const Segment& segment : segments) {
+    exareq::require(segment.group < groups.size(),
+                    "AccessPattern: segment group out of range");
+    const memtrace::GroupId group = groups[segment.group];
+    const std::uint64_t modulus = std::max<std::uint64_t>(segment.modulus, 1);
+    const std::uint64_t stride = std::max<std::uint64_t>(segment.stride, 1);
+    Rng walk(segment.seed);
+    for (std::uint64_t i = 0; i < segment.length; ++i) {
+      std::uint64_t address = segment.base;
+      switch (segment.kind) {
+        case Segment::Kind::kScan:
+          address += i * stride;
+          break;
+        case Segment::Kind::kLoop:
+          address += (i % modulus) * stride;
+          break;
+        case Segment::Kind::kRandom:
+          address += static_cast<std::uint64_t>(walk.uniform_int(
+                         0, static_cast<std::int64_t>(modulus) - 1)) *
+                     stride;
+          break;
+      }
+      sink.record(address, group);
+    }
+  }
+}
+
+std::size_t AccessPattern::total_accesses() const {
+  std::size_t total = 0;
+  for (const Segment& segment : segments) total += segment.length;
+  return total;
+}
+
+std::string AccessPattern::describe() const {
+  std::ostringstream os;
+  os << "pattern{" << group_count << " groups; ";
+  for (const Segment& segment : segments) {
+    const char* kind = segment.kind == Segment::Kind::kScan    ? "scan"
+                       : segment.kind == Segment::Kind::kLoop ? "loop"
+                                                              : "random";
+    os << kind << "(g" << segment.group << ", base " << segment.base
+       << ", len " << segment.length << ", stride " << segment.stride
+       << ", mod " << segment.modulus << ") ";
+  }
+  os << "sampler " << config.sampler.burst_length << "/"
+     << config.sampler.period << "+" << config.sampler.offset
+     << "; min_samples " << config.min_samples << "}";
+  return os.str();
+}
+
+Gen<AccessPattern> access_pattern_gen(std::size_t max_total_accesses) {
+  exareq::require(max_total_accesses >= 16,
+                  "access_pattern_gen: budget too small");
+  return Gen<AccessPattern>([max_total_accesses](Rng& rng) {
+    AccessPattern pattern;
+    pattern.group_count = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    const std::int64_t segment_count = rng.uniform_int(1, 6);
+    std::size_t budget = max_total_accesses;
+    for (std::int64_t s = 0; s < segment_count && budget > 0; ++s) {
+      AccessPattern::Segment segment;
+      const std::int64_t kind = rng.uniform_int(0, 2);
+      segment.kind = kind == 0   ? AccessPattern::Segment::Kind::kScan
+                     : kind == 1 ? AccessPattern::Segment::Kind::kLoop
+                                 : AccessPattern::Segment::Kind::kRandom;
+      segment.group = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pattern.group_count) - 1));
+      // Overlapping bases across segments produce cross-segment reuse.
+      segment.base = static_cast<std::uint64_t>(rng.uniform_int(0, 4096));
+      segment.length = static_cast<std::uint64_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(std::min<std::size_t>(budget, 4096))));
+      segment.stride = static_cast<std::uint64_t>(rng.uniform_int(1, 16));
+      segment.modulus = static_cast<std::uint64_t>(rng.uniform_int(1, 512));
+      segment.seed = rng.next_u64() | 1;
+      budget -= static_cast<std::size_t>(segment.length);
+      pattern.segments.push_back(segment);
+    }
+    pattern.config.sampler.burst_length =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 64));
+    pattern.config.sampler.period = pattern.config.sampler.burst_length *
+                                    static_cast<std::uint64_t>(rng.uniform_int(1, 8));
+    pattern.config.sampler.offset =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 32));
+    const std::size_t min_samples_choices[] = {1, 4, 16, 100};
+    pattern.config.min_samples =
+        min_samples_choices[rng.uniform_int(0, 3)];
+    return pattern;
+  });
+}
+
+Shrinker<AccessPattern> access_pattern_shrinker() {
+  return [](const AccessPattern& pattern) {
+    std::vector<AccessPattern> candidates;
+    if (pattern.segments.size() > 1) {
+      for (std::size_t s = 0; s < pattern.segments.size(); ++s) {
+        AccessPattern fewer = pattern;
+        fewer.segments.erase(fewer.segments.begin() +
+                             static_cast<std::ptrdiff_t>(s));
+        candidates.push_back(std::move(fewer));
+      }
+    }
+    for (std::size_t s = 0; s < pattern.segments.size(); ++s) {
+      if (pattern.segments[s].length > 1) {
+        AccessPattern halved = pattern;
+        halved.segments[s].length /= 2;
+        candidates.push_back(std::move(halved));
+      }
+    }
+    return candidates;
+  };
+}
+
+Gen<codesign::AppRequirements> planted_requirements_gen(std::string name) {
+  return Gen<codesign::AppRequirements>([name = std::move(name)](Rng& rng) {
+    const auto two_parameter_model = [&rng](bool force_n_growth) {
+      const std::vector<std::string> names = {"p", "n"};
+      std::vector<model::Term> terms;
+      if (force_n_growth) {
+        // A strictly n-increasing term keeps memory inversion well-defined.
+        model::Term growth;
+        growth.coefficient = std::exp(rng.uniform(0.0, std::log(1e4)));
+        const double exponents[] = {0.5, 1.0, 1.5, 2.0};
+        growth.factors = {
+            model::pmnf_factor(1, exponents[rng.uniform_int(0, 3)], 0.0)};
+        terms.push_back(std::move(growth));
+      }
+      const std::int64_t extra = rng.uniform_int(force_n_growth ? 0 : 1, 2);
+      for (std::int64_t t = 0; t < extra; ++t) {
+        terms.push_back(random_term(rng, 2));
+      }
+      return model::Model(names, std::exp(rng.uniform(0.0, std::log(1e3))),
+                          std::move(terms));
+    };
+    codesign::AppRequirements app;
+    app.name = name;
+    app.footprint = two_parameter_model(true);
+    app.flops = two_parameter_model(false);
+    app.comm_bytes = two_parameter_model(false);
+    app.loads_stores = two_parameter_model(false);
+    model::Term distance;
+    distance.coefficient = std::exp(rng.uniform(0.0, std::log(100.0)));
+    distance.factors = {model::pmnf_factor(
+        0, std::vector<double>{0.5, 1.0}[rng.uniform_int(0, 1)], 0.0)};
+    app.stack_distance =
+        model::Model({"n"}, rng.uniform(1.0, 64.0), {std::move(distance)});
+    app.validate();
+    return app;
+  });
+}
+
+}  // namespace exareq::testkit

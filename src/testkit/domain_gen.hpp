@@ -1,0 +1,89 @@
+// Domain-shaped generators for the differential oracles: planted PMNF
+// datasets (model-search oracle), structured access patterns (locality
+// oracle), and planted requirement bundles (serve oracle).
+//
+// Inputs carry their generating recipe, not just the generated object, so
+// shrinking edits the recipe (drop a grid point, halve a segment) and the
+// counterexample report stays human-readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/trace.hpp"
+#include "model/measurement.hpp"
+#include "model/model.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+
+/// A randomly planted PMNF dataset: truth = constant + sum of PMNF terms
+/// evaluated over a measurement grid, with optional multiplicative noise.
+struct PlantedDataset {
+  std::vector<std::string> parameter_names{"n"};
+  /// Distinct sorted values per parameter; the grid is their product.
+  std::vector<std::vector<double>> axes;
+  double constant = 0.0;
+  std::vector<model::Term> terms;
+  /// Multiplicative noise stddev (0 = exact counter data).
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 1;
+  /// Thread count of the fast (parallel, cached) search under test.
+  std::size_t threads = 2;
+
+  model::Model truth() const;
+  /// Materializes the noisy measurement grid (deterministic in noise_seed).
+  model::MeasurementSet build() const;
+  std::string describe() const;
+};
+
+/// Random planted datasets; `two_parameter_share` of them use the paper's
+/// (p, n) grid, the rest a single-parameter grid (cheaper to fit).
+Gen<PlantedDataset> planted_dataset_gen(double two_parameter_share = 0.15);
+
+/// Shrinks toward the smallest still-failing dataset: fewer threads, no
+/// noise, fewer terms, shorter axes (never below the five-point rule).
+Shrinker<PlantedDataset> planted_dataset_shrinker();
+
+/// A structured random access pattern for the locality oracle: segments of
+/// scans, loops, and random walks over per-group working sets.
+struct AccessPattern {
+  struct Segment {
+    enum class Kind { kScan, kLoop, kRandom };
+    Kind kind = Kind::kScan;
+    std::uint32_t group = 0;
+    std::uint64_t base = 0;      ///< first address of the working set
+    std::uint64_t length = 1;    ///< accesses emitted
+    std::uint64_t stride = 1;    ///< address step
+    std::uint64_t modulus = 64;  ///< working-set size (loop/random)
+    std::uint64_t seed = 1;      ///< random-walk stream seed
+  };
+
+  std::size_t group_count = 1;
+  std::vector<Segment> segments;
+  memtrace::LocalityConfig config;
+
+  /// Registers groups "g0".."gN" and streams every segment in order.
+  void emit(memtrace::TraceSink& sink) const;
+  std::size_t total_accesses() const;
+  std::string describe() const;
+};
+
+/// Random access patterns with at most `max_total_accesses` accesses and a
+/// random burst-sampler configuration.
+Gen<AccessPattern> access_pattern_gen(std::size_t max_total_accesses = 20000);
+
+/// Shrinks by dropping segments and halving segment lengths.
+Shrinker<AccessPattern> access_pattern_shrinker();
+
+/// A random, internally consistent requirement bundle for the serve oracle:
+/// all models positive-coefficient PMNF over (p, n) — the footprint model
+/// strictly increasing in n so memory inversion is well-defined — and a
+/// stack-distance model over (n).
+Gen<codesign::AppRequirements> planted_requirements_gen(std::string name);
+
+}  // namespace exareq::testkit

@@ -1,0 +1,180 @@
+#include "testkit/fuzz.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+std::string printable(const std::string& text, std::size_t limit = 160) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size() && out.size() < limit; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c < 0x20 || c >= 0x7f) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\x";
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xf]);
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  if (out.size() >= limit) out += "...";
+  return out;
+}
+
+/// One random edit of `text` in place.
+void mutate_once(std::string& text, const std::string& splice_source,
+                 Rng& rng) {
+  // Characters that steer text parsers into interesting branches.
+  static const std::string kDelimiters = ",\"\n\r \t|:;#.-+eE0123456789";
+  const auto position = [&rng](std::size_t size) {
+    return size == 0 ? 0
+                     : static_cast<std::size_t>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(size) - 1));
+  };
+  switch (rng.uniform_int(0, 6)) {
+    case 0: {  // flip one byte
+      if (text.empty()) break;
+      text[position(text.size())] =
+          static_cast<char>(rng.uniform_int(0, 255));
+      break;
+    }
+    case 1: {  // insert a delimiter-ish byte
+      const char c = kDelimiters[position(kDelimiters.size())];
+      text.insert(text.begin() + static_cast<std::ptrdiff_t>(
+                                     position(text.size() + 1)),
+                  c);
+      break;
+    }
+    case 2: {  // delete a range
+      if (text.empty()) break;
+      const std::size_t begin = position(text.size());
+      const std::size_t length =
+          1 + position(std::min<std::size_t>(text.size() - begin, 16));
+      text.erase(begin, length);
+      break;
+    }
+    case 3: {  // duplicate a range
+      if (text.empty()) break;
+      const std::size_t begin = position(text.size());
+      const std::size_t length =
+          1 + position(std::min<std::size_t>(text.size() - begin, 32));
+      text.insert(position(text.size() + 1), text.substr(begin, length));
+      break;
+    }
+    case 4: {  // splice a chunk of another corpus entry
+      if (splice_source.empty()) break;
+      const std::size_t begin = position(splice_source.size());
+      const std::size_t length =
+          1 + position(std::min<std::size_t>(splice_source.size() - begin, 48));
+      text.insert(position(text.size() + 1),
+                  splice_source.substr(begin, length));
+      break;
+    }
+    case 5: {  // truncate (truncated documents are a named error path)
+      if (text.empty()) break;
+      text.resize(position(text.size()));
+      break;
+    }
+    default: {  // overwrite with a delimiter
+      if (text.empty()) break;
+      text[position(text.size())] = kDelimiters[position(kDelimiters.size())];
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string FuzzOutcome::summary() const {
+  std::string text = "executed " + std::to_string(executed) + " inputs (" +
+                     std::to_string(accepted) + " accepted, " +
+                     std::to_string(rejected) + " cleanly rejected)";
+  if (!passed()) {
+    text += "\nCONTRACT VIOLATION: " + failure +
+            "\ninput: " + printable(failing_input);
+  }
+  return text;
+}
+
+FuzzOutcome fuzz_strings(
+    const FuzzConfig& config, const Gen<std::string>& gen,
+    const std::function<void(const std::string&)>& target) {
+  exareq::require(config.iterations > 0 || config.seconds > 0.0,
+                  "fuzz_strings: need an iteration or time budget");
+  FuzzOutcome outcome;
+  Rng rng(config.seed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (config.iterations > 0 && outcome.executed >= config.iterations) {
+      return true;
+    }
+    if (config.seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= config.seconds) return true;
+    }
+    return false;
+  };
+  while (!out_of_budget()) {
+    const std::string input = gen(rng);
+    ++outcome.executed;
+    try {
+      target(input);
+      ++outcome.accepted;
+    } catch (const exareq::Error&) {
+      ++outcome.rejected;
+    } catch (const std::exception& error) {
+      outcome.failure = std::string("non-Error exception escaped: ") +
+                        error.what();
+      outcome.failing_input = input;
+      return outcome;
+    } catch (...) {
+      outcome.failure = "unknown exception escaped the parser";
+      outcome.failing_input = input;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+Gen<std::string> mutated(std::vector<std::string> corpus,
+                         std::size_t max_mutations) {
+  exareq::require(!corpus.empty(), "mutated: empty corpus");
+  exareq::require(max_mutations >= 1, "mutated: need max_mutations >= 1");
+  return Gen<std::string>([corpus = std::move(corpus),
+                           max_mutations](Rng& rng) {
+    if (rng.uniform_int(0, 7) == 0) {
+      // Unstructured bytes: length-biased toward short inputs.
+      const auto size = static_cast<std::size_t>(rng.uniform_int(0, 64));
+      std::string text;
+      text.reserve(size);
+      for (std::size_t i = 0; i < size; ++i) {
+        text.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      return text;
+    }
+    const auto pick = [&corpus, &rng] {
+      return corpus[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(corpus.size()) - 1))];
+    };
+    std::string text = pick();
+    const std::string splice_source = pick();
+    const auto mutations = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_mutations)));
+    for (std::size_t i = 0; i < mutations; ++i) {
+      mutate_once(text, splice_source, rng);
+    }
+    return text;
+  });
+}
+
+}  // namespace exareq::testkit

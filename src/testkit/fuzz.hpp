@@ -1,0 +1,58 @@
+// Structured-input fuzzing for the text parsers (support/csv,
+// model/serialize, serve/protocol).
+//
+// The contract under test is parse-or-clean-error: a parser fed arbitrary
+// bytes must either accept the input or throw exareq::Error — never crash,
+// corrupt memory, or leak another exception type. Memory errors and UB are
+// the sanitizer presets' concern: CI runs these drivers under ASan+UBSan,
+// where any violation aborts the run.
+//
+// Inputs are mutated from a corpus of valid documents rather than drawn
+// uniformly: random bytes almost never get past the first parse branch,
+// while a corrupted valid document exercises the deep error paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testkit/gen.hpp"
+
+namespace exareq::testkit {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  /// Inputs to run; 0 means unbounded (the time budget must then be set).
+  std::size_t iterations = 10000;
+  /// Wall-clock budget in seconds; 0 disables the time bound.
+  double seconds = 0.0;
+};
+
+struct FuzzOutcome {
+  std::size_t executed = 0;
+  std::size_t accepted = 0;  ///< target returned normally (input parsed)
+  std::size_t rejected = 0;  ///< target threw a clean exareq::Error
+  std::string failure;       ///< empty while the contract held
+  std::string failing_input; ///< the input that broke the contract
+
+  bool passed() const { return failure.empty(); }
+  std::string summary() const;
+};
+
+/// Drives `target` with generated inputs until the iteration or time budget
+/// is exhausted, or the contract breaks. `target` either returns (input
+/// accepted) or throws exareq::Error (input rejected cleanly); any other
+/// exception stops the run and is recorded with its input.
+FuzzOutcome fuzz_strings(const FuzzConfig& config, const Gen<std::string>& gen,
+                         const std::function<void(const std::string&)>& target);
+
+/// Mutation-based input generator: picks a corpus entry and applies up to
+/// `max_mutations` random edits (byte flips, insertions, deletions, chunk
+/// duplication, cross-corpus splices, delimiter injection, truncation).
+/// With probability ~1/8 it emits unstructured random bytes instead, so
+/// shallow parse branches stay covered too.
+Gen<std::string> mutated(std::vector<std::string> corpus,
+                         std::size_t max_mutations = 8);
+
+}  // namespace exareq::testkit

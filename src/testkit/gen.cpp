@@ -1,0 +1,70 @@
+#include "testkit/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace exareq::testkit {
+
+Gen<std::int64_t> int_range(std::int64_t lo, std::int64_t hi) {
+  exareq::require(lo <= hi, "int_range: lo > hi");
+  return Gen<std::int64_t>(
+      [lo, hi](Rng& rng) { return rng.uniform_int(lo, hi); });
+}
+
+Gen<double> real_range(double lo, double hi) {
+  exareq::require(lo <= hi, "real_range: lo > hi");
+  return Gen<double>([lo, hi](Rng& rng) { return rng.uniform(lo, hi); });
+}
+
+Gen<double> log_real_range(double lo, double hi) {
+  exareq::require(0.0 < lo && lo <= hi, "log_real_range: need 0 < lo <= hi");
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  return Gen<double>([log_lo, log_hi](Rng& rng) {
+    return std::exp(rng.uniform(log_lo, log_hi));
+  });
+}
+
+Gen<bool> boolean(double probability_true) {
+  exareq::require(probability_true >= 0.0 && probability_true <= 1.0,
+                  "boolean: probability out of [0, 1]");
+  return Gen<bool>([probability_true](Rng& rng) {
+    return rng.next_double() < probability_true;
+  });
+}
+
+Gen<std::string> string_of(std::string alphabet, std::size_t min_size,
+                           std::size_t max_size) {
+  exareq::require(!alphabet.empty(), "string_of: empty alphabet");
+  exareq::require(min_size <= max_size, "string_of: min_size > max_size");
+  return Gen<std::string>([alphabet = std::move(alphabet), min_size,
+                           max_size](Rng& rng) {
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_size),
+                        static_cast<std::int64_t>(max_size)));
+    std::string text;
+    text.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1));
+      text.push_back(alphabet[index]);
+    }
+    return text;
+  });
+}
+
+Gen<std::vector<std::int64_t>> distinct_sorted_ints(std::int64_t lo,
+                                                    std::int64_t hi,
+                                                    std::size_t count) {
+  exareq::require(lo <= hi, "distinct_sorted_ints: lo > hi");
+  exareq::require(static_cast<std::int64_t>(count) <= hi - lo + 1,
+                  "distinct_sorted_ints: range smaller than count");
+  return Gen<std::vector<std::int64_t>>([lo, hi, count](Rng& rng) {
+    std::set<std::int64_t> chosen;
+    while (chosen.size() < count) chosen.insert(rng.uniform_int(lo, hi));
+    return std::vector<std::int64_t>(chosen.begin(), chosen.end());
+  });
+}
+
+}  // namespace exareq::testkit

@@ -1,0 +1,112 @@
+// Seed-deterministic value generators for property tests and fuzzers.
+//
+// A Gen<T> is a pure function of the exareq::Rng stream: the same seed
+// always produces the same value on every platform (the Rng is xoshiro256**,
+// not std::mt19937, exactly so these tests replay bit-identically). All
+// combinators consume Rng variates in a fixed order, so adding cases never
+// perturbs earlier ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace exareq::testkit {
+
+/// A deterministic generator: draws one T from the Rng stream.
+template <typename T>
+class Gen {
+ public:
+  using value_type = T;
+
+  Gen() = default;
+  explicit Gen(std::function<T(Rng&)> fn) : fn_(std::move(fn)) {}
+
+  T operator()(Rng& rng) const {
+    exareq::require(static_cast<bool>(fn_), "Gen: empty generator invoked");
+    return fn_(rng);
+  }
+
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+  /// Generator of f(x) for every generated x.
+  template <typename F>
+  auto map(F f) const {
+    using U = decltype(f(std::declval<T>()));
+    Gen<T> self = *this;
+    return Gen<U>([self, f](Rng& rng) { return f(self(rng)); });
+  }
+
+ private:
+  std::function<T(Rng&)> fn_;
+};
+
+/// Uniform integer in [lo, hi] (inclusive).
+Gen<std::int64_t> int_range(std::int64_t lo, std::int64_t hi);
+
+/// Uniform real in [lo, hi).
+Gen<double> real_range(double lo, double hi);
+
+/// Log-uniform real in [lo, hi); both bounds must be positive. The natural
+/// distribution for coefficients spanning orders of magnitude.
+Gen<double> log_real_range(double lo, double hi);
+
+/// Bernoulli draw.
+Gen<bool> boolean(double probability_true = 0.5);
+
+/// Random string over `alphabet` with length in [min_size, max_size].
+Gen<std::string> string_of(std::string alphabet, std::size_t min_size,
+                           std::size_t max_size);
+
+/// `count` distinct sorted integers drawn from [lo, hi]; requires the range
+/// to hold at least `count` values. Campaign grid axes are generated this
+/// way (axes must be strictly increasing).
+Gen<std::vector<std::int64_t>> distinct_sorted_ints(std::int64_t lo,
+                                                    std::int64_t hi,
+                                                    std::size_t count);
+
+/// Uniform pick from a fixed choice list.
+template <typename T>
+Gen<T> element_of(std::vector<T> choices) {
+  exareq::require(!choices.empty(), "element_of: empty choice list");
+  return Gen<T>([choices = std::move(choices)](Rng& rng) {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(choices.size()) - 1));
+    return choices[index];
+  });
+}
+
+/// Vector of generated elements with size in [min_size, max_size].
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> element, std::size_t min_size,
+                              std::size_t max_size) {
+  exareq::require(min_size <= max_size, "vector_of: min_size > max_size");
+  return Gen<std::vector<T>>([element = std::move(element), min_size,
+                              max_size](Rng& rng) {
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(min_size),
+                        static_cast<std::int64_t>(max_size)));
+    std::vector<T> values;
+    values.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) values.push_back(element(rng));
+    return values;
+  });
+}
+
+/// Picks one of several generators with equal probability.
+template <typename T>
+Gen<T> one_of(std::vector<Gen<T>> alternatives) {
+  exareq::require(!alternatives.empty(), "one_of: empty alternative list");
+  return Gen<T>([alternatives = std::move(alternatives)](Rng& rng) {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(alternatives.size()) - 1));
+    return alternatives[index](rng);
+  });
+}
+
+}  // namespace exareq::testkit

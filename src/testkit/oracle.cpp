@@ -1,0 +1,23 @@
+#include "testkit/oracle.hpp"
+
+#include <algorithm>
+
+namespace exareq::testkit {
+
+std::string text_diff(const std::string& fast, const std::string& reference) {
+  if (fast == reference) return {};
+  const std::size_t limit = std::min(fast.size(), reference.size());
+  std::size_t offset = 0;
+  while (offset < limit && fast[offset] == reference[offset]) ++offset;
+  const auto context = [offset](const std::string& text) {
+    const std::size_t begin = offset < 24 ? 0 : offset - 24;
+    const std::size_t end = std::min(text.size(), offset + 24);
+    return "..." + text.substr(begin, end - begin) + "...";
+  };
+  return "outputs diverge at byte " + std::to_string(offset) + " (fast " +
+         std::to_string(fast.size()) + " bytes, reference " +
+         std::to_string(reference.size()) + "): fast " + context(fast) +
+         " vs reference " + context(reference);
+}
+
+}  // namespace exareq::testkit

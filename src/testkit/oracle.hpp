@@ -1,0 +1,91 @@
+// Differential-oracle runner: a fast path and a trusted reference path run
+// on the same generated input; any divergence — value, error/no-error, or
+// error message — is a counterexample, shrunk and reported by the property
+// runner.
+//
+// This is the standing correctness gate for the perf work on this code
+// base: every "fast" layer (parallel model search, streaming locality,
+// campaign DAG, serving cache) claims bit-identical results to its simple
+// serial counterpart, and these oracles are how the claim is enforced.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "support/error.hpp"
+#include "testkit/property.hpp"
+
+namespace exareq::testkit {
+
+/// The two paths under comparison plus the agreement test. `diff` returns
+/// "" when the outputs agree, else a description of the divergence. Where
+/// outputs are strings, `text_diff` below is usually the right `diff`.
+template <typename T, typename Out>
+struct DiffOracle {
+  std::function<Out(const T&)> fast;
+  std::function<Out(const T&)> reference;
+  std::function<std::string(const Out&, const Out&)> diff;
+};
+
+/// Pinpoints the first divergence of two strings (byte offset + context) —
+/// readable even when the payloads are multi-kilobyte CSV documents.
+std::string text_diff(const std::string& fast, const std::string& reference);
+
+namespace detail {
+
+/// One path's outcome: a value, or the error it raised.
+template <typename Out>
+struct PathOutcome {
+  bool ok = false;
+  Out value{};
+  std::string error;
+};
+
+template <typename T, typename Out>
+PathOutcome<Out> run_path(const std::function<Out(const T&)>& path,
+                          const T& input) {
+  PathOutcome<Out> outcome;
+  try {
+    outcome.value = path(input);
+    outcome.ok = true;
+  } catch (const exareq::Error& error) {
+    // A clean library error is a legitimate outcome — the oracle then
+    // requires the other path to fail identically.
+    outcome.error = error.what();
+  }
+  return outcome;
+}
+
+}  // namespace detail
+
+/// Runs the differential oracle as a property: both paths must either
+/// produce agreeing outputs or raise exareq::Error with identical messages.
+/// Exceptions outside exareq::Error escape to the property runner and are
+/// reported as failures outright.
+template <typename T, typename Out>
+PropertyResult<T> check_differential(const PropertyConfig& config,
+                                     const Gen<T>& gen,
+                                     const Shrinker<T>& shrink,
+                                     const DiffOracle<T, Out>& oracle) {
+  Property<T> property = [&oracle](const T& input) -> std::string {
+    const detail::PathOutcome<Out> fast = detail::run_path(oracle.fast, input);
+    const detail::PathOutcome<Out> reference =
+        detail::run_path(oracle.reference, input);
+    if (fast.ok != reference.ok) {
+      return std::string("fast path ") + (fast.ok ? "succeeded" : "failed") +
+             " while reference " + (reference.ok ? "succeeded" : "failed") +
+             (fast.ok ? ": " + reference.error : ": " + fast.error);
+    }
+    if (!fast.ok) {
+      if (fast.error != reference.error) {
+        return "error messages diverge: fast '" + fast.error +
+               "' vs reference '" + reference.error + "'";
+      }
+      return {};
+    }
+    return oracle.diff(fast.value, reference.value);
+  };
+  return check(config, gen, shrink, property);
+}
+
+}  // namespace exareq::testkit

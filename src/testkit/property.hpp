@@ -1,0 +1,138 @@
+// The property-test runner: N generated cases, greedy bounded shrinking,
+// and failure-seed replay.
+//
+// Every case draws from an Rng seeded by case_seed(run_seed, index), so a
+// single failing case replays in isolation: the failure report names the
+// run seed and case index, and exporting EXAREQ_PROPERTY_SEED re-runs the
+// whole suite under that seed (EXAREQ_PROPERTY_CASES bounds the case count,
+// which CI's TSan job uses to trade coverage for sanitizer overhead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testkit/gen.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+
+struct PropertyConfig {
+  std::string name;              ///< shown in failure reports
+  std::uint64_t seed = 1;        ///< run seed (case i derives from it)
+  std::size_t cases = 200;       ///< generated cases per run
+  std::size_t max_shrink_steps = 400;  ///< property evaluations spent shrinking
+};
+
+/// Config for `name` honoring the replay environment: EXAREQ_PROPERTY_SEED
+/// overrides the seed, EXAREQ_PROPERTY_CASES the case count. Malformed
+/// values throw InvalidArgument (a silently ignored replay seed would
+/// defeat the point).
+PropertyConfig property_config(std::string name, std::size_t cases = 200);
+
+/// Seed of case `case_index` under `run_seed` (SplitMix64 mixing; distinct
+/// and decorrelated for distinct inputs).
+std::uint64_t case_seed(std::uint64_t run_seed, std::uint64_t case_index);
+
+/// A property maps an input to "" (holds) or a failure description.
+template <typename T>
+using Property = std::function<std::string(const T&)>;
+
+template <typename T>
+struct Counterexample {
+  T input;                      ///< fully shrunk failing input
+  std::string message;          ///< failure description at `input`
+  std::size_t case_index = 0;   ///< generated case that first failed
+  std::size_t shrink_steps = 0; ///< property evaluations spent shrinking
+};
+
+template <typename T>
+struct PropertyResult {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::size_t cases_run = 0;
+  std::optional<Counterexample<T>> counterexample;
+
+  bool passed() const { return !counterexample.has_value(); }
+
+  /// Human-readable failure report with the replay recipe; `show` renders
+  /// the counterexample input (optional).
+  std::string report(
+      const std::function<std::string(const T&)>& show = {}) const {
+    if (passed()) {
+      return "property '" + name + "' passed " + std::to_string(cases_run) +
+             " cases (seed " + std::to_string(seed) + ")";
+    }
+    const Counterexample<T>& failure = *counterexample;
+    std::string text = "property '" + name + "' failed at case #" +
+                       std::to_string(failure.case_index) + " of " +
+                       std::to_string(cases_run) + " (run seed " +
+                       std::to_string(seed) + "):\n  " + failure.message;
+    if (show) text += "\n  counterexample: " + show(failure.input);
+    text += "\n  replay: EXAREQ_PROPERTY_SEED=" + std::to_string(seed) +
+            " (case seed " +
+            std::to_string(case_seed(seed, failure.case_index)) + ", " +
+            std::to_string(failure.shrink_steps) + " shrink steps)";
+    return text;
+  }
+};
+
+namespace detail {
+
+/// Evaluates the property, turning escaped exceptions into failures (an
+/// unexpected throw is just as much a counterexample as a wrong value).
+template <typename T>
+std::string evaluate(const Property<T>& property, const T& input) {
+  try {
+    return property(input);
+  } catch (const std::exception& error) {
+    return std::string("unexpected exception: ") + error.what();
+  }
+}
+
+}  // namespace detail
+
+/// Runs the property over `config.cases` generated inputs. On the first
+/// failure the input is shrunk greedily (bounded by max_shrink_steps) and
+/// the run stops — one minimal counterexample beats a list of noisy ones.
+template <typename T>
+PropertyResult<T> check(const PropertyConfig& config, const Gen<T>& gen,
+                        const Shrinker<T>& shrink,
+                        const Property<T>& property) {
+  PropertyResult<T> result;
+  result.name = config.name;
+  result.seed = config.seed;
+  for (std::size_t index = 0; index < config.cases; ++index) {
+    Rng rng(case_seed(config.seed, index));
+    T input = gen(rng);
+    std::string message = detail::evaluate(property, input);
+    result.cases_run = index + 1;
+    if (message.empty()) continue;
+
+    Counterexample<T> failure{std::move(input), std::move(message), index, 0};
+    if (shrink) {
+      bool improved = true;
+      while (improved && failure.shrink_steps < config.max_shrink_steps) {
+        improved = false;
+        for (T& candidate : shrink(failure.input)) {
+          if (failure.shrink_steps >= config.max_shrink_steps) break;
+          ++failure.shrink_steps;
+          std::string candidate_message =
+              detail::evaluate(property, candidate);
+          if (!candidate_message.empty()) {
+            failure.input = std::move(candidate);
+            failure.message = std::move(candidate_message);
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    result.counterexample = std::move(failure);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace exareq::testkit

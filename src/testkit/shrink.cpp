@@ -1,0 +1,38 @@
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+
+Shrinker<std::int64_t> shrink_int(std::int64_t floor_value) {
+  return [floor_value](const std::int64_t& value) {
+    std::vector<std::int64_t> candidates;
+    if (value <= floor_value) return candidates;
+    candidates.push_back(floor_value);
+    const std::int64_t midpoint = value - (value - floor_value) / 2;
+    if (midpoint != value && midpoint != floor_value) {
+      candidates.push_back(midpoint);
+    }
+    if (value - 1 != midpoint && value - 1 >= floor_value) {
+      candidates.push_back(value - 1);
+    }
+    return candidates;
+  };
+}
+
+Shrinker<double> shrink_real(double floor_value) {
+  return [floor_value](const double& value) {
+    std::vector<double> candidates;
+    if (!(value > floor_value)) return candidates;
+    candidates.push_back(floor_value);
+    const double midpoint = floor_value + (value - floor_value) / 2.0;
+    if (midpoint != value && midpoint != floor_value) {
+      candidates.push_back(midpoint);
+    }
+    const double rounded = std::floor(value);
+    if (rounded != value && rounded > floor_value) {
+      candidates.push_back(rounded);
+    }
+    return candidates;
+  };
+}
+
+}  // namespace exareq::testkit

@@ -1,0 +1,80 @@
+// Bounded counterexample shrinking.
+//
+// A Shrinker<T> maps a failing input to a list of strictly "smaller"
+// candidates, ordered most aggressive first. The property runner greedily
+// walks this list: the first candidate that still fails becomes the new
+// counterexample, and the walk restarts from it. Shrinkers must converge
+// (candidates are smaller by some well-founded measure) so that the
+// runner's step bound, not cycling, is what terminates long shrinks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace exareq::testkit {
+
+template <typename T>
+using Shrinker = std::function<std::vector<T>(const T&)>;
+
+/// A shrinker producing no candidates; the counterexample is reported as
+/// generated.
+template <typename T>
+Shrinker<T> no_shrink() {
+  return [](const T&) { return std::vector<T>{}; };
+}
+
+/// Candidates toward `floor_value`: the floor itself, the midpoint, and the
+/// predecessor — halving makes shrinking logarithmic, the predecessor makes
+/// the final counterexample tight.
+Shrinker<std::int64_t> shrink_int(std::int64_t floor_value = 0);
+
+/// Real shrinking toward `floor_value`: floor, midpoint, and the value
+/// rounded to an integer (round counterexamples are easier to reason about).
+Shrinker<double> shrink_real(double floor_value = 0.0);
+
+/// Vector shrinking: drop the first/second half, drop single elements, then
+/// shrink elements in place with `element` (bounded candidate counts keep
+/// one shrink round cheap even for long vectors).
+template <typename T>
+Shrinker<std::vector<T>> shrink_vector(Shrinker<T> element,
+                                       std::size_t min_size = 0) {
+  return [element = std::move(element),
+          min_size](const std::vector<T>& value) {
+    std::vector<std::vector<T>> candidates;
+    const std::size_t size = value.size();
+    // Structural candidates: remove chunks while respecting min_size.
+    if (size > min_size) {
+      const std::size_t half = size / 2;
+      if (half >= 1 && size - half >= min_size) {
+        candidates.emplace_back(value.begin() + static_cast<std::ptrdiff_t>(half),
+                                value.end());
+        candidates.emplace_back(value.begin(),
+                                value.end() - static_cast<std::ptrdiff_t>(half));
+      }
+      const std::size_t single_removals = size <= 16 ? size : 16;
+      for (std::size_t i = 0; i < single_removals && size - 1 >= min_size; ++i) {
+        std::vector<T> shorter = value;
+        shorter.erase(shorter.begin() + static_cast<std::ptrdiff_t>(i));
+        candidates.push_back(std::move(shorter));
+      }
+    }
+    // Element-wise candidates: shrink one element at a time.
+    if (element) {
+      const std::size_t element_slots = size <= 8 ? size : 8;
+      for (std::size_t i = 0; i < element_slots; ++i) {
+        for (T& smaller : element(value[i])) {
+          std::vector<T> replaced = value;
+          replaced[i] = std::move(smaller);
+          candidates.push_back(std::move(replaced));
+        }
+      }
+    }
+    return candidates;
+  };
+}
+
+}  // namespace exareq::testkit

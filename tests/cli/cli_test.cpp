@@ -172,5 +172,27 @@ TEST(CliTest, ParseIntList) {
   EXPECT_THROW(parse_int_list("7,7,7"), exareq::InvalidArgument);
 }
 
+TEST(CliTest, ParseIntListRejectsFuzzShapedInput) {
+  // Values from_chars cannot fully consume must be rejected, not silently
+  // truncated: embedded whitespace, trailing separators, sign noise,
+  // overflow, and zero (a zero grid axis is never valid).
+  for (const char* bad : {" 4,8", "4 ,8", "4,8,", ",4,8", "4,+8", "0,4",
+                          "4,8.0", "99999999999999999999,4", "4,0x10",
+                          "4,8 16", "\t4,8"}) {
+    EXPECT_THROW(parse_int_list(bad), exareq::InvalidArgument) << bad;
+  }
+}
+
+TEST(CliTest, ThreadsFlagRejectsOverflowAndJunkSuffixes) {
+  // from_chars-based validation: partial parses ("4x"), overflow, and
+  // empty values must all fail with a message naming the flag.
+  for (const char* bad : {"4x", "99999999999999999999", "", "0.5", "+-2"}) {
+    const CliRun result = run({"model", "Kripke", "--in", "/nonexistent.csv",
+                               "--threads", bad});
+    EXPECT_EQ(result.exit_code, 1) << "'" << bad << "'";
+    EXPECT_NE(result.err.find("threads"), std::string::npos) << result.err;
+  }
+}
+
 }  // namespace
 }  // namespace exareq::cli

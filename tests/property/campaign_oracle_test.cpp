@@ -1,0 +1,146 @@
+// Differential oracle (3): run_campaign on a random grid at a random
+// thread count vs the strictly serial run, compared through the persisted
+// CSV artifact — the byte-level reproducibility contract of the parallel
+// campaign engine. Each case also round-trips the CSV through
+// CampaignData::from_csv and re-serializes it, so the persistence layer is
+// covered by the same 200 random grids.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "pipeline/campaign.hpp"
+#include "support/csv.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/property.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+// A randomly drawn campaign: application, small grid, locality and thread
+// configuration. Grids stay tiny (2x2) because each case runs the full
+// measurement twice; the randomness lives in which points are measured.
+struct CampaignCase {
+  apps::AppId app = apps::AppId::kMilc;
+  std::vector<int> process_counts;
+  std::vector<std::int64_t> problem_sizes;
+  bool locality = true;
+  std::size_t threads = 2;
+
+  pipeline::CampaignConfig config(std::size_t thread_count) const {
+    pipeline::CampaignConfig config;
+    config.process_counts = process_counts;
+    config.problem_sizes = problem_sizes;
+    config.locality.enabled = locality;
+    config.threads = thread_count;
+    return config;
+  }
+
+  std::string describe() const {
+    std::string text = "campaign{" + apps::app_name(app) + "; p";
+    for (int p : process_counts) text += " " + std::to_string(p);
+    text += "; n";
+    for (std::int64_t n : problem_sizes) text += " " + std::to_string(n);
+    text += locality ? "; locality on" : "; locality off";
+    text += "; threads " + std::to_string(threads) + "}";
+    return text;
+  }
+};
+
+Gen<CampaignCase> campaign_case_gen() {
+  return Gen<CampaignCase>([](Rng& rng) {
+    CampaignCase campaign;
+    const std::vector<apps::AppId> ids = apps::all_app_ids();
+    campaign.app = ids[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+    for (const std::int64_t p : distinct_sorted_ints(2, 9, 2)(rng)) {
+      campaign.process_counts.push_back(static_cast<int>(p));
+    }
+    const std::int64_t min_n =
+        apps::application(campaign.app).min_problem_size();
+    for (const std::int64_t step : distinct_sorted_ints(1, 4, 2)(rng)) {
+      campaign.problem_sizes.push_back(min_n * step);
+    }
+    campaign.locality = rng.next_double() < 0.7;
+    campaign.threads = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    return campaign;
+  });
+}
+
+Shrinker<CampaignCase> campaign_case_shrinker() {
+  return [](const CampaignCase& campaign) {
+    std::vector<CampaignCase> candidates;
+    if (campaign.locality) {
+      CampaignCase no_locality = campaign;
+      no_locality.locality = false;
+      candidates.push_back(std::move(no_locality));
+    }
+    if (campaign.threads > 2) {
+      CampaignCase fewer = campaign;
+      fewer.threads = 2;
+      candidates.push_back(std::move(fewer));
+    }
+    if (campaign.process_counts.size() > 1) {
+      CampaignCase narrower = campaign;
+      narrower.process_counts.pop_back();
+      candidates.push_back(std::move(narrower));
+    }
+    if (campaign.problem_sizes.size() > 1) {
+      CampaignCase smaller = campaign;
+      smaller.problem_sizes.pop_back();
+      candidates.push_back(std::move(smaller));
+    }
+    return candidates;
+  };
+}
+
+std::string campaign_csv(const CampaignCase& campaign, std::size_t threads) {
+  return pipeline::run_campaign(apps::application(campaign.app),
+                                campaign.config(threads))
+      .to_csv()
+      .to_string();
+}
+
+TEST(PropertyCampaignOracleTest, ThreadedCampaignCsvMatchesSerial) {
+  const PropertyConfig config =
+      property_config("campaign-threads-differential", 200);
+  DiffOracle<CampaignCase, std::string> oracle;
+  oracle.fast = [](const CampaignCase& campaign) {
+    return campaign_csv(campaign, campaign.threads);
+  };
+  oracle.reference = [](const CampaignCase& campaign) {
+    return campaign_csv(campaign, 1);
+  };
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, campaign_case_gen(),
+                                         campaign_case_shrinker(), oracle);
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const CampaignCase& campaign) { return campaign.describe(); });
+}
+
+TEST(PropertyCampaignOracleTest, CsvRoundTripIsLossless) {
+  // from_csv(to_csv(data)) must re-serialize to the identical bytes — the
+  // persistence contract the serve registry and the CLI's --from-file
+  // analysis path both rely on.
+  const PropertyConfig config = property_config("campaign-csv-roundtrip", 200);
+  const auto property = [](const CampaignCase& campaign) -> std::string {
+    const pipeline::CampaignData data = pipeline::run_campaign(
+        apps::application(campaign.app), campaign.config(campaign.threads));
+    const std::string first = data.to_csv().to_string();
+    const pipeline::CampaignData reparsed = pipeline::CampaignData::from_csv(
+        exareq::CsvDocument::parse_string(first), data.app_name);
+    const std::string second = reparsed.to_csv().to_string();
+    return text_diff(second, first);
+  };
+  const auto result = check(config, campaign_case_gen(),
+                            campaign_case_shrinker(),
+                            Property<CampaignCase>(property));
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const CampaignCase& campaign) { return campaign.describe(); });
+}
+
+}  // namespace
+}  // namespace exareq::testkit

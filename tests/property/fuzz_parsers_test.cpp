@@ -1,0 +1,185 @@
+// Structured-input fuzz drivers for the three text parsers exposed to
+// external bytes: support/csv (campaign files), model/serialize (model
+// bundles on disk), and serve/protocol (network request lines + framing).
+//
+// The contract is parse-or-clean-error: every input is either accepted or
+// rejected with exareq::Error — no crash, no foreign exception, no UB. The
+// sanitize CI preset runs these drivers under ASan+UBSan, where a memory
+// error aborts the test; the `property` CI job additionally runs them as a
+// timed smoke step (EXAREQ_FUZZ_SECONDS stretches the budget).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/model.hpp"
+#include "model/serialize.hpp"
+#include "serve/protocol.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/property.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+// Iteration budget for in-suite runs; EXAREQ_FUZZ_SECONDS switches the
+// driver to a wall-clock budget (the CI smoke step sets it to 15 s per
+// driver for the 60-second smoke).
+FuzzConfig fuzz_config() {
+  FuzzConfig config;
+  config.seed = property_config("fuzz").seed;  // honors EXAREQ_PROPERTY_SEED
+  config.iterations = 5000;
+  if (const char* seconds = std::getenv("EXAREQ_FUZZ_SECONDS")) {
+    config.seconds = std::atof(seconds);
+    if (config.seconds > 0.0) config.iterations = 0;
+  }
+  return config;
+}
+
+TEST(PropertyFuzzCsvTest, ParseOrCleanError) {
+  const std::vector<std::string> corpus = {
+      "p,n,flops\n4,64,1024\n8,128,9000\n",
+      "a,b\n\"quoted, cell\",2\n\"multi\nline\",4\n",
+      "x\n1\n2\n3\n",
+      "name,value\r\nalpha,1e9\r\nbeta,-2.5e-3\r\n",
+      "h1,h2,h3\n\"he said \"\"hi\"\"\",2,3\n",
+  };
+  const auto outcome = fuzz_strings(
+      fuzz_config(), mutated(corpus), [](const std::string& input) {
+        const exareq::CsvDocument doc = exareq::CsvDocument::parse_string(input);
+        // Exercise the numeric accessor on everything that parsed; it must
+        // also reject dirty cells with a clean error.
+        for (std::size_t row = 0; row < doc.rows().size(); ++row) {
+          for (std::size_t column = 0; column < doc.column_count(); ++column) {
+            try {
+              (void)doc.number_at(row, column);
+            } catch (const exareq::InvalidArgument&) {
+              // Non-numeric cells are legitimate; only the error type matters.
+            }
+          }
+        }
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+  EXPECT_GT(outcome.rejected, 0u);  // mutations do reach the error paths
+}
+
+TEST(PropertyFuzzModelSerializeTest, ParseOrCleanError) {
+  // Corpus: genuine serialized bundles, so mutations explore deep branches
+  // (factor descriptors, special functions, labels) rather than dying on
+  // the first line.
+  const model::Model single(
+      {"n"}, 42.0,
+      {model::Term{3.5, {model::pmnf_factor(0, 1.0, 0.5)}}});
+  const model::Model multi(
+      {"p", "n"}, 1e6,
+      {model::Term{2.0,
+                   {model::pmnf_factor(0, 2.0, 0.0),
+                    model::pmnf_factor(1, 0.5, 1.0)}},
+       model::Term{7.5, {model::special_factor(0, model::SpecialFn::kAllreduce)}}});
+  const std::vector<std::string> corpus = {
+      model::serialize_model(single),
+      model::serialize_model(multi),
+      model::serialize_bundle(model::ModelBundle{
+          "planted", {{"footprint", multi}, {"stack_distance", single}}}),
+  };
+  const auto outcome = fuzz_strings(
+      fuzz_config(), mutated(corpus), [](const std::string& input) {
+        try {
+          (void)model::parse_model(input);
+        } catch (const exareq::InvalidArgument&) {
+          // fall through: bundle parsing gets its own attempt below
+        }
+        (void)model::parse_bundle(input);
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+TEST(PropertyFuzzServeProtocolTest, ParseOrCleanError) {
+  const std::vector<std::string> corpus = {
+      "eval lulesh footprint 64 1024",
+      "invert milc 128 34359738368",
+      "upgrade kripke 1024 1e9",
+      "strawman relearn",
+      "status",
+  };
+  const auto outcome =
+      fuzz_strings(fuzz_config(), mutated(corpus),
+                   [](const std::string& input) {
+                     const serve::Request request = serve::parse_request(input);
+                     // Round-trip the accepted request through the cache-key
+                     // renderer; it must handle every parsed request.
+                     (void)serve::canonical_key(request);
+                     (void)serve::cacheable(request);
+                   });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+TEST(PropertyFuzzFrameDecoderTest, ArbitraryChunkingNeverBreaksFraming) {
+  // The frame decoder sits in front of the parser on the socket path: feed
+  // it mutated byte streams in random chunk sizes; it must either yield
+  // frames or throw a clean oversize error, and the frames must equal
+  // feeding the same bytes in one call.
+  const std::vector<std::string> corpus = {
+      "eval lulesh footprint 64 1024\nstatus\r\n\nstrawman milc\n",
+      "invert milc 8 1e9\n" + std::string(300, 'x') + "\n",
+      "\r\n\r\nupgrade kripke 16 1e10\n",
+  };
+  FuzzConfig config = fuzz_config();
+  Rng chunker(config.seed + 1);
+  const auto outcome = fuzz_strings(
+      config, mutated(corpus), [&chunker](const std::string& input) {
+        // Contract violations are reported as std::logic_error, NOT
+        // exareq::Error — the fuzz driver counts the latter as a clean
+        // rejection, which would mask a framing divergence.
+        serve::FrameDecoder whole(512);
+        std::vector<std::string> expected;
+        try {
+          expected = whole.feed(input);
+        } catch (const exareq::Error&) {
+          // Oversized somewhere: the chunked decoder must also reject the
+          // stream by the time the whole input is in.
+          serve::FrameDecoder chunked(512);
+          std::size_t offset = 0;
+          while (offset < input.size()) {
+            const std::size_t step = static_cast<std::size_t>(
+                chunker.uniform_int(1, 64));
+            const std::size_t take = std::min(step, input.size() - offset);
+            (void)chunked.feed(std::string_view(input).substr(offset, take));
+            offset += take;
+          }
+          throw std::logic_error("chunked decoder accepted an oversized "
+                                 "stream the whole-buffer decoder rejected");
+        }
+        serve::FrameDecoder chunked(512);
+        std::vector<std::string> actual;
+        std::size_t offset = 0;
+        while (offset < input.size()) {
+          const std::size_t step =
+              static_cast<std::size_t>(chunker.uniform_int(1, 64));
+          const std::size_t take = std::min(step, input.size() - offset);
+          for (std::string& frame :
+               chunked.feed(std::string_view(input).substr(offset, take))) {
+            actual.push_back(std::move(frame));
+          }
+          offset += take;
+        }
+        if (actual != expected) {
+          throw std::logic_error(
+              "chunked framing diverges from whole-buffer framing");
+        }
+        if (chunked.partial_bytes() != whole.partial_bytes()) {
+          throw std::logic_error("chunked partial-frame state diverges");
+        }
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+}
+
+}  // namespace
+}  // namespace exareq::testkit

@@ -1,0 +1,170 @@
+// Differential oracle (4): the serving stack — ModelRegistry + sharded LRU
+// result cache + QueryEngine — vs the uncached one-shot path over the same
+// planted requirement bundle. Every served response (eval, invert, upgrade,
+// strawman, including `error ...` responses for infeasible queries) must be
+// byte-identical to computing the answer fresh, and a cache hit must be
+// byte-identical to the miss that populated it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/registry.hpp"
+#include "testkit/domain_gen.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/property.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+std::string render(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// One serve case: a planted application bundle plus a batch of request
+// lines against it. A batch (not a single line) exercises the cache with
+// repeats: the generator intentionally duplicates lines.
+struct ServeCase {
+  codesign::AppRequirements app;
+  std::vector<std::string> lines;
+
+  std::string describe() const {
+    std::string text = "serve{" + app.name + ":";
+    for (const std::string& line : lines) text += " [" + line + "]";
+    return text + "}";
+  }
+};
+
+Gen<ServeCase> serve_case_gen() {
+  return Gen<ServeCase>([](Rng& rng) {
+    ServeCase serve_case;
+    serve_case.app = planted_requirements_gen("planted")(rng);
+    static const std::vector<std::string> metrics = {
+        "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
+    const auto request_line = [&rng]() -> std::string {
+      const double p = std::floor(std::exp(rng.uniform(0.0, std::log(1e4))));
+      const double n = std::floor(std::exp(rng.uniform(0.0, std::log(1e6))));
+      const double memory = std::exp(rng.uniform(std::log(1e3), std::log(1e13)));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          return "eval planted " +
+                 metrics[static_cast<std::size_t>(rng.uniform_int(0, 4))] +
+                 " " + render(p) + " " + render(n);
+        case 1:
+          return "invert planted " + render(p) + " " + render(memory);
+        case 2:
+          return "upgrade planted " + render(p) + " " + render(memory);
+        default:
+          return "strawman planted";
+      }
+    };
+    const std::int64_t count = rng.uniform_int(1, 6);
+    for (std::int64_t i = 0; i < count; ++i) {
+      serve_case.lines.push_back(request_line());
+      // Duplicate some lines so cache hits answer part of the batch.
+      if (rng.next_double() < 0.4) {
+        serve_case.lines.push_back(serve_case.lines.back());
+      }
+    }
+    return serve_case;
+  });
+}
+
+Shrinker<ServeCase> serve_case_shrinker() {
+  return [](const ServeCase& serve_case) {
+    std::vector<ServeCase> candidates;
+    if (serve_case.lines.size() > 1) {
+      for (std::size_t i = 0; i < serve_case.lines.size(); ++i) {
+        ServeCase fewer = serve_case;
+        fewer.lines.erase(fewer.lines.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        candidates.push_back(std::move(fewer));
+      }
+    }
+    return candidates;
+  };
+}
+
+// The production path: registry + sharded cache, every line answered twice
+// (miss then hit) — both answers must agree with each other and, through
+// the oracle, with the uncached reference.
+std::string served_responses(const ServeCase& serve_case) {
+  serve::ModelRegistry registry;
+  registry.insert(serve_case.app);
+  serve::ShardedLruCache cache(256);
+  serve::QueryEngine engine(registry, &cache);
+  std::string transcript;
+  for (const std::string& line : serve_case.lines) {
+    const std::string first = engine.answer_line(line);
+    const std::string second = engine.answer_line(line);  // cache hit
+    if (second != first) {
+      return "CACHE INCOHERENT for '" + line + "': miss '" + first +
+             "' vs hit '" + second + "'";
+    }
+    transcript += first + "\n";
+  }
+  return transcript;
+}
+
+// The one-shot path: a fresh uncached engine per line, as the `exareq
+// query` CLI bridge computes it.
+std::string oneshot_responses(const ServeCase& serve_case) {
+  std::string transcript;
+  for (const std::string& line : serve_case.lines) {
+    serve::ModelRegistry registry;
+    registry.insert(serve_case.app);
+    serve::QueryEngine engine(registry);
+    transcript += engine.answer_line(line) + "\n";
+  }
+  return transcript;
+}
+
+TEST(PropertyServeOracleTest, CachedServingMatchesOneShotComputation) {
+  const PropertyConfig config = property_config("serve-differential", 200);
+  DiffOracle<ServeCase, std::string> oracle;
+  oracle.fast = served_responses;
+  oracle.reference = oneshot_responses;
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, serve_case_gen(),
+                                         serve_case_shrinker(), oracle);
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const ServeCase& serve_case) { return serve_case.describe(); });
+}
+
+TEST(PropertyServeOracleTest, ResponsesAreWellFormed) {
+  // Every served line is a single-line `ok ...` or `error <category>: ...`
+  // — the framing invariant the socket front end relies on.
+  const PropertyConfig config = property_config("serve-response-shape", 200);
+  const auto property = [](const ServeCase& serve_case) -> std::string {
+    serve::ModelRegistry registry;
+    registry.insert(serve_case.app);
+    serve::QueryEngine engine(registry);
+    for (const std::string& line : serve_case.lines) {
+      const std::string response = engine.answer_line(line);
+      if (response.find('\n') != std::string::npos) {
+        return "multi-line response for '" + line + "'";
+      }
+      if (response.rfind("ok ", 0) != 0 && response.rfind("error ", 0) != 0) {
+        return "unframed response '" + response + "' for '" + line + "'";
+      }
+    }
+    return {};
+  };
+  const auto result = check(config, serve_case_gen(), serve_case_shrinker(),
+                            Property<ServeCase>(property));
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const ServeCase& serve_case) { return serve_case.describe(); });
+}
+
+}  // namespace
+}  // namespace exareq::testkit

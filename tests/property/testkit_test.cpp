@@ -1,0 +1,289 @@
+// Self-tests of the exareq::testkit framework: generator determinism,
+// shrinker convergence, the property runner's counterexample search, seed
+// replay, and the fuzz driver's contract enforcement. All suites are named
+// Property* so the sanitizer CI jobs can select them with
+// `ctest -R '^Property'`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/property.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+TEST(PropertyGenTest, SameSeedSameValues) {
+  const Gen<std::int64_t> gen = int_range(-1000, 1000);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen(a), gen(b));
+}
+
+TEST(PropertyGenTest, IntRangeStaysInBounds) {
+  const Gen<std::int64_t> gen = int_range(-3, 7);
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = gen(rng);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 7);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // every value of a small range is hit
+}
+
+TEST(PropertyGenTest, RealAndLogRealStayInBounds) {
+  Rng rng(7);
+  const Gen<double> uniform = real_range(2.0, 3.0);
+  const Gen<double> log_uniform = log_real_range(1e-3, 1e3);
+  for (int i = 0; i < 500; ++i) {
+    const double u = uniform(rng);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const double l = log_uniform(rng);
+    EXPECT_GE(l, 1e-3);
+    EXPECT_LT(l, 1e3);
+  }
+}
+
+TEST(PropertyGenTest, DistinctSortedIntsAreDistinctAndSorted) {
+  const auto gen = distinct_sorted_ints(1, 64, 5);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<std::int64_t> values = gen(rng);
+    ASSERT_EQ(values.size(), 5u);
+    for (std::size_t j = 1; j < values.size(); ++j) {
+      EXPECT_LT(values[j - 1], values[j]);
+    }
+  }
+}
+
+TEST(PropertyGenTest, VectorOfRespectsSizeBounds) {
+  const auto gen = vector_of(int_range(0, 9), 2, 6);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const auto values = gen(rng);
+    EXPECT_GE(values.size(), 2u);
+    EXPECT_LE(values.size(), 6u);
+  }
+}
+
+TEST(PropertyGenTest, MapTransformsValues) {
+  const auto gen = int_range(1, 5).map([](std::int64_t v) { return 2 * v; });
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t value = gen(rng);
+    EXPECT_EQ(value % 2, 0);
+    EXPECT_GE(value, 2);
+    EXPECT_LE(value, 10);
+  }
+}
+
+TEST(PropertyCaseSeedTest, DistinctInputsDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t run = 1; run <= 5; ++run) {
+    for (std::uint64_t index = 0; index < 200; ++index) {
+      seeds.insert(case_seed(run, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions across the CI seed matrix
+}
+
+TEST(PropertyShrinkTest, IntShrinksTowardFloor) {
+  const Shrinker<std::int64_t> shrink = shrink_int(0);
+  const auto candidates = shrink(100);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(), 0);  // most aggressive first
+  for (const std::int64_t candidate : candidates) {
+    EXPECT_GE(candidate, 0);
+    EXPECT_LT(candidate, 100);
+  }
+  EXPECT_TRUE(shrink(0).empty());  // the floor is fully shrunk
+}
+
+TEST(PropertyShrinkTest, VectorShrinkRespectsMinSize) {
+  const auto shrink = shrink_vector<std::int64_t>(shrink_int(0), 2);
+  const std::vector<std::int64_t> value{5, 6, 7};
+  for (const auto& candidate : shrink(value)) {
+    EXPECT_GE(candidate.size(), 2u);
+  }
+  // A vector already at min_size only shrinks element-wise.
+  const std::vector<std::int64_t> minimal{3, 4};
+  for (const auto& candidate : shrink(minimal)) {
+    EXPECT_EQ(candidate.size(), 2u);
+  }
+}
+
+TEST(PropertyRunnerTest, PassingPropertyReportsAllCases) {
+  const PropertyConfig config{"always-holds", 17, 50, 100};
+  const auto result =
+      check<std::int64_t>(config, int_range(0, 100), shrink_int(0),
+                          [](const std::int64_t&) { return std::string{}; });
+  EXPECT_TRUE(result.passed());
+  EXPECT_EQ(result.cases_run, 50u);
+  EXPECT_NE(result.report().find("passed 50 cases"), std::string::npos);
+}
+
+TEST(PropertyRunnerTest, FindsAndShrinksCounterexample) {
+  // Fails for every value >= 10; the minimal counterexample is exactly 10.
+  const PropertyConfig config{"ge-ten-fails", 1, 200, 400};
+  const auto result = check<std::int64_t>(
+      config, int_range(0, 1000), shrink_int(0),
+      [](const std::int64_t& value) {
+        return value >= 10 ? "value >= 10" : std::string{};
+      });
+  ASSERT_FALSE(result.passed());
+  EXPECT_EQ(result.counterexample->input, 10);
+  EXPECT_GT(result.counterexample->shrink_steps, 0u);
+  const std::string report = result.report(
+      [](const std::int64_t& v) { return std::to_string(v); });
+  EXPECT_NE(report.find("counterexample: 10"), std::string::npos);
+  EXPECT_NE(report.find("EXAREQ_PROPERTY_SEED=1"), std::string::npos);
+}
+
+TEST(PropertyRunnerTest, ExceptionIsACounterexample) {
+  const PropertyConfig config{"throws", 1, 100, 50};
+  const auto result = check<std::int64_t>(
+      config, int_range(0, 100), no_shrink<std::int64_t>(),
+      [](const std::int64_t& value) -> std::string {
+        if (value > 50) throw exareq::InvalidArgument("boom");
+        return {};
+      });
+  ASSERT_FALSE(result.passed());
+  EXPECT_NE(result.counterexample->message.find("unexpected exception"),
+            std::string::npos);
+}
+
+TEST(PropertyRunnerTest, ReplaySeedReproducesFailure) {
+  // The failing case index depends only on the run seed; re-running under
+  // the same seed must find the identical counterexample.
+  const PropertyConfig config{"replay", 1234, 100, 200};
+  const Property<std::int64_t> property = [](const std::int64_t& value) {
+    return value % 7 == 3 ? "hit residue 3 (mod 7)" : std::string{};
+  };
+  const auto first =
+      check<std::int64_t>(config, int_range(0, 10000), shrink_int(0), property);
+  const auto second =
+      check<std::int64_t>(config, int_range(0, 10000), shrink_int(0), property);
+  ASSERT_FALSE(first.passed());
+  ASSERT_FALSE(second.passed());
+  EXPECT_EQ(first.counterexample->case_index, second.counterexample->case_index);
+  EXPECT_EQ(first.counterexample->input, second.counterexample->input);
+}
+
+TEST(PropertyConfigTest, EnvironmentOverridesSeedAndCases) {
+  ASSERT_EQ(setenv("EXAREQ_PROPERTY_SEED", "99", 1), 0);
+  ASSERT_EQ(setenv("EXAREQ_PROPERTY_CASES", "12", 1), 0);
+  const PropertyConfig config = property_config("env", 500);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.cases, 12u);
+  ASSERT_EQ(setenv("EXAREQ_PROPERTY_SEED", "not-a-number", 1), 0);
+  EXPECT_THROW(property_config("env"), exareq::Error);
+  unsetenv("EXAREQ_PROPERTY_SEED");
+  unsetenv("EXAREQ_PROPERTY_CASES");
+}
+
+TEST(PropertyOracleTest, AgreementPasses) {
+  const PropertyConfig config{"same-paths", 1, 100, 100};
+  DiffOracle<std::int64_t, std::string> oracle;
+  oracle.fast = [](const std::int64_t& v) { return std::to_string(v * 2); };
+  oracle.reference = [](const std::int64_t& v) { return std::to_string(2 * v); };
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, int_range(0, 1000),
+                                         shrink_int(0), oracle);
+  EXPECT_TRUE(result.passed()) << result.report();
+}
+
+TEST(PropertyOracleTest, DivergenceIsFoundAndShrunk) {
+  const PropertyConfig config{"fast-path-bug", 1, 200, 400};
+  DiffOracle<std::int64_t, std::string> oracle;
+  // The "fast path" is wrong for every value >= 100.
+  oracle.fast = [](const std::int64_t& v) {
+    return std::to_string(v >= 100 ? v + 1 : v);
+  };
+  oracle.reference = [](const std::int64_t& v) { return std::to_string(v); };
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, int_range(0, 10000),
+                                         shrink_int(0), oracle);
+  ASSERT_FALSE(result.passed());
+  EXPECT_EQ(result.counterexample->input, 100);  // shrunk to the boundary
+}
+
+TEST(PropertyOracleTest, ErrorOnlyOnOnePathIsADivergence) {
+  const PropertyConfig config{"one-sided-error", 1, 50, 100};
+  DiffOracle<std::int64_t, std::string> oracle;
+  oracle.fast = [](const std::int64_t& v) -> std::string {
+    if (v > 10) throw exareq::InvalidArgument("too big");
+    return "ok";
+  };
+  oracle.reference = [](const std::int64_t&) { return std::string("ok"); };
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, int_range(0, 1000),
+                                         shrink_int(0), oracle);
+  ASSERT_FALSE(result.passed());
+  EXPECT_NE(result.counterexample->message.find("fast path failed"),
+            std::string::npos);
+}
+
+TEST(PropertyOracleTest, IdenticalErrorsAgree) {
+  const PropertyConfig config{"both-fail", 1, 50, 100};
+  DiffOracle<std::int64_t, std::string> oracle;
+  const auto thrower = [](const std::int64_t& v) -> std::string {
+    if (v > 10) throw exareq::InvalidArgument("too big");
+    return "ok";
+  };
+  oracle.fast = thrower;
+  oracle.reference = thrower;
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, int_range(0, 1000),
+                                         shrink_int(0), oracle);
+  EXPECT_TRUE(result.passed()) << result.report();
+}
+
+TEST(PropertyTextDiffTest, PinpointsFirstDivergence) {
+  EXPECT_TRUE(text_diff("same", "same").empty());
+  const std::string message = text_diff("abcXdef", "abcYdef");
+  EXPECT_NE(message.find("byte 3"), std::string::npos);
+}
+
+TEST(PropertyFuzzTest, CleanRejectionsAreCounted) {
+  FuzzConfig config;
+  config.iterations = 500;
+  const Gen<std::string> gen =
+      string_of("ab", 0, 4);  // tiny input space, both branches hit
+  const auto outcome = fuzz_strings(config, gen, [](const std::string& text) {
+    if (text.size() % 2 == 1) throw exareq::InvalidArgument("odd length");
+  });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+  EXPECT_EQ(outcome.executed, 500u);
+  EXPECT_GT(outcome.accepted, 0u);
+  EXPECT_GT(outcome.rejected, 0u);
+}
+
+TEST(PropertyFuzzTest, ForeignExceptionBreaksTheContract) {
+  FuzzConfig config;
+  config.iterations = 2000;
+  const auto outcome = fuzz_strings(
+      config, string_of("abc", 0, 6), [](const std::string& text) {
+        if (text.size() == 3) throw std::runtime_error("not an exareq error");
+      });
+  ASSERT_FALSE(outcome.passed());
+  EXPECT_EQ(outcome.failing_input.size(), 3u);
+  EXPECT_NE(outcome.summary().find("CONTRACT VIOLATION"), std::string::npos);
+}
+
+TEST(PropertyFuzzTest, MutatedGeneratorIsDeterministic) {
+  const auto gen = mutated({"head,body\n1,2\n", "model v1\nend\n"});
+  Rng a(9), b(9);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(gen(a), gen(b));
+}
+
+}  // namespace
+}  // namespace exareq::testkit

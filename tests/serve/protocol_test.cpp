@@ -84,5 +84,77 @@ TEST(ServeProtocolTest, RenderValueRoundTripsDoubles) {
   }
 }
 
+TEST(ServeProtocolTest, RejectsUnknownCommandWithExpectedList) {
+  try {
+    parse_request("evaal lulesh flops 4 64");
+    FAIL() << "unknown command accepted";
+  } catch (const exareq::InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown request 'evaal'"), std::string::npos) << what;
+    EXPECT_NE(what.find("eval|invert|upgrade|strawman|status"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(ServeFrameDecoderTest, SplitsCompleteFramesAndBuffersTheTail) {
+  FrameDecoder decoder;
+  const auto frames = decoder.feed("status\neval a flops 1 2\npartial");
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "status");
+  EXPECT_EQ(frames[1], "eval a flops 1 2");
+  // The truncated frame stays buffered until the terminator arrives.
+  EXPECT_TRUE(decoder.has_partial_frame());
+  EXPECT_EQ(decoder.partial_bytes(), 7u);
+  const auto rest = decoder.feed(" frame\n");
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "partial frame");
+  EXPECT_FALSE(decoder.has_partial_frame());
+}
+
+TEST(ServeFrameDecoderTest, StripsCrAndSkipsEmptyFrames) {
+  FrameDecoder decoder;
+  const auto frames = decoder.feed("status\r\n\r\n\nstrawman milc\n");
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "status");
+  EXPECT_EQ(frames[1], "strawman milc");
+}
+
+TEST(ServeFrameDecoderTest, TruncatedFrameIsNeverDelivered) {
+  // A connection closing mid-frame simply drops the partial line; the
+  // decoder must not have handed it out as a request.
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed("eval lulesh floo").empty());
+  EXPECT_TRUE(decoder.has_partial_frame());
+}
+
+TEST(ServeFrameDecoderTest, OversizedFrameThrowsAndDropsPendingBytes) {
+  FrameDecoder decoder(16);
+  EXPECT_THROW(decoder.feed(std::string(17, 'x')), exareq::InvalidArgument);
+  // The decoder stays usable after rejecting the hostile frame.
+  EXPECT_FALSE(decoder.has_partial_frame());
+  const auto frames = decoder.feed("status\n");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "status");
+}
+
+TEST(ServeFrameDecoderTest, OversizedFrameDetectedAcrossChunks) {
+  FrameDecoder decoder(16);
+  EXPECT_TRUE(decoder.feed(std::string(10, 'a')).empty());
+  EXPECT_THROW(decoder.feed(std::string(10, 'b')), exareq::InvalidArgument);
+  // Also when the terminator does arrive but the completed frame is too
+  // large for the bound.
+  FrameDecoder other(16);
+  EXPECT_THROW(other.feed(std::string(17, 'c') + "\n"),
+               exareq::InvalidArgument);
+}
+
+TEST(ServeFrameDecoderTest, FrameOfExactlyMaxBytesIsAccepted) {
+  FrameDecoder decoder(8);
+  const auto frames = decoder.feed("12345678\n");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "12345678");
+}
+
 }  // namespace
 }  // namespace exareq::serve

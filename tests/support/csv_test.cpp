@@ -94,5 +94,81 @@ TEST(CsvTest, RowWidthEnforced) {
   EXPECT_THROW(doc.add_row({"1"}), InvalidArgument);
 }
 
+// Fuzz-shaped input hardening: every malformed document must raise
+// exareq::Error naming the offending row/column, never silently produce
+// data (regressions for the csv fuzz driver's findings).
+
+TEST(CsvTest, RejectsDuplicateHeaderColumns) {
+  // Duplicate names would make column_index silently ambiguous.
+  try {
+    CsvDocument::parse_string("p,n,p\n1,2,3\n");
+    FAIL() << "duplicate header accepted";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate column 'p'"), std::string::npos) << what;
+    EXPECT_NE(what.find("columns 1 and 3"), std::string::npos) << what;
+  }
+  EXPECT_THROW(CsvDocument({"a", "a"}), InvalidArgument);
+}
+
+TEST(CsvTest, NumberAtRejectsNanAndInfSpellings) {
+  // from_chars accepts "nan"/"inf"; a measurement file carrying them is
+  // corrupt and must not poison downstream fits silently.
+  for (const char* cell : {"nan", "NaN", "inf", "-inf", "INF", "-NAN"}) {
+    CsvDocument doc({"x"});
+    doc.add_row({cell});
+    try {
+      doc.number_at(0, 0);
+      FAIL() << "accepted non-finite cell '" << cell << "'";
+    } catch (const InvalidArgument& error) {
+      EXPECT_NE(std::string(error.what()).find("not a finite number"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(CsvTest, NumberAtErrorNamesRowAndColumn) {
+  CsvDocument doc({"p", "flops"});
+  doc.add_row({"4", "1e9"});
+  doc.add_row({"8", "bogus"});
+  try {
+    doc.number_at(1, 1);
+    FAIL() << "accepted non-numeric cell";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 'flops'"), std::string::npos) << what;
+  }
+}
+
+TEST(CsvTest, RaggedRowErrorNamesTheRow) {
+  try {
+    CsvDocument::parse_string("a,b\n1,2\n3\n");
+    FAIL() << "ragged row accepted";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("ragged row 2"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CsvTest, UnterminatedQuoteErrorNamesTheRecord) {
+  try {
+    CsvDocument::parse_string("a,b\n\"open,2\n");
+    FAIL() << "unterminated quote accepted";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("row 1"), std::string::npos)
+        << error.what();
+  }
+  try {
+    CsvDocument::parse_string("\"open");
+    FAIL() << "unterminated header quote accepted";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("header"), std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace exareq
