@@ -5,7 +5,7 @@
 // and writes BENCH_campaign.json for trend tracking.
 //
 //   bench_campaign [--processes L] [--sizes L] [--threads-list L]
-//                  [--locality-size N] [--out FILE]
+//                  [--locality-size N] [--out FILE] [--trace FILE]
 //
 // Note: campaign speedup is bounded by the machine's core count (each grid
 // point already spawns p simulated-rank threads), so expect flat scaling on
@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "apps/application.hpp"
 #include "cli/cli.hpp"
 #include "memtrace/locality.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/campaign.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
@@ -147,6 +150,9 @@ int main(int argc, char** argv) {
   const std::int64_t locality_size =
       std::stoll(flag_value(args, "locality-size", "4096"));
   const std::string out_path = flag_value(args, "out", "BENCH_campaign.json");
+  const std::string trace_path = flag_value(args, "trace", "");
+  std::optional<obs::TraceGuard> trace;
+  if (!trace_path.empty()) trace.emplace(trace_path);
 
   std::cout << "campaign benchmark: " << base.process_counts.size() << " x "
             << base.problem_sizes.size() << " grid, hardware threads = "
@@ -222,5 +228,10 @@ int main(int argc, char** argv) {
   json << "  ]\n}\n";
   std::ofstream(out_path) << json.str();
   std::cout << "\nwrote " << out_path << '\n';
+  if (trace.has_value()) {
+    trace->finish();
+    std::cout << "wrote " << trace->spans_written() << " trace spans to "
+              << trace->path() << '\n';
+  }
   return 0;
 }

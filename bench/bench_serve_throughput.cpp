@@ -2,15 +2,23 @@
 // answering a mixed eval/invert/upgrade workload at 1-8 worker threads.
 // Prints a scaling table and writes BENCH_serve.json (req/s, cache hit
 // rate, p99 latency) for trend tracking.
+//
+//   bench_serve_throughput [--trace FILE]
+//
+// --trace records the request/cache/compute spans of every run into one
+// Chrome trace_event file. Tracing adds per-span overhead, so traced runs
+// are not comparable to untraced trend numbers.
 #include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "support/format.hpp"
@@ -95,9 +103,14 @@ RunResult run_one(serve::ModelRegistry& registry,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Serve throughput: mixed query workload vs. workers",
                       "serving subsystem (beyond the paper)");
+
+  std::optional<obs::TraceGuard> trace;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace.emplace(argv[i + 1]);
+  }
 
   const codesign::AppRequirements& app =
       bench::app_models(apps::AppId::kLulesh).requirements;
@@ -143,5 +156,10 @@ int main() {
   json << "  ]\n}\n";
   std::ofstream("BENCH_serve.json") << json.str();
   std::cout << "\nwrote BENCH_serve.json\n";
+  if (trace.has_value()) {
+    trace->finish();
+    std::cout << "wrote " << trace->spans_written() << " trace spans to "
+              << trace->path() << '\n';
+  }
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "codesign/strawman.hpp"
 #include "codesign/upgrade.hpp"
 #include "memtrace/locality.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "model/serialize.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/codesign_bridge.hpp"
@@ -73,9 +75,9 @@ struct Flags {
   }
 };
 
-/// Flags that take no value.
+/// Flags that take no value (an optional one may still follow via --flag=v).
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"status"};
+  static const std::set<std::string> flags = {"status", "metrics"};
   return flags;
 }
 
@@ -84,13 +86,18 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
   for (std::size_t i = first; i < args.size(); ++i) {
     exareq::require(args[i].rfind("--", 0) == 0,
                     "expected a --flag, got '" + args[i] + "'");
-    const std::string name = args[i].substr(2);
-    if (boolean_flags().count(name) != 0) {
-      flags.values[name] = "1";
+    const std::string token = args[i].substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags.values[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    if (boolean_flags().count(token) != 0) {
+      flags.values[token] = "1";
       continue;
     }
     exareq::require(i + 1 < args.size(), "flag " + args[i] + " needs a value");
-    flags.values[name] = args[i + 1];
+    flags.values[token] = args[i + 1];
     ++i;
   }
   return flags;
@@ -382,6 +389,11 @@ std::string usage() {
          "           [--workers N] [--queue N] [--deadline-ms D] [--cache N]\n"
          "           [--status]\n"
          "  query   --socket PATH --request 'eval LULESH flops 64 1024'\n"
+         "Every command except `list` also accepts:\n"
+         "  --trace FILE     record spans and write a Chrome trace_event JSON\n"
+         "                   file (load in chrome://tracing or Perfetto)\n"
+         "  --metrics[=json] print the metric registry after the command\n"
+         "                   (text by default). See docs/OBSERVABILITY.md.\n"
          "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64;\n"
          "they are sorted, deduplicated, and need >= 2 distinct values.\n"
          "Analysis commands measure on the fly unless --in supplies a campaign\n"
@@ -432,22 +444,55 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     const std::string& command = args[0];
     if (command == "list") return cmd_list(out);
-    if (command == "serve") return cmd_serve(parse_flags(args, 1), out, err);
-    if (command == "query") return cmd_query(parse_flags(args, 1), out);
 
-    const bool known = command == "measure" || command == "model" ||
-                       command == "upgrade" || command == "strawman" ||
-                       command == "locality";
-    exareq::require(known, "unknown command '" + command + "'");
-    exareq::require(args.size() >= 2, "command '" + command + "' needs an app name");
-    const apps::Application& app = apps::application(apps::app_id_from_name(args[1]));
-    const Flags flags = parse_flags(args, 2);
+    const apps::Application* app = nullptr;
+    std::size_t flag_start = 1;
+    if (command != "serve" && command != "query") {
+      const bool known = command == "measure" || command == "model" ||
+                         command == "upgrade" || command == "strawman" ||
+                         command == "locality";
+      exareq::require(known, "unknown command '" + command + "'");
+      exareq::require(args.size() >= 2,
+                      "command '" + command + "' needs an app name");
+      app = &apps::application(apps::app_id_from_name(args[1]));
+      flag_start = 2;
+    }
+    const Flags flags = parse_flags(args, flag_start);
 
-    if (command == "measure") return cmd_measure(app, flags, out, err);
-    if (command == "model") return cmd_model(app, flags, out, err);
-    if (command == "upgrade") return cmd_upgrade(app, flags, out, err);
-    if (command == "strawman") return cmd_strawman(app, flags, out, err);
-    return cmd_locality(app, flags, out);
+    // --trace validates the output path up front (a campaign should not run
+    // for an hour only to fail writing the trace) and records until the
+    // command returns; --metrics dumps the registry afterwards.
+    std::optional<obs::TraceGuard> trace;
+    if (const auto path = flags.get("trace")) trace.emplace(*path);
+
+    int code = 0;
+    if (command == "serve") {
+      code = cmd_serve(flags, out, err);
+    } else if (command == "query") {
+      code = cmd_query(flags, out);
+    } else if (command == "measure") {
+      code = cmd_measure(*app, flags, out, err);
+    } else if (command == "model") {
+      code = cmd_model(*app, flags, out, err);
+    } else if (command == "upgrade") {
+      code = cmd_upgrade(*app, flags, out, err);
+    } else if (command == "strawman") {
+      code = cmd_strawman(*app, flags, out, err);
+    } else {
+      code = cmd_locality(*app, flags, out);
+    }
+
+    if (trace.has_value()) {
+      trace->finish();
+      err << "wrote " << trace->spans_written() << " trace spans to "
+          << trace->path() << "\n";
+    }
+    if (const auto format = flags.get("metrics")) {
+      auto& registry = obs::MetricRegistry::instance();
+      out << (*format == "json" ? registry.render_json()
+                                : registry.render_text());
+    }
+    return code;
   } catch (const std::exception& error) {
     err << "error: " << error.what() << "\n" << usage();
     return 1;

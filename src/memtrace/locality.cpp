@@ -1,5 +1,7 @@
 #include "memtrace/locality.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 
@@ -43,6 +45,12 @@ void LocalityAnalyzer::record(std::uint64_t address, GroupId group) {
 LocalityReport LocalityAnalyzer::finish(double total_memory_accesses) const {
   exareq::require(total_memory_accesses >= 0.0,
                   "LocalityAnalyzer::finish: negative access count");
+  obs::ScopedSpan span("locality_finish", "memtrace");
+  span.arg("trace_length", static_cast<double>(analyzer_.position()));
+  span.arg("sampled", static_cast<double>(total_sampled_));
+  obs::MetricRegistry::instance()
+      .counter("memtrace.sampled_accesses")
+      .add(total_sampled_);
   LocalityReport report;
   report.trace_length = analyzer_.position();
   report.total_sampled = total_sampled_;

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "model/term_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
@@ -366,11 +368,16 @@ std::vector<ScoredCandidate> score_extensions(FitEngine::Impl& engine,
     if (!duplicates_selected(selected, pool[i])) eligible.push_back(i);
   }
   std::vector<double> scores(eligible.size(), kInfinity);
-  engine.for_each_index(eligible.size(), [&](std::size_t j) {
-    std::vector<Term> trial = selected;
-    trial.push_back(pool[eligible[j]]);
-    scores[j] = engine.cv_score(trial);
-  });
+  {
+    obs::ScopedSpan span("score_extensions", "model");
+    span.arg("candidates", static_cast<double>(eligible.size()));
+    span.arg("selected_terms", static_cast<double>(selected.size()));
+    engine.for_each_index(eligible.size(), [&](std::size_t j) {
+      std::vector<Term> trial = selected;
+      trial.push_back(pool[eligible[j]]);
+      scores[j] = engine.cv_score(trial);
+    });
+  }
 
   std::vector<ScoredCandidate> candidates;
   candidates.reserve(eligible.size());
@@ -504,6 +511,10 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   FitEngine::Impl& engine = *engine_handle.impl_;
   const MeasurementSet& data = engine.data;
   const FitOptions& options = engine.options;
+  obs::ScopedSpan span("fit_with_pool", "model");
+  span.arg("pool_terms", static_cast<double>(pool.size()));
+  span.arg("points", static_cast<double>(data.size()));
+  const EngineStats stats_before = engine_handle.stats();
   exareq::require(!data.empty(), "fit_with_pool: empty measurement set");
   exareq::require(options.max_terms >= 1, "fit_with_pool: max_terms must be >= 1");
   exareq::require(options.beam_width >= 1, "fit_with_pool: beam_width must be >= 1");
@@ -617,6 +628,32 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   result.model = make_model(data, selected, fit);
   result.quality = evaluate_quality(data, result.model, current_score);
   result.stats = engine_handle.stats();
+
+  // Publish this call's share of the engine counters (the engine may be
+  // reused, so the registry gets the delta, not the running totals). The
+  // references are resolved once: multi-parameter ranking funnels thousands
+  // of small slice fits through here, so per-call registry lookups would
+  // show up as measurable overhead.
+  auto& metrics = obs::MetricRegistry::instance();
+  static obs::Counter& fits_counter = metrics.counter("model.fits");
+  static obs::Counter& hypotheses_counter =
+      metrics.counter("model.hypotheses_scored");
+  static obs::Counter& cache_hits_counter =
+      metrics.counter("model.score_cache_hits");
+  static obs::Counter& cv_solves_counter = metrics.counter("model.cv_solves");
+  static obs::Counter& columns_counter =
+      metrics.counter("model.basis_columns_built");
+  fits_counter.add(1);
+  hypotheses_counter.add(result.stats.hypotheses_scored -
+                         stats_before.hypotheses_scored);
+  cache_hits_counter.add(result.stats.score_cache_hits -
+                         stats_before.score_cache_hits);
+  cv_solves_counter.add(result.stats.cv_solves - stats_before.cv_solves);
+  columns_counter.add(result.stats.basis_columns_built -
+                      stats_before.basis_columns_built);
+  span.arg("cv_solves", static_cast<double>(result.stats.cv_solves -
+                                            stats_before.cv_solves));
+  span.arg("selected_terms", static_cast<double>(selected.size()));
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -59,6 +60,9 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                                            EngineStats* stats_out) {
   exareq::require(slice.parameter_count() == 1,
                   "rank_candidate_factors: slice must be single-parameter");
+  obs::ScopedSpan span("rank_candidate_factors", "model");
+  span.arg("parameter", static_cast<double>(parameter));
+  span.arg("slice_points", static_cast<double>(slice.size()));
   SearchSpace space = options.space;
   space.include_collectives =
       std::find(options.collective_parameters.begin(),
@@ -195,6 +199,9 @@ FitResult fit_multi_parameter(const MeasurementSet& data,
                               const MultiParamOptions& options) {
   exareq::require(!data.empty(), "fit_multi_parameter: empty measurement set");
   const auto started = std::chrono::steady_clock::now();
+  obs::ScopedSpan span("fit_multi_parameter", "model");
+  span.arg("parameters", static_cast<double>(data.parameter_count()));
+  span.arg("points", static_cast<double>(data.size()));
   const std::size_t m = data.parameter_count();
   if (m == 1) {
     SearchSpace space = options.space;

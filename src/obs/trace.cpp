@@ -1,0 +1,222 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace exareq::obs {
+namespace {
+
+/// JSON string escaping for span names, categories, and argument keys.
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Argument values render as JSON numbers; non-finite doubles are not valid
+/// JSON, so clamp them to null-like zero rather than emit "inf".
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream os;
+  os.precision(15);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::atomic<bool> TraceRecorder::g_enabled{false};
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
+    t_buffer = buffers_.back().get();
+  }
+  return *t_buffer;
+}
+
+void TraceRecorder::record(SpanEvent event,
+                           std::chrono::steady_clock::time_point start) {
+  if (!enabled()) return;  // stopped between span construction and end
+  const std::int64_t start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          start.time_since_epoch())
+          .count();
+  event.start_us =
+      (start_ns - epoch_ns_.load(std::memory_order_relaxed)) / 1000;
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceRecorder::snapshot() const {
+  std::vector<SpanEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.start_us < b.start_us;
+                   });
+  return merged;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::size_t count = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.duration_us);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a != 0) out += ',';
+        out += '"';
+        append_json_escaped(out, e.args[a].key);
+        out += "\":";
+        out += json_number(e.args[a].value);
+      }
+      out += '}';
+    }
+    out += '}';
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  os << out;
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category)
+    : active_(TraceRecorder::enabled()) {
+  if (!active_) return;
+  start_ = std::chrono::steady_clock::now();
+  event_.name.assign(name);
+  event_.category.assign(category);
+}
+
+void ScopedSpan::arg(std::string_view key, double value) {
+  if (!active_) return;
+  event_.args.push_back({std::string(key), value});
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  event_.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  TraceRecorder::instance().record(std::move(event_), start_);
+}
+
+TraceGuard::TraceGuard(std::string path) : path_(std::move(path)) {
+  file_.open(path_);
+  if (!file_.good()) {
+    throw exareq::Error("cannot write trace file '" + path_ + "'");
+  }
+  TraceRecorder::instance().start();
+}
+
+void TraceGuard::finish() {
+  if (finished_) return;
+  finished_ = true;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.stop();
+  spans_written_ = recorder.span_count();
+  recorder.write_chrome_json(file_);
+  file_.close();
+}
+
+TraceGuard::~TraceGuard() {
+  try {
+    finish();
+  } catch (...) {
+    // Best effort on early exit; the explicit finish() reports errors.
+  }
+}
+
+}  // namespace exareq::obs

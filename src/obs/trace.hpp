@@ -1,0 +1,145 @@
+// Cross-cutting tracing: RAII spans buffered per thread, exported as Chrome
+// trace_event JSON (load the file in chrome://tracing or Perfetto).
+//
+// The recorder is a process-global singleton so that every subsystem —
+// model search, campaign DAG, locality analysis, the serve request path —
+// writes into one timeline without plumbing a recorder handle through every
+// layer. Tracing is off by default; when disabled, constructing a
+// ScopedSpan costs exactly one relaxed atomic load and zero allocations,
+// which is what lets the hot paths stay instrumented permanently.
+//
+// Concurrency model: each thread appends to its own buffer (registered on
+// first use and kept for the process lifetime, so cached thread-local
+// pointers never dangle); the only cross-thread contention is the buffer's
+// own mutex, taken briefly by the owning thread per span and by the
+// exporter during a snapshot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exareq::obs {
+
+/// A numeric argument attached to a span (rendered into Chrome "args").
+struct SpanArg {
+  std::string key;
+  double value = 0.0;
+};
+
+/// One completed span: a Chrome "X" (complete) event.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;          ///< recorder-assigned thread id
+  std::int64_t start_us = 0;      ///< microseconds since the recorder epoch
+  std::int64_t duration_us = 0;
+  std::vector<SpanArg> args;
+};
+
+class TraceRecorder {
+ public:
+  /// The process-global recorder every ScopedSpan reports to.
+  static TraceRecorder& instance();
+
+  /// True while spans are being recorded. One relaxed load — this is the
+  /// entire disabled-mode overhead of a ScopedSpan.
+  static bool enabled() {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Clears previously buffered spans, resets the time epoch, and enables
+  /// recording.
+  void start();
+
+  /// Disables recording; buffered spans stay available for export.
+  void stop();
+
+  /// Appends a finished span to the calling thread's buffer. `start` is the
+  /// steady-clock time the span began. No-op when recording is disabled.
+  void record(SpanEvent event, std::chrono::steady_clock::time_point start);
+
+  /// Merged copy of every thread's spans, ordered by (tid, start_us).
+  std::vector<SpanEvent> snapshot() const;
+
+  std::size_t span_count() const;
+
+  /// Chrome trace_event JSON ({"displayTimeUnit":...,"traceEvents":[...]}).
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  TraceRecorder() = default;
+
+  /// The calling thread's buffer, registered on first use.
+  ThreadBuffer& local_buffer();
+
+  static std::atomic<bool> g_enabled;
+
+  mutable std::mutex mutex_;  ///< guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::int64_t> epoch_ns_{0};
+};
+
+/// RAII span: records [construction, destruction) into the TraceRecorder
+/// when tracing is enabled, and costs one relaxed atomic load when it is
+/// not. Attach counter arguments with arg(); they are dropped silently on
+/// an inactive span.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view category);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument (shown under "args" in the trace viewer).
+  void arg(std::string_view key, double value);
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+  SpanEvent event_;
+};
+
+/// Scoped trace capture to a file: validates the path is writable up front
+/// (throws exareq::Error naming the path otherwise), starts the global
+/// recorder, and writes the Chrome JSON on finish(). The destructor is a
+/// best-effort finish for early exits.
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::string path);
+  ~TraceGuard();
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+  /// Stops recording and writes the trace file. Idempotent.
+  void finish();
+
+  const std::string& path() const { return path_; }
+  std::size_t spans_written() const { return spans_written_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  bool finished_ = false;
+  std::size_t spans_written_ = 0;
+};
+
+}  // namespace exareq::obs

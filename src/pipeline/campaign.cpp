@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
 #include "support/task_dag.hpp"
@@ -210,6 +213,11 @@ CampaignData run_campaign(const apps::Application& app,
   const std::size_t p_count = config.process_counts.size();
   const std::size_t n_count = config.problem_sizes.size();
 
+  obs::ScopedSpan campaign_span("run_campaign", "campaign");
+  campaign_span.arg("grid_points", static_cast<double>(p_count * n_count));
+  obs::MetricRegistry::instance().counter("campaign.grid_points")
+      .add(p_count * n_count);
+
   CampaignData data;
   data.app_name = app.name();
   // Every grid point writes its own preallocated slot (row-major: n outer,
@@ -225,18 +233,21 @@ CampaignData run_campaign(const apps::Application& app,
   TaskDag dag;
   for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
     for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
-      dag.add([&app, &config, &data, &no_locality, n_idx, p_idx, p_count] {
-        data.measurements[n_idx * p_count + p_idx] =
-            measure_app(app, config.process_counts[p_idx],
-                        config.problem_sizes[n_idx], no_locality);
-      });
+      dag.add("measure p=" + std::to_string(config.process_counts[p_idx]) +
+                  " n=" + std::to_string(config.problem_sizes[n_idx]),
+              [&app, &config, &data, &no_locality, n_idx, p_idx, p_count] {
+                data.measurements[n_idx * p_count + p_idx] =
+                    measure_app(app, config.process_counts[p_idx],
+                                config.problem_sizes[n_idx], no_locality);
+              });
     }
   }
   std::vector<double> stack_distances(n_count, 0.0);
   if (config.locality.enabled) {
     for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
-      const std::size_t task = dag.add([&app, &config, &data, &stack_distances,
-                                        n_idx, p_count] {
+      const std::size_t task = dag.add(
+          "locality n=" + std::to_string(config.problem_sizes[n_idx]),
+          [&app, &config, &data, &stack_distances, n_idx, p_count] {
         memtrace::LocalityAnalyzer analyzer(config.locality.config);
         app.trace_locality(config.problem_sizes[n_idx], analyzer);
         // Access-count scaling uses the loads/stores of the first grid point

@@ -1,49 +1,11 @@
 #include "serve/metrics.hpp"
 
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 #include "support/format.hpp"
 #include "support/table.hpp"
 
 namespace exareq::serve {
-
-void LatencyHistogram::record(double microseconds) {
-  if (!(microseconds >= 0.0)) microseconds = 0.0;
-  const auto us = static_cast<std::uint64_t>(microseconds);
-  // Bucket b holds samples in [2^(b-1), 2^b); bucket 0 holds [0, 1).
-  const std::size_t bucket =
-      std::min<std::size_t>(std::bit_width(us), kBuckets - 1);
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::quantile_us(double q) const {
-  std::array<std::uint64_t, kBuckets> counts{};
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  if (total == 0) return 0.0;
-  const double rank = q * static_cast<double>(total);
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    cumulative += counts[b];
-    if (static_cast<double>(cumulative) >= rank) {
-      return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
-    }
-  }
-  return std::ldexp(1.0, static_cast<int>(kBuckets - 1));
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  std::uint64_t total = 0;
-  for (const auto& bucket : buckets_) {
-    total += bucket.load(std::memory_order_relaxed);
-  }
-  return total;
-}
 
 double MetricsSnapshot::cache_hit_rate() const {
   const std::uint64_t lookups = cache_hits + cache_misses;
@@ -60,6 +22,7 @@ void Metrics::merge_into(MetricsSnapshot& snapshot) const {
   snapshot.deadline_drops = deadline_drops.load(std::memory_order_relaxed);
   snapshot.p50_latency_us = latency.quantile_us(0.50);
   snapshot.p99_latency_us = latency.quantile_us(0.99);
+  snapshot.mean_latency_us = latency.mean_us();
 }
 
 std::string render_status_report(const MetricsSnapshot& snapshot) {
@@ -75,6 +38,8 @@ std::string render_status_report(const MetricsSnapshot& snapshot) {
                  format_compact(snapshot.p50_latency_us)});
   table.add_row({"requests", "p99 latency [us]",
                  format_compact(snapshot.p99_latency_us)});
+  table.add_row({"requests", "mean latency [us]",
+                 format_compact(snapshot.mean_latency_us)});
   table.add_row({"cache", "hits", count(snapshot.cache_hits)});
   table.add_row({"cache", "misses", count(snapshot.cache_misses)});
   table.add_row({"cache", "evictions", count(snapshot.cache_evictions)});
@@ -109,7 +74,8 @@ std::string status_line(const MetricsSnapshot& snapshot) {
      << " singleflight_waits=" << snapshot.singleflight_waits
      << " apps=" << snapshot.apps_loaded
      << " p50_us=" << snapshot.p50_latency_us
-     << " p99_us=" << snapshot.p99_latency_us;
+     << " p99_us=" << snapshot.p99_latency_us
+     << " mean_us=" << snapshot.mean_latency_us;
   return os.str();
 }
 

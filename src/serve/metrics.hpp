@@ -4,30 +4,18 @@
 // as the `exareq serve --status` report.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace exareq::serve {
 
 /// Lock-free latency histogram over power-of-two microsecond buckets.
-/// `record` is wait-free; quantiles are approximate (upper bucket bound),
-/// which is all a p99 health indicator needs.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 40;  ///< covers up to ~2^39 us
-
-  void record(double microseconds);
-
-  /// Approximate q-quantile in microseconds (0 when nothing was recorded).
-  double quantile_us(double q) const;
-
-  std::uint64_t count() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
+/// Lives in obs (shared with every other subsystem); the alias keeps the
+/// serve-local spelling that predates the obs library.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Plain-value snapshot of every serving counter, merged across layers.
 struct MetricsSnapshot {
@@ -39,6 +27,7 @@ struct MetricsSnapshot {
   std::uint64_t deadline_drops = 0;  ///< expired before a worker picked them up
   double p50_latency_us = 0.0;       ///< submit-to-response, executed requests
   double p99_latency_us = 0.0;
+  double mean_latency_us = 0.0;      ///< exact mean (quantiles are bucketed)
 
   // Result-cache layer.
   std::uint64_t cache_hits = 0;

@@ -6,6 +6,7 @@
 
 #include "codesign/strawman.hpp"
 #include "codesign/upgrade.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace exareq::serve {
@@ -132,17 +133,24 @@ std::string QueryEngine::answer(const Request& request) {
   std::string key;
   if (use_cache) {
     key = canonical_key(request);
-    if (auto cached = cache_->get(key)) return *cached;
+    obs::ScopedSpan lookup("cache_lookup", "serve");
+    if (auto cached = cache_->get(key)) {
+      return *cached;
+    }
   }
   std::string response;
-  try {
-    response = ok_response(compute(request));
-  } catch (const exareq::NumericError& error) {
-    response = error_response("numeric", error.what());
-  } catch (const exareq::InvalidArgument& error) {
-    response = error_response("bad-request", error.what());
-  } catch (const std::exception& error) {
-    response = error_response("internal", error.what());
+  {
+    obs::ScopedSpan span("compute", "serve");
+    span.arg("kind", static_cast<double>(request.kind));
+    try {
+      response = ok_response(compute(request));
+    } catch (const exareq::NumericError& error) {
+      response = error_response("numeric", error.what());
+    } catch (const exareq::InvalidArgument& error) {
+      response = error_response("bad-request", error.what());
+    } catch (const std::exception& error) {
+      response = error_response("internal", error.what());
+    }
   }
   // Negative results are cached too: an infeasible co-design query is just
   // as deterministic (and as expensive to recompute) as a feasible one.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -35,6 +37,25 @@ void Server::stop() {
   }
   work_ready_.notify_all();
   if (dispatcher_.joinable()) dispatcher_.join();
+  publish_metrics();
+}
+
+void Server::publish_metrics() {
+  // Process-global registry publication happens once per server lifetime
+  // rather than per request: the server (and its cache) already count
+  // everything internally, so duplicating the accounting on the hot path
+  // would cost extra atomic RMWs per request for no information gain.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (metrics_published_) return;
+    metrics_published_ = true;
+  }
+  const MetricsSnapshot snapshot = metrics();
+  auto& registry = obs::MetricRegistry::instance();
+  registry.counter("serve.requests").add(snapshot.requests);
+  registry.counter("serve.errors").add(snapshot.responses_error);
+  registry.counter("serve.cache_hits").add(snapshot.cache_hits);
+  registry.histogram("serve.latency_us").merge_from(metrics_.latency);
 }
 
 std::future<std::string> Server::submit(std::string line) {
@@ -79,21 +100,25 @@ void Server::worker_loop() {
 
     const auto started = std::chrono::steady_clock::now();
     std::string response;
-    if (options_.deadline.count() > 0 &&
-        started - job.enqueued > options_.deadline) {
-      metrics_.deadline_drops.fetch_add(1, std::memory_order_relaxed);
-      response = error_response(
-          "deadline",
-          "request waited longer than " +
-              std::to_string(options_.deadline.count()) + " ms for a worker");
-    } else {
-      response = process(job.line);
+    {
+      obs::ScopedSpan span("serve_request", "serve");
+      if (options_.deadline.count() > 0 &&
+          started - job.enqueued > options_.deadline) {
+        metrics_.deadline_drops.fetch_add(1, std::memory_order_relaxed);
+        response = error_response(
+            "deadline",
+            "request waited longer than " +
+                std::to_string(options_.deadline.count()) + " ms for a worker");
+      } else {
+        response = process(job.line);
+      }
     }
 
     const auto finished = std::chrono::steady_clock::now();
-    metrics_.latency.record(
+    const double latency_us =
         std::chrono::duration<double, std::micro>(finished - job.enqueued)
-            .count());
+            .count();
+    metrics_.latency.record(latency_us);
     if (response.rfind("ok", 0) == 0) {
       metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
     } else {

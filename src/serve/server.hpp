@@ -94,6 +94,11 @@ class Server {
   void worker_loop();
   std::string process(const std::string& line);
 
+  /// One-shot publication of this server's totals into the process-global
+  /// obs::MetricRegistry (serve.requests/errors/cache_hits/latency_us),
+  /// called from stop().
+  void publish_metrics();
+
   ModelRegistry& registry_;
   ServerOptions options_;
   std::size_t workers_ = 1;
@@ -105,6 +110,7 @@ class Server {
   std::condition_variable work_ready_;
   std::deque<Job> queue_;
   bool stopping_ = false;
+  bool metrics_published_ = false;
 
   std::unique_ptr<exareq::ThreadPool> pool_;
   std::thread dispatcher_;

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace exareq {
@@ -12,6 +14,14 @@ namespace exareq {
 std::size_t TaskDag::add(std::function<void()> fn) {
   Task task;
   task.fn = std::move(fn);
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+std::size_t TaskDag::add(std::string name, std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  task.name = std::move(name);
   tasks_.push_back(std::move(task));
   return tasks_.size() - 1;
 }
@@ -25,10 +35,52 @@ void TaskDag::depend(std::size_t task, std::size_t prereq) {
   ++tasks_[task].pending_prereqs;
 }
 
-void TaskDag::rethrow_first_error() const {
-  for (const Task& task : tasks_) {
-    if (task.error) std::rethrow_exception(task.error);
+void TaskDag::execute(Task& task) {
+  obs::ScopedSpan span(task.name.empty() ? std::string_view("task")
+                                         : std::string_view(task.name),
+                       "taskdag");
+  try {
+    task.fn();
+  } catch (...) {
+    task.error = std::current_exception();
+    span.arg("failed", 1.0);
   }
+}
+
+void TaskDag::finish_run() const {
+  const Task* failing = nullptr;
+  std::size_t failures = 0;
+  std::size_t skipped = 0;
+  for (const Task& task : tasks_) {
+    if (task.skipped) ++skipped;
+    if (task.error) {
+      ++failures;
+      if (failing == nullptr) failing = &task;
+    }
+  }
+  auto& metrics = obs::MetricRegistry::instance();
+  metrics.counter("taskdag.tasks").add(tasks_.size());
+  metrics.counter("taskdag.failures").add(failures);
+  metrics.counter("taskdag.skipped").add(skipped);
+
+  if (failing == nullptr) return;
+  if (failing->name.empty()) std::rethrow_exception(failing->error);
+  // Attach the failing task's name to the message while keeping the exareq
+  // exception type, so callers matching on InvalidArgument/NumericError
+  // still work and the report names the grid point that died.
+  const std::string context = "task '" + failing->name + "' failed: ";
+  try {
+    std::rethrow_exception(failing->error);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(context + e.what());
+  } catch (const NumericError& e) {
+    throw NumericError(context + e.what());
+  } catch (const Error& e) {
+    throw Error(context + e.what());
+  } catch (const std::exception& e) {
+    throw Error(context + e.what());
+  }
+  // Non-std exceptions carry no message to augment; propagate unchanged.
 }
 
 void TaskDag::run_serial() {
@@ -39,16 +91,14 @@ void TaskDag::run_serial() {
       }
       continue;
     }
-    try {
-      task.fn();
-    } catch (...) {
-      task.error = std::current_exception();
+    execute(task);
+    if (task.error) {
       for (const std::size_t dependent : task.dependents) {
         tasks_[dependent].skipped = true;
       }
     }
   }
-  rethrow_first_error();
+  finish_run();
 }
 
 void TaskDag::run(ThreadPool& pool) {
@@ -102,20 +152,14 @@ void TaskDag::run(ThreadPool& pool) {
       return;
     }
     lock.unlock();
-    std::exception_ptr error;
-    try {
-      task.fn();
-    } catch (...) {
-      error = std::current_exception();
-    }
+    execute(task);
     lock.lock();
-    task.error = error;
-    settle(id, error != nullptr);
+    settle(id, task.error != nullptr);
     ready_cv.notify_all();
   });
 
   exareq::require(settled == count, "TaskDag::run: scheduler lost tasks");
-  rethrow_first_error();
+  finish_run();
 }
 
 }  // namespace exareq

@@ -159,6 +159,50 @@ TEST(CliTest, ThreadsFlagRejectsBadValues) {
   }
 }
 
+TEST(CliTest, TraceFlagRejectsUnwritablePath) {
+  // The path is validated before the campaign runs, so a typo'd directory
+  // fails fast instead of after minutes of measurement.
+  const CliRun result = run(
+      with_grid({"measure", "Kripke", "--trace", "/nonexistent-dir/out.json"}));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("cannot write trace file"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("/nonexistent-dir/out.json"), std::string::npos);
+  // Fail-fast: no campaign output was produced.
+  EXPECT_EQ(result.out.find("p,n,bytes_used"), std::string::npos);
+}
+
+TEST(CliTest, TraceFlagWritesChromeJson) {
+  const std::string path = "/tmp/exareq_cli_test_trace.json";
+  const CliRun result =
+      run(with_grid({"measure", "Kripke", "--trace", path}));
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("trace spans"), std::string::npos) << result.err;
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  const std::string json = content.str();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"cat\":\"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"taskdag\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MetricsFlagDumpsRegistry) {
+  const CliRun text = run(with_grid({"measure", "Kripke", "--metrics"}));
+  ASSERT_EQ(text.exit_code, 0) << text.err;
+  EXPECT_NE(text.out.find("campaign.grid_points"), std::string::npos)
+      << text.out;
+  EXPECT_NE(text.out.find("taskdag.tasks"), std::string::npos);
+
+  const CliRun json = run(with_grid({"measure", "Kripke", "--metrics=json"}));
+  ASSERT_EQ(json.exit_code, 0) << json.err;
+  EXPECT_NE(json.out.find("\"campaign.grid_points\":"), std::string::npos)
+      << json.out;
+}
+
 TEST(CliTest, ParseIntList) {
   EXPECT_EQ(parse_int_list("4,8,16"), (std::vector<std::int64_t>{4, 8, 16}));
   // Unordered and duplicated input is sorted and deduplicated.

@@ -1,0 +1,147 @@
+// Tests for the obs metric registry: counter/gauge/histogram semantics
+// (including the serve-compatible power-of-two quantiles and the exact
+// sum/mean extension), resolve-or-create stability, cross-kind name
+// collisions, and the text/JSON renderers. Suites are named Obs* for the
+// sanitizer CI filters.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace exareq::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsMetricsTest, GaugeKeepsLastValue) {
+  Gauge gauge;
+  gauge.set(2.5);
+  gauge.set(-1.0);
+  EXPECT_EQ(gauge.value(), -1.0);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(ObsMetricsTest, HistogramQuantilesUsePowerOfTwoBuckets) {
+  // Same semantics the serve::LatencyHistogram always had: bucket b holds
+  // [2^(b-1), 2^b) and quantiles report the upper bucket bound.
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.quantile_us(0.5), 0.0);
+  for (int i = 0; i < 99; ++i) histogram.record(700.0);  // bucket [512,1024)
+  histogram.record(100000.0);                            // bucket [65536,131072)
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.quantile_us(0.50), 1024.0);
+  EXPECT_EQ(histogram.quantile_us(0.99), 1024.0);
+  EXPECT_EQ(histogram.quantile_us(1.0), 131072.0);
+  histogram.record(-5.0);  // clamps to bucket 0
+  EXPECT_EQ(histogram.count(), 101u);
+}
+
+TEST(ObsMetricsTest, HistogramSumAndMeanAreExact) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.mean_us(), 0.0);
+  histogram.record(100.0);
+  histogram.record(300.0);
+  // Quantiles are bucketed, but the mean is exact over truncated samples.
+  EXPECT_EQ(histogram.sum(), 400.0);
+  EXPECT_EQ(histogram.mean_us(), 200.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+}
+
+TEST(ObsMetricsTest, MergeFromAddsBucketsAndSum) {
+  LatencyHistogram source;
+  source.record(700.0);
+  source.record(100000.0);
+  LatencyHistogram target;
+  target.record(700.0);
+  target.merge_from(source);
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_EQ(target.sum(), 700.0 + 700.0 + 100000.0);
+  EXPECT_EQ(target.quantile_us(0.5), 1024.0);
+  EXPECT_EQ(target.quantile_us(1.0), 131072.0);
+  // Merging leaves the source untouched.
+  EXPECT_EQ(source.count(), 2u);
+}
+
+TEST(ObsMetricsTest, RegistryHandsOutStableReferences) {
+  MetricRegistry& registry = MetricRegistry::instance();
+  Counter& a = registry.counter("obs_test.stable");
+  Counter& b = registry.counter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("obs_test.stable_gauge");
+  Gauge& g2 = registry.gauge("obs_test.stable_gauge");
+  EXPECT_EQ(&g1, &g2);
+  LatencyHistogram& h1 = registry.histogram("obs_test.stable_hist");
+  LatencyHistogram& h2 = registry.histogram("obs_test.stable_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsMetricsTest, RegistryRejectsCrossKindNameCollision) {
+  MetricRegistry& registry = MetricRegistry::instance();
+  registry.counter("obs_test.collision");
+  EXPECT_THROW(registry.gauge("obs_test.collision"), exareq::InvalidArgument);
+  EXPECT_THROW(registry.histogram("obs_test.collision"),
+               exareq::InvalidArgument);
+  registry.histogram("obs_test.collision_hist");
+  EXPECT_THROW(registry.counter("obs_test.collision_hist"),
+               exareq::InvalidArgument);
+}
+
+TEST(ObsMetricsTest, RenderTextListsSortedNameValueLines) {
+  MetricRegistry& registry = MetricRegistry::instance();
+  registry.reset();
+  registry.counter("obs_test.render_b").add(7);
+  registry.counter("obs_test.render_a").add(3);
+  registry.gauge("obs_test.render_gauge").set(1.5);
+  registry.histogram("obs_test.render_hist").record(700.0);
+  const std::string text = registry.render_text();
+  const std::size_t pos_a = text.find("obs_test.render_a 3\n");
+  const std::size_t pos_b = text.find("obs_test.render_b 7\n");
+  ASSERT_NE(pos_a, std::string::npos) << text;
+  ASSERT_NE(pos_b, std::string::npos) << text;
+  EXPECT_LT(pos_a, pos_b);  // sorted by name
+  EXPECT_NE(text.find("obs_test.render_gauge 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.render_hist count=1"), std::string::npos);
+  EXPECT_NE(text.find("p99_us=1024"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, RenderJsonNestsHistograms) {
+  MetricRegistry& registry = MetricRegistry::instance();
+  registry.reset();
+  registry.counter("obs_test.json_counter").add(5);
+  registry.histogram("obs_test.json_hist").record(700.0);
+  const std::string json = registry.render_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"obs_test.json_counter\": 5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"obs_test.json_hist\": {"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_us\":1024"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricRegistry& registry = MetricRegistry::instance();
+  Counter& counter = registry.counter("obs_test.reset_me");
+  counter.add(9);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&registry.counter("obs_test.reset_me"), &counter);
+}
+
+}  // namespace
+}  // namespace exareq::obs

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -14,6 +15,7 @@
 
 #include "cli/cli.hpp"
 #include "codesign/requirements.hpp"
+#include "obs/metrics.hpp"
 #include "model/serialize.hpp"
 #include "serve/socket_server.hpp"
 #include "serve_test_util.hpp"
@@ -234,12 +236,14 @@ TEST(ServeServerTest, StatusRequestAndReportExposeCounters) {
   EXPECT_NE(status.find("requests="), std::string::npos);
   EXPECT_NE(status.find("cache_misses=1"), std::string::npos) << status;
   EXPECT_NE(status.find("apps=2"), std::string::npos) << status;
+  EXPECT_NE(status.find("mean_us="), std::string::npos) << status;
 
   const std::string report = server.status_report();
-  for (const char* needle :
-       {"requests", "cache", "registry", "p99 latency", "hit rate"}) {
+  for (const char* needle : {"requests", "cache", "registry", "p99 latency",
+                             "mean latency", "hit rate"}) {
     EXPECT_NE(report.find(needle), std::string::npos) << needle;
   }
+  EXPECT_GT(server.metrics().mean_latency_us, 0.0);
 }
 
 TEST(ServeServerTest, StopDrainsAdmittedRequestsAndRejectsNewOnes) {
@@ -251,12 +255,24 @@ TEST(ServeServerTest, StopDrainsAdmittedRequestsAndRejectsNewOnes) {
     admitted.push_back(
         server.submit("eval alpha flops 4 " + std::to_string(32 + i)));
   }
+  const std::uint64_t published_before =
+      obs::MetricRegistry::instance().counter("serve.requests").value();
   server.stop();
   for (auto& response : admitted) {
     EXPECT_TRUE(starts_with(response.get(), "ok eval "));
   }
   const std::string rejected = server.handle("eval alpha flops 4 32");
   EXPECT_TRUE(starts_with(rejected, "error shutdown")) << rejected;
+
+  // stop() publishes this server's totals into the process-global registry
+  // exactly once (the destructor's stop() must not double-count).
+  auto& registry_metrics = obs::MetricRegistry::instance();
+  EXPECT_EQ(registry_metrics.counter("serve.requests").value(),
+            published_before + 16);
+  server.stop();
+  EXPECT_EQ(registry_metrics.counter("serve.requests").value(),
+            published_before + 16);
+  EXPECT_GE(registry_metrics.histogram("serve.latency_us").count(), 16u);
 }
 
 std::string unique_socket_path(const std::string& stem) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "support/error.hpp"
@@ -156,6 +157,87 @@ TEST(TaskDagTest, EmptyDagIsANoop) {
   dag.run_serial();
   ThreadPool pool(2);
   dag.run(pool);
+}
+
+TEST(TaskDagTest, NamedTaskErrorCarriesTaskName) {
+  // Regression: the rethrown error of a named task must name the task (a
+  // campaign failure should say which grid point died) while preserving the
+  // exareq exception type, identically in serial and parallel mode.
+  for (const bool parallel : {false, true}) {
+    TaskDag dag;
+    dag.add("measure p=4 n=32", [] {});
+    dag.add("measure p=8 n=32",
+            [] { throw NumericError("injected failure"); });
+    std::string message;
+    try {
+      if (parallel) {
+        ThreadPool pool(4);
+        dag.run(pool);
+      } else {
+        dag.run_serial();
+      }
+      FAIL() << "expected NumericError";
+    } catch (const NumericError& e) {
+      message = e.what();
+    }
+    EXPECT_EQ(message, "task 'measure p=8 n=32' failed: injected failure");
+  }
+}
+
+TEST(TaskDagTest, NamedTaskWrapPreservesExceptionType) {
+  const auto thrown_message = [](TaskDag& dag) {
+    try {
+      dag.run_serial();
+    } catch (const std::exception& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  {
+    TaskDag dag;
+    dag.add("t", [] { throw InvalidArgument("bad input"); });
+    EXPECT_THROW(dag.run_serial(), InvalidArgument);
+  }
+  {
+    TaskDag dag;
+    dag.add("t", [] { throw std::runtime_error("plain"); });
+    EXPECT_EQ(thrown_message(dag), "task 't' failed: plain");
+  }
+  {
+    // Unnamed tasks rethrow the original exception object untouched.
+    TaskDag dag;
+    dag.add([] { throw NumericError("untouched"); });
+    EXPECT_EQ(thrown_message(dag), "untouched");
+  }
+}
+
+TEST(TaskDagTest, SmallestFailingNamedTaskWinsInParallel) {
+  // The named wrap must not break the determinism contract: serial and
+  // parallel runs surface the same (smallest-id) task's error text.
+  const auto run_message = [](bool parallel) {
+    TaskDag dag;
+    for (int i = 0; i < 8; ++i) {
+      dag.add("task " + std::to_string(i), [i] {
+        if (i % 3 == 1) {
+          throw NumericError("failure " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      if (parallel) {
+        ThreadPool pool(4);
+        dag.run(pool);
+      } else {
+        dag.run_serial();
+      }
+    } catch (const NumericError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  const std::string serial = run_message(false);
+  EXPECT_EQ(serial, "task 'task 1' failed: failure 1");
+  EXPECT_EQ(run_message(true), serial);
 }
 
 }  // namespace
