@@ -8,12 +8,6 @@
 namespace exareq::model {
 namespace {
 
-double log2_clamped(double x) {
-  // Requirement model parameters satisfy x >= 1; log2(1) == 0 is the exact
-  // value and negative logs never arise.
-  return std::log2(x);
-}
-
 std::string exponent_suffix(double exponent) {
   if (exponent == 1.0) return "";
   if (std::floor(exponent) == exponent) {
@@ -42,17 +36,24 @@ std::string special_fn_name(SpecialFn fn) {
   return "";
 }
 
+double log2_clamped(double x) {
+  // Clamp to the PMNF domain edge: log2(1) == 0 exactly, and a stray x < 1
+  // (or NaN, which fails the comparison) can never inject a negative log or
+  // NaN/-inf into a term product.
+  return std::log2(x >= 1.0 ? x : 1.0);
+}
+
 double eval_special_fn(SpecialFn fn, double x) {
-  exareq::require(x >= 1.0, "eval_special_fn: parameter must be >= 1");
+  const double clamped = x >= 1.0 ? x : 1.0;  // NaN fails the comparison too
   switch (fn) {
     case SpecialFn::kNone:
       return 1.0;
     case SpecialFn::kAllreduce:
-      return 2.0 * log2_clamped(x);
+      return 2.0 * log2_clamped(clamped);
     case SpecialFn::kBcast:
-      return log2_clamped(x);
+      return log2_clamped(clamped);
     case SpecialFn::kAlltoall:
-      return 2.0 * (x - 1.0);
+      return 2.0 * (clamped - 1.0);
   }
   return 1.0;
 }
@@ -62,11 +63,15 @@ bool Factor::is_identity() const {
 }
 
 double Factor::evaluate(double x) const {
-  exareq::require(x >= 1.0, "Factor::evaluate: parameter must be >= 1");
+  return evaluate_with_log2(x, log2_clamped(x));
+}
+
+double Factor::evaluate_with_log2(double x, double log2_x) const {
   if (special != SpecialFn::kNone) return eval_special_fn(special, x);
+  const double clamped = x >= 1.0 ? x : 1.0;  // PMNF domain edge
   double value = 1.0;
-  if (poly_exponent != 0.0) value *= std::pow(x, poly_exponent);
-  if (log_exponent != 0.0) value *= std::pow(log2_clamped(x), log_exponent);
+  if (poly_exponent != 0.0) value *= std::pow(clamped, poly_exponent);
+  if (log_exponent != 0.0) value *= std::pow(log2_x, log_exponent);
   return value;
 }
 

@@ -22,7 +22,13 @@ enum class SpecialFn { kNone, kAllreduce, kBcast, kAlltoall };
 /// Human-readable name ("Allreduce" etc.); kNone yields an empty string.
 std::string special_fn_name(SpecialFn fn);
 
-/// Evaluates a special function at x >= 1.
+/// log2 clamped to the PMNF domain x >= 1: values below the domain edge
+/// (degenerate CSV rows, extrapolation probes at x < 1, even non-finite
+/// junk) evaluate as log2(1) = 0 instead of producing negative logs or
+/// NaN/-inf that would poison a term product.
+double log2_clamped(double x);
+
+/// Evaluates a special function; x below the domain edge is clamped to 1.
 double eval_special_fn(SpecialFn fn, double x);
 
 /// One single-parameter factor of a PMNF term: either
@@ -37,8 +43,15 @@ struct Factor {
   /// True for x^0 * log2(x)^0, which contributes nothing.
   bool is_identity() const;
 
-  /// Evaluates the factor at x; requires x >= 1.
+  /// Evaluates the factor at x. The PMNF domain is x >= 1 (process counts,
+  /// problem sizes); values below the domain edge are clamped to it, so the
+  /// result is always finite for finite input.
   double evaluate(double x) const;
+
+  /// Same evaluation with the caller supplying log2_clamped(x) — the hook
+  /// the term cache uses to reuse one fused log2 table across every factor
+  /// of a parameter. Bit-identical to evaluate(x).
+  double evaluate_with_log2(double x, double log2_x) const;
 
   /// Complexity proxy used for tie-breaking during model selection:
   /// simpler shapes (smaller exponents) are preferred among equals.

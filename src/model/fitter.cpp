@@ -62,10 +62,15 @@ struct CoefficientFit {
   bool admissible = false;
 };
 
+/// `scale` is the full data set's observation scale: the near-zero floor of
+/// the relative-residual weights is anchored to the data set, not to the
+/// row subset, so a leave-one-out fold weighs each surviving row exactly
+/// like the full fit does (and like the batched downdate path, which shares
+/// one factorization across all folds, must).
 CoefficientFit fit_coefficients(std::span<const double> values,
                                 const Columns& columns,
                                 std::span<const std::size_t> rows,
-                                const FitOptions& options,
+                                const FitOptions& options, double scale,
                                 std::atomic<std::size_t>& solves) {
   CoefficientFit fit;
   if (rows.size() < columns.size() + 1) return fit;  // underdetermined
@@ -77,7 +82,6 @@ CoefficientFit fit_coefficients(std::span<const double> values,
   solves.fetch_add(1, std::memory_order_relaxed);
   LeastSquaresResult solved;
   if (options.relative_residuals) {
-    const double scale = observation_scale(y);
     std::vector<double> weights(rows.size());
     for (std::size_t r = 0; r < rows.size(); ++r) {
       weights[r] = 1.0 / std::max(std::fabs(y[r]), 1e-9 * scale);
@@ -154,6 +158,8 @@ EngineStats& EngineStats::operator+=(const EngineStats& other) {
   hypotheses_scored += other.hypotheses_scored;
   score_cache_hits += other.score_cache_hits;
   cv_solves += other.cv_solves;
+  qr_extensions += other.qr_extensions;
+  downdates += other.downdates;
   basis_column_hits += other.basis_column_hits;
   basis_columns_built += other.basis_columns_built;
   wall_seconds += other.wall_seconds;
@@ -169,8 +175,19 @@ struct FitEngine::Impl {
   std::atomic<std::size_t> hypotheses{0};
   std::atomic<std::size_t> score_hits{0};
   std::atomic<std::size_t> solves{0};
+  std::atomic<std::size_t> extension_count{0};
+  std::atomic<std::size_t> downdate_count{0};
   std::mutex memo_mutex;
   std::unordered_map<std::string, double> score_memo;
+
+  // Precomputed once per engine: the fitter's weighted view of the data.
+  // The batched path factors [w*1, w*col_1, ...] against w*y directly, so
+  // the row weights and weighted observations are shared by every
+  // hypothesis the engine ever scores.
+  double obs_scale = 1.0;
+  std::vector<double> row_weights;       ///< empty when absolute residuals
+  std::vector<double> intercept_column;  ///< w (or all-ones)
+  std::vector<double> weighted_values;   ///< w*y (or y)
 
   Impl(const MeasurementSet& data_in, const FitOptions& options_in)
       : data(data_in), options(options_in), cache(data_in) {
@@ -178,6 +195,19 @@ struct FitEngine::Impl {
       options.threads = exareq::ThreadPool::hardware_threads();
     }
     if (options.threads > 1) pool = &exareq::shared_pool(options.threads);
+    obs_scale = observation_scale(data.values());
+    const std::size_t m = data.size();
+    intercept_column.assign(m, 1.0);
+    weighted_values.assign(data.values().begin(), data.values().end());
+    if (options.relative_residuals) {
+      row_weights.resize(m);
+      for (std::size_t r = 0; r < m; ++r) {
+        row_weights[r] =
+            1.0 / std::max(std::fabs(data.value(r)), 1e-9 * obs_scale);
+        intercept_column[r] = row_weights[r];
+        weighted_values[r] *= row_weights[r];
+      }
+    }
   }
 
   /// Runs body(i) for i in [0, count), on the pool when attached. Bodies
@@ -199,10 +229,110 @@ struct FitEngine::Impl {
     return columns;
   }
 
+  /// Coefficient-stability guard shared by both CV paths: every term must
+  /// be estimable consistently from any m-1 of the measurements.
+  bool coefficients_stable(
+      const std::vector<std::vector<double>>& fold_coefficients) const {
+    for (const std::vector<double>& folds : fold_coefficients) {
+      if (folds.size() < 2) continue;
+      const double mean_coefficient = exareq::mean(folds);
+      const double spread = exareq::stddev(folds);
+      if (spread > options.max_coefficient_spread *
+                       std::max(std::fabs(mean_coefficient), 1e-300)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The candidate column in the weighted problem: w .* column.
+  std::vector<double> weighted_copy(const std::vector<double>& column) const {
+    std::vector<double> out(column);
+    if (!row_weights.empty()) {
+      for (std::size_t r = 0; r < out.size(); ++r) out[r] *= row_weights[r];
+    }
+    return out;
+  }
+
+  /// Factors the weighted design [w*1, w*col_1, ..., w*col_k] against w*y,
+  /// retaining the reflectors so callers can extend or downdate it.
+  RetainedQr factor_basis(const Columns& columns) const {
+    RetainedQr qr(data.size(), weighted_values);
+    qr.append_column(intercept_column);
+    for (const std::vector<double>* column : columns) {
+      if (qr.rank_deficient()) break;
+      qr.append_column(weighted_copy(*column));
+    }
+    return qr;
+  }
+
+  /// LOO score from an already-solved factorization: admissibility of the
+  /// full fit, then one rank-one downdate per fold instead of a refit.
+  /// Checks per fold mirror the scalar path exactly — finiteness,
+  /// non-negativity, the leverage guard standing in for per-fold rank
+  /// deficiency — so both paths reject the same hypotheses.
+  double cv_from_factored(const RetainedQr& qr, const Columns& columns) {
+    const std::size_t m = data.size();
+    const std::size_t k = columns.size();
+    const std::vector<double>& beta = qr.solution();
+    for (double c : beta) {
+      if (!std::isfinite(c)) return kInfinity;
+    }
+    if (options.require_nonnegative) {
+      for (std::size_t c = 1; c <= k; ++c) {
+        if (beta[c] < 0.0) return kInfinity;
+      }
+    }
+
+    double total = 0.0;
+    std::vector<double> fold(k + 1);
+    std::vector<std::vector<double>> fold_coefficients(k);
+    for (std::size_t left_out = 0; left_out < m; ++left_out) {
+      downdate_count.fetch_add(1, std::memory_order_relaxed);
+      double loo_residual = 0.0;
+      if (!qr.leave_one_out(left_out, fold, &loo_residual)) return kInfinity;
+      for (double c : fold) {
+        if (!std::isfinite(c)) return kInfinity;
+      }
+      if (options.require_nonnegative) {
+        for (std::size_t c = 1; c <= k; ++c) {
+          if (fold[c] < 0.0) return kInfinity;
+        }
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        fold_coefficients[c].push_back(fold[c + 1]);
+      }
+      // The fold's prediction error comes from the PRESS residual, not
+      // from re-summing the downdated coefficients — the factored form is
+      // exact where the coefficient reconstruction cancels on near-exact
+      // fits. The residual lives in the weighted problem; dividing by the
+      // row weight (== 1 / relative_error's denominator) takes it back.
+      const double weight = row_weights.empty() ? 1.0 : row_weights[left_out];
+      const double predicted = data.value(left_out) - loo_residual / weight;
+      total += relative_error(predicted, data.value(left_out), obs_scale);
+    }
+    if (!coefficients_stable(fold_coefficients)) return kInfinity;
+    return total / static_cast<double>(m);
+  }
+
+  /// Batched CV: one retained QR for the whole hypothesis, m downdates.
+  double compute_cv_batched(const std::vector<Term>& basis) {
+    const std::size_t m = data.size();
+    if (m < basis.size() + 2) return kInfinity;
+    const Columns columns = columns_for(basis);
+    solves.fetch_add(1, std::memory_order_relaxed);
+    RetainedQr qr = factor_basis(columns);
+    if (qr.rank_deficient()) return kInfinity;
+    qr.solve();
+    return cv_from_factored(qr, columns);
+  }
+
   /// The CV computation proper; `full_fit` lets refit() share its full-data
-  /// solve instead of repeating it.
+  /// solve instead of repeating it (scalar mode only — the batched path
+  /// needs its own factorization for the downdates anyway).
   double compute_cv(const std::vector<Term>& basis,
                     const CoefficientFit* full_fit) {
+    if (options.batched_cv) return compute_cv_batched(basis);
     const std::size_t m = data.size();
     // Need at least one spare point beyond the coefficients to leave out.
     if (m < basis.size() + 2) return kInfinity;
@@ -214,12 +344,11 @@ struct FitEngine::Impl {
     CoefficientFit local;
     if (full_fit == nullptr) {
       local = fit_coefficients(data.values(), columns, all_rows(m), options,
-                               solves);
+                               obs_scale, solves);
       full_fit = &local;
     }
     if (!full_fit->admissible) return kInfinity;
 
-    const double scale = observation_scale(data.values());
     double total = 0.0;
     std::vector<std::size_t> subset;
     subset.reserve(m - 1);
@@ -229,29 +358,31 @@ struct FitEngine::Impl {
       for (std::size_t r = 0; r < m; ++r) {
         if (r != left_out) subset.push_back(r);
       }
-      const CoefficientFit fit =
-          fit_coefficients(data.values(), columns, subset, options, solves);
+      const CoefficientFit fit = fit_coefficients(data.values(), columns,
+                                                  subset, options, obs_scale,
+                                                  solves);
       if (!fit.admissible) return kInfinity;
       double predicted = fit.constant;
       for (std::size_t c = 0; c < basis.size(); ++c) {
         predicted += fit.coefficients[c] * (*columns[c])[left_out];
         fold_coefficients[c].push_back(fit.coefficients[c]);
       }
-      total += relative_error(predicted, data.value(left_out), scale);
+      total += relative_error(predicted, data.value(left_out), obs_scale);
     }
-
-    // Coefficient-stability guard: every term must be estimable
-    // consistently from any m-1 of the measurements.
-    for (const std::vector<double>& folds : fold_coefficients) {
-      if (folds.size() < 2) continue;
-      const double mean_coefficient = exareq::mean(folds);
-      const double spread = exareq::stddev(folds);
-      if (spread > options.max_coefficient_spread *
-                       std::max(std::fabs(mean_coefficient), 1e-300)) {
-        return kInfinity;
-      }
-    }
+    if (!coefficients_stable(fold_coefficients)) return kInfinity;
     return total / static_cast<double>(m);
+  }
+
+  /// CV scores this far below the convergence tolerance measure rounding
+  /// noise, not model quality: their exact digits depend on the CV
+  /// algorithm (per-fold refits vs rank-one downdates). Collapsing them to
+  /// exactly 0 makes every numerically-exact hypothesis an exact tie, so
+  /// selection among them falls to the deterministic tie-breaks
+  /// (complexity, pool order) and both CV paths pick the same model.
+  static constexpr double kNumericallyZero = 1e-8;
+
+  double selection_score(double score) const {
+    return score < kNumericallyZero ? 0.0 : score;
   }
 
   double cv_score(const std::vector<Term>& basis,
@@ -266,12 +397,93 @@ struct FitEngine::Impl {
         return it->second;
       }
     }
-    const double score = compute_cv(basis, full_fit);
+    const double score = selection_score(compute_cv(basis, full_fit));
     {
       const std::lock_guard<std::mutex> lock(memo_mutex);
       score_memo.emplace(key, score);
     }
     return score;
+  }
+
+  /// Scores the whole generation selected + extensions[j]: the shared
+  /// prefix [w*1, w*selected...] is factored once, and each candidate
+  /// extends a copy of it by a single Householder column update. Appending
+  /// columns one at a time is arithmetically the same factorization
+  /// cv_score would build for the full trial, so the memoized scores are
+  /// bit-identical between the two entry points.
+  std::vector<double> score_extensions_batch(
+      const std::vector<Term>& selected, const std::vector<Term>& extensions) {
+    std::vector<double> scores(extensions.size(), kInfinity);
+    if (extensions.empty()) return scores;
+    if (!options.batched_cv) {
+      // Scalar mode: the historical per-candidate scoring loop.
+      for_each_index(extensions.size(), [&](std::size_t j) {
+        std::vector<Term> trial = selected;
+        trial.push_back(extensions[j]);
+        scores[j] = cv_score(trial);
+      });
+      return scores;
+    }
+
+    hypotheses.fetch_add(extensions.size(), std::memory_order_relaxed);
+    const std::string prefix_key = basis_key(selected);
+    std::vector<std::string> keys(extensions.size());
+    std::vector<std::size_t> missing;
+    std::vector<Term> one_term(1);
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex);
+      for (std::size_t j = 0; j < extensions.size(); ++j) {
+        one_term[0] = extensions[j];
+        // basis_key concatenates per-term keys, so prefix + one more term
+        // keys identically to basis_key of the whole trial.
+        keys[j] = prefix_key;
+        keys[j] += basis_key(one_term);
+        const auto it = score_memo.find(keys[j]);
+        if (it != score_memo.end()) {
+          score_hits.fetch_add(1, std::memory_order_relaxed);
+          scores[j] = it->second;
+        } else {
+          missing.push_back(j);
+        }
+      }
+    }
+    if (missing.empty()) return scores;
+
+    const std::size_t m = data.size();
+    std::vector<double> fresh(missing.size(), kInfinity);
+    // Every trial has selected.size() + 2 coefficients; with fewer points
+    // than that plus a spare, or with a dependent prefix, all candidates
+    // are inadmissible at once and the defaults (+inf) stand.
+    if (m >= selected.size() + 3) {
+      const Columns prefix_columns = columns_for(selected);
+      // The generation's one from-scratch factorization; every candidate
+      // below extends it by a single Householder column, which costs a
+      // column update, not a solve.
+      solves.fetch_add(1, std::memory_order_relaxed);
+      const RetainedQr prefix = factor_basis(prefix_columns);
+      if (!prefix.rank_deficient()) {
+        for_each_index(missing.size(), [&](std::size_t idx) {
+          const Term& extension = extensions[missing[idx]];
+          const std::vector<double>& column = cache.column(extension);
+          extension_count.fetch_add(1, std::memory_order_relaxed);
+          RetainedQr qr = prefix;
+          qr.append_column(weighted_copy(column));
+          if (qr.rank_deficient()) return;  // fresh[idx] stays +inf
+          qr.solve();
+          Columns trial_columns = prefix_columns;
+          trial_columns.push_back(&column);
+          fresh[idx] = selection_score(cv_from_factored(qr, trial_columns));
+        });
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(memo_mutex);
+      for (std::size_t idx = 0; idx < missing.size(); ++idx) {
+        scores[missing[idx]] = fresh[idx];
+        score_memo.emplace(keys[missing[idx]], fresh[idx]);
+      }
+    }
+    return scores;
   }
 };
 
@@ -289,13 +501,19 @@ double FitEngine::cv_score(const std::vector<Term>& basis) {
   return impl_->cv_score(basis);
 }
 
+std::vector<double> FitEngine::score_extensions(
+    const std::vector<Term>& selected, const std::vector<Term>& extensions) {
+  return impl_->score_extensions_batch(selected, extensions);
+}
+
 FitResult FitEngine::refit(const std::vector<Term>& basis) {
   exareq::require(!impl_->data.empty(), "refit_hypothesis: empty measurement set");
+  const auto started = std::chrono::steady_clock::now();
   const auto rows = all_rows(impl_->data.size());
   const Columns columns = impl_->columns_for(basis);
   const CoefficientFit fit = fit_coefficients(impl_->data.values(), columns,
                                               rows, impl_->options,
-                                              impl_->solves);
+                                              impl_->obs_scale, impl_->solves);
   if (!fit.admissible) {
     throw exareq::NumericError(
         "refit_hypothesis: hypothesis inadmissible for this data "
@@ -306,6 +524,9 @@ FitResult FitEngine::refit(const std::vector<Term>& basis) {
   result.quality = evaluate_quality(impl_->data, result.model,
                                     impl_->cv_score(basis, &fit));
   result.stats = stats();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   return result;
 }
 
@@ -314,6 +535,8 @@ EngineStats FitEngine::stats() const {
   snapshot.hypotheses_scored = impl_->hypotheses.load();
   snapshot.score_cache_hits = impl_->score_hits.load();
   snapshot.cv_solves = impl_->solves.load();
+  snapshot.qr_extensions = impl_->extension_count.load();
+  snapshot.downdates = impl_->downdate_count.load();
   snapshot.basis_column_hits = impl_->cache.hits();
   snapshot.basis_columns_built = impl_->cache.misses();
   snapshot.threads = impl_->options.threads;
@@ -356,9 +579,11 @@ bool duplicates_selected(const std::vector<Term>& selected, const Term& term,
 }
 
 /// Scores every pool term as an extension of `selected` (duplicates and
-/// inadmissible hypotheses excluded), best score first. Candidates are
-/// scored in parallel across the engine's pool; the ranking itself is a
-/// serial reduction in pool order, so the result is thread-count invariant.
+/// inadmissible hypotheses excluded), best score first. The whole
+/// generation goes through the engine's batched scorer — one shared-prefix
+/// factorization, one column update per candidate — with candidates running
+/// in parallel across the engine's pool; the ranking itself is a serial
+/// reduction in pool order, so the result is thread-count invariant.
 std::vector<ScoredCandidate> score_extensions(FitEngine::Impl& engine,
                                               const std::vector<Term>& pool,
                                               const std::vector<Term>& selected) {
@@ -367,16 +592,15 @@ std::vector<ScoredCandidate> score_extensions(FitEngine::Impl& engine,
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (!duplicates_selected(selected, pool[i])) eligible.push_back(i);
   }
-  std::vector<double> scores(eligible.size(), kInfinity);
+  std::vector<Term> extensions;
+  extensions.reserve(eligible.size());
+  for (std::size_t index : eligible) extensions.push_back(pool[index]);
+  std::vector<double> scores;
   {
     obs::ScopedSpan span("score_extensions", "model");
     span.arg("candidates", static_cast<double>(eligible.size()));
     span.arg("selected_terms", static_cast<double>(selected.size()));
-    engine.for_each_index(eligible.size(), [&](std::size_t j) {
-      std::vector<Term> trial = selected;
-      trial.push_back(pool[eligible[j]]);
-      scores[j] = engine.cv_score(trial);
-    });
+    scores = engine.score_extensions_batch(selected, extensions);
   }
 
   std::vector<ScoredCandidate> candidates;
@@ -511,6 +735,7 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   FitEngine::Impl& engine = *engine_handle.impl_;
   const MeasurementSet& data = engine.data;
   const FitOptions& options = engine.options;
+  const auto started = std::chrono::steady_clock::now();
   obs::ScopedSpan span("fit_with_pool", "model");
   span.arg("pool_terms", static_cast<double>(pool.size()));
   span.arg("points", static_cast<double>(data.size()));
@@ -582,7 +807,7 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
     pruned = false;
     const CoefficientFit trial_fit =
         fit_coefficients(data.values(), engine.columns_for(selected), rows,
-                         options, engine.solves);
+                         options, engine.obs_scale, engine.solves);
     if (!trial_fit.admissible) break;
     const Model trial_model = make_model(data, selected, trial_fit);
     for (std::size_t t = 0; t < selected.size(); ++t) {
@@ -612,8 +837,9 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
     }
   }
 
-  CoefficientFit fit = fit_coefficients(
-      data.values(), engine.columns_for(selected), rows, options, engine.solves);
+  CoefficientFit fit =
+      fit_coefficients(data.values(), engine.columns_for(selected), rows,
+                       options, engine.obs_scale, engine.solves);
   if (!fit.admissible) {
     // Degenerate data (fewer points than coefficients was excluded by the
     // CV admissibility test, so this only happens for the constant case on
@@ -628,6 +854,9 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   result.model = make_model(data, selected, fit);
   result.quality = evaluate_quality(data, result.model, current_score);
   result.stats = engine_handle.stats();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
 
   // Publish this call's share of the engine counters (the engine may be
   // reused, so the registry gets the delta, not the running totals). The
@@ -641,6 +870,9 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   static obs::Counter& cache_hits_counter =
       metrics.counter("model.score_cache_hits");
   static obs::Counter& cv_solves_counter = metrics.counter("model.cv_solves");
+  static obs::Counter& extensions_counter =
+      metrics.counter("model.qr_extensions");
+  static obs::Counter& downdates_counter = metrics.counter("model.downdates");
   static obs::Counter& columns_counter =
       metrics.counter("model.basis_columns_built");
   fits_counter.add(1);
@@ -649,10 +881,17 @@ FitResult fit_with_pool_engine(FitEngine& engine_handle,
   cache_hits_counter.add(result.stats.score_cache_hits -
                          stats_before.score_cache_hits);
   cv_solves_counter.add(result.stats.cv_solves - stats_before.cv_solves);
+  extensions_counter.add(result.stats.qr_extensions -
+                         stats_before.qr_extensions);
+  downdates_counter.add(result.stats.downdates - stats_before.downdates);
   columns_counter.add(result.stats.basis_columns_built -
                       stats_before.basis_columns_built);
   span.arg("cv_solves", static_cast<double>(result.stats.cv_solves -
                                             stats_before.cv_solves));
+  span.arg("qr_extensions", static_cast<double>(result.stats.qr_extensions -
+                                                stats_before.qr_extensions));
+  span.arg("downdates", static_cast<double>(result.stats.downdates -
+                                            stats_before.downdates));
   span.arg("selected_terms", static_cast<double>(selected.size()));
   return result;
 }

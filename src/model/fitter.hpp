@@ -37,7 +37,11 @@ struct FitOptions {
   /// model already explains the data to measurement precision, and further
   /// terms would chase sub-noise residuals. The default corresponds to a
   /// 0.05% relative error, well below the reproducibility of real hardware
-  /// counters.
+  /// counters. Scores below 1e-8 (far under this bound) are reported as
+  /// exactly 0: their digits measure rounding noise, and collapsing them
+  /// makes selection among numerically-exact hypotheses a deterministic
+  /// tie-break on complexity instead of a coin flip on last-ulp CV
+  /// differences between the batched and scalar engines.
   double score_tolerance = 5e-4;
   /// Reject hypotheses whose fitted term coefficients are negative;
   /// requirement metrics are counts and cannot shrink below zero.
@@ -64,6 +68,16 @@ struct FitOptions {
   /// measurements, while a noise-chasing term's coefficient is dictated by
   /// whichever points happen to be in the fold.
   double max_coefficient_spread = 0.5;
+  /// Score hypotheses on the batched engine: one retained QR per
+  /// factorization with every leave-one-out fold obtained by a rank-one
+  /// downdate, and candidate generations extending a shared selected-prefix
+  /// factorization — O(candidates) solves instead of
+  /// O(candidates x folds). False falls back to the per-fold scalar refits
+  /// (the differential-oracle reference and the bench baseline). Both modes
+  /// select the same models; scores agree to ~1e-12 relative (the batched
+  /// path solves the same equations along an algebraically equivalent
+  /// route, so only last-ulp rounding differs).
+  bool batched_cv = true;
   /// Number of first-term candidates the search branches on. PMNF grids
   /// contain near-degenerate shapes (x^1.125 vs x * log2(x) over narrow
   /// ranges); a purely greedy first pick can trap the search in a mixture
@@ -83,7 +97,13 @@ struct FitOptions {
 struct EngineStats {
   std::size_t hypotheses_scored = 0;  ///< CV scorings requested (incl. memo hits)
   std::size_t score_cache_hits = 0;   ///< served from the hypothesis-score memo
-  std::size_t cv_solves = 0;          ///< least-squares solves actually run
+  /// Least-squares factorizations built from scratch. Candidate extensions
+  /// that reuse a retained prefix factorization are not solves — they cost
+  /// one Householder column, not a refactorization — and are counted in
+  /// qr_extensions instead.
+  std::size_t cv_solves = 0;
+  std::size_t qr_extensions = 0;      ///< single-column prefix extensions (batched mode)
+  std::size_t downdates = 0;          ///< rank-one LOO downdates (batched mode)
   std::size_t basis_column_hits = 0;  ///< basis columns served from the cache
   std::size_t basis_columns_built = 0;  ///< distinct basis columns evaluated
   double wall_seconds = 0.0;          ///< wall time of the fit
@@ -136,13 +156,24 @@ class FitEngine {
   /// Memoized leave-one-out CV score of a basis (+inf when inadmissible).
   double cv_score(const std::vector<Term>& basis);
 
+  /// Scores one hypothesis generation as a block: the CV score of
+  /// `selected` + extensions[j] for every j, in extension order (+inf for
+  /// inadmissible candidates). In batched mode the shared selected-prefix
+  /// is QR-factored once and each candidate appends a single column to a
+  /// copy — numerically identical to scoring each trial through cv_score,
+  /// which is the per-candidate fallback in scalar mode. Memoized and
+  /// thread-safe like cv_score; candidates run on the engine's pool.
+  std::vector<double> score_extensions(const std::vector<Term>& selected,
+                                       const std::vector<Term>& extensions);
+
   /// Full-data refit of a fixed basis; the full-fit admissibility check is
   /// shared with the CV scoring so the solve counters do not double-count.
-  /// Throws NumericError when the basis is inadmissible.
+  /// Throws NumericError when the basis is inadmissible. Fills
+  /// stats.wall_seconds with this call's duration.
   FitResult refit(const std::vector<Term>& basis);
 
-  /// Snapshot of the counters (wall_seconds stays 0; timing belongs to the
-  /// fit driver that owns the engine).
+  /// Snapshot of the counters (wall_seconds stays 0; the fit drivers stamp
+  /// their own duration into the results they return).
   EngineStats stats() const;
 
   /// Opaque implementation; defined in fitter.cpp where the search helpers

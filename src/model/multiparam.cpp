@@ -60,6 +60,7 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
                                            EngineStats* stats_out) {
   exareq::require(slice.parameter_count() == 1,
                   "rank_candidate_factors: slice must be single-parameter");
+  const auto started = std::chrono::steady_clock::now();
   obs::ScopedSpan span("rank_candidate_factors", "model");
   span.arg("parameter", static_cast<double>(parameter));
   span.arg("slice_points", static_cast<double>(slice.size()));
@@ -81,23 +82,20 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
   }
 
   // One engine per slice: the ranking, and below it the greedy slice fit,
-  // share the basis-column cache and score memo. Candidate factors are
-  // scored in parallel into an index-addressed array; ranking itself is a
-  // serial stable sort, so the result is thread-count invariant.
+  // share the basis-column cache and score memo. All single-factor
+  // candidates are scored as one batch (empty selected prefix) through the
+  // engine's generation scorer, in parallel on its pool; ranking itself is
+  // a serial stable sort, so the result is thread-count invariant.
   FitEngine engine(slice, options.fit);
-  std::vector<double> scores(candidates.size(),
-                             std::numeric_limits<double>::infinity());
-  const auto score_one = [&](std::size_t i) {
+  std::vector<Term> candidate_terms;
+  candidate_terms.reserve(candidates.size());
+  for (const Factor& factor : candidates) {
     Term term;
     term.coefficient = 1.0;
-    term.factors = {candidates[i]};
-    scores[i] = engine.cv_score({term});
-  };
-  if (exareq::ThreadPool* pool = engine.pool()) {
-    pool->parallel_for(candidates.size(), score_one);
-  } else {
-    for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+    term.factors = {factor};
+    candidate_terms.push_back(std::move(term));
   }
+  const std::vector<double> scores = engine.score_extensions({}, candidate_terms);
 
   struct Scored {
     Factor factor;
@@ -148,7 +146,14 @@ std::vector<Factor> rank_candidate_factors(const MeasurementSet& slice,
   }
 
   for (Factor& factor : ranked) factor.parameter = parameter;
-  if (stats_out != nullptr) *stats_out += engine.stats();
+  if (stats_out != nullptr) {
+    EngineStats slice_stats = engine.stats();
+    slice_stats.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    *stats_out += slice_stats;
+  }
   return ranked;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "support/error.hpp"
+
 namespace exareq::model {
 namespace {
 
@@ -31,7 +33,47 @@ std::string basis_key(const std::vector<Term>& basis) {
   return key;
 }
 
-TermCache::TermCache(const MeasurementSet& data) : data_(&data) {}
+TermCache::TermCache(const MeasurementSet& data) : data_(&data) {
+  // Fused log2 tables: one log2_clamped per (parameter, coordinate), paid
+  // once up front; every factor column evaluation below reads from them.
+  log2_tables_.resize(data.parameter_count());
+  for (std::size_t l = 0; l < log2_tables_.size(); ++l) {
+    std::vector<double>& table = log2_tables_[l];
+    table.reserve(data.size());
+    for (const Coordinate& x : data.coordinates()) {
+      table.push_back(log2_clamped(x[l]));
+    }
+  }
+}
+
+const std::vector<double>& TermCache::log2_table(std::size_t parameter) const {
+  exareq::require(parameter < log2_tables_.size(),
+                  "TermCache::log2_table: parameter out of range");
+  return log2_tables_[parameter];
+}
+
+const std::vector<double>& TermCache::factor_column_locked(const Factor& factor) {
+  std::string key;
+  append_factor(key, factor);
+  const auto it = factor_columns_.find(key);
+  if (it != factor_columns_.end()) return *it->second;
+  exareq::require(factor.parameter < log2_tables_.size(),
+                  "TermCache: factor parameter out of range");
+  const std::vector<double>& log2s = log2_tables_[factor.parameter];
+  auto values = std::make_unique<std::vector<double>>();
+  values->reserve(data_->size());
+  for (std::size_t r = 0; r < data_->size(); ++r) {
+    values->push_back(
+        factor.evaluate_with_log2(data_->coordinate(r)[factor.parameter],
+                                  log2s[r]));
+  }
+  return *factor_columns_.emplace(key, std::move(values)).first->second;
+}
+
+const std::vector<double>& TermCache::factor_column(const Factor& factor) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factor_column_locked(factor);
+}
 
 const std::vector<double>& TermCache::column(const Term& term) {
   std::string key;
@@ -43,10 +85,12 @@ const std::vector<double>& TermCache::column(const Term& term) {
     return *it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto values = std::make_unique<std::vector<double>>();
-  values->reserve(data_->size());
-  for (const Coordinate& x : data_->coordinates()) {
-    values->push_back(term.evaluate_basis(x));
+  // Ordered product of the factor columns — the same multiplications, in
+  // the same order, as Term::evaluate_basis per coordinate.
+  auto values = std::make_unique<std::vector<double>>(data_->size(), 1.0);
+  for (const Factor& factor : term.factors) {
+    const std::vector<double>& part = factor_column_locked(factor);
+    for (std::size_t r = 0; r < values->size(); ++r) (*values)[r] *= part[r];
   }
   return *columns_.emplace(key, std::move(values)).first->second;
 }

@@ -92,12 +92,14 @@ std::string render_assessment(const RequirementModels& models) {
 }
 
 std::string render_engine_stats(const RequirementModels& models) {
-  TextTable table({"Fit", "Hypotheses", "CV solves", "Cache hit %", "Wall [ms]"});
+  TextTable table({"Fit", "Hypotheses", "CV solves", "Extensions", "Downdates",
+                   "Cache hit %", "Wall [ms]"});
   table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
-                       Align::kRight});
+                       Align::kRight, Align::kRight, Align::kRight});
   const auto add = [&](const std::string& label, const model::EngineStats& s) {
     table.add_row({label, format_count(s.hypotheses_scored),
-                   format_count(s.cv_solves),
+                   format_count(s.cv_solves), format_count(s.qr_extensions),
+                   format_count(s.downdates),
                    format_fixed(100.0 * s.cache_hit_rate(), 1),
                    format_fixed(1e3 * s.wall_seconds, 1)});
   };

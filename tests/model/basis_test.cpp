@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -33,8 +34,37 @@ TEST(BasisTest, EvaluationAtOneIsWellDefined) {
   EXPECT_DOUBLE_EQ(pmnf_factor(0, 0.0, 0.5).evaluate(1.0), 0.0);
 }
 
-TEST(BasisTest, RejectsParameterBelowOne) {
-  EXPECT_THROW(pmnf_factor(0, 1.0, 0.0).evaluate(0.5), exareq::InvalidArgument);
+TEST(BasisTest, Log2ClampedClampsToTheDomainEdge) {
+  // Regression: log2_clamped must actually clamp — CSV-fed values below 1
+  // used to produce negative logs, and x <= 0 NaN/-inf.
+  EXPECT_DOUBLE_EQ(log2_clamped(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(-4.0), 0.0);
+  EXPECT_DOUBLE_EQ(log2_clamped(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(BasisTest, ClampsParameterBelowDomainEdge) {
+  // Values below the PMNF domain evaluate at the edge x = 1 instead of
+  // poisoning term products: x^e -> 1, log2(x)^e -> 0.
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 1.0, 0.0).evaluate(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 1.5, 0.0).evaluate(-3.0), 1.0);
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 0.0, 1.0).evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(pmnf_factor(0, 2.0, 1.0).evaluate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(special_factor(0, SpecialFn::kAllreduce).evaluate(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(special_factor(0, SpecialFn::kAlltoall).evaluate(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(eval_special_fn(SpecialFn::kBcast, -1.0), 0.0);
+}
+
+TEST(BasisTest, EvaluateWithLog2MatchesEvaluate) {
+  for (double x : {1.0, 2.0, 5.0, 16.0, 1000.0}) {
+    for (const Factor& f :
+         {pmnf_factor(0, 1.5, 1.0), pmnf_factor(0, 0.0, 2.0),
+          pmnf_factor(0, 0.25, 0.0), special_factor(0, SpecialFn::kAllreduce)}) {
+      EXPECT_DOUBLE_EQ(f.evaluate_with_log2(x, log2_clamped(x)), f.evaluate(x));
+    }
+  }
 }
 
 TEST(BasisTest, AllreduceMatchesRecursiveDoublingCost) {

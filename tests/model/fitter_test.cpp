@@ -285,8 +285,26 @@ TEST(FitterTest, EngineStatsCountTheSearch) {
 }
 
 TEST(FitterTest, EngineRefitSolvesOncePerFoldPlusFull) {
-  // refit shares the full-fit admissibility check with the CV scoring: one
-  // full solve plus one per leave-one-out fold, never a double-solve.
+  // Scalar mode pins the historical cost model: refit shares the full-fit
+  // admissibility check with the CV scoring — one full solve plus one per
+  // leave-one-out fold, never a double-solve.
+  const auto data =
+      sample_1d(kProcessCounts, [](double v) { return 4.0 * v + 100.0; });
+  Term linear;
+  linear.coefficient = 1.0;
+  linear.factors = {pmnf_factor(0, 1.0, 0.0)};
+  FitOptions scalar;
+  scalar.batched_cv = false;
+  FitEngine engine(data, scalar);
+  const FitResult result = engine.refit({linear});
+  EXPECT_NEAR(result.model.terms()[0].coefficient, 4.0, 1e-9);
+  EXPECT_EQ(engine.stats().cv_solves, data.size() + 1);
+  EXPECT_EQ(engine.stats().downdates, 0u);
+}
+
+TEST(FitterTest, BatchedRefitSolvesOncePlusDowndates) {
+  // Batched mode replaces the per-fold refits with rank-one downdates: one
+  // scalar coefficient solve, one retained-QR factorization, m downdates.
   const auto data =
       sample_1d(kProcessCounts, [](double v) { return 4.0 * v + 100.0; });
   Term linear;
@@ -295,7 +313,87 @@ TEST(FitterTest, EngineRefitSolvesOncePerFoldPlusFull) {
   FitEngine engine(data, FitOptions{});
   const FitResult result = engine.refit({linear});
   EXPECT_NEAR(result.model.terms()[0].coefficient, 4.0, 1e-9);
-  EXPECT_EQ(engine.stats().cv_solves, data.size() + 1);
+  EXPECT_EQ(engine.stats().cv_solves, 2u);
+  EXPECT_EQ(engine.stats().qr_extensions, 0u);  // refit never extends a prefix
+  EXPECT_EQ(engine.stats().downdates, data.size());
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+}
+
+TEST(FitterTest, BatchedAndScalarScoringAgree) {
+  // The two CV engines solve the same least-squares problems along
+  // different algebraic routes; scores agree to ~1e-12 relative and the
+  // admissibility verdict (finite vs +inf) is identical.
+  const std::vector<double> wide{4.0,   8.0,   16.0,  32.0,  64.0,
+                                 128.0, 256.0, 512.0, 1024.0};
+  const auto data = sample_1d(
+      wide, [](double v) { return 2e4 * v * std::log2(v) + 700.0 * v; }, 0.004,
+      17);
+  const auto term = [](double poly, double log) {
+    Term t;
+    t.coefficient = 1.0;
+    t.factors = {pmnf_factor(0, poly, log)};
+    return t;
+  };
+  FitOptions scalar;
+  scalar.batched_cv = false;
+  for (const std::vector<Term>& basis :
+       {std::vector<Term>{}, std::vector<Term>{term(1.0, 1.0)},
+        std::vector<Term>{term(1.0, 0.0)},
+        std::vector<Term>{term(1.0, 1.0), term(1.0, 0.0)},
+        std::vector<Term>{term(0.0, 2.0), term(3.0, 0.0)}}) {
+    const double batched = cross_validation_score(data, basis);
+    const double reference = cross_validation_score(data, basis, scalar);
+    if (!std::isfinite(reference)) {
+      EXPECT_FALSE(std::isfinite(batched));
+      continue;
+    }
+    EXPECT_NEAR(batched, reference, 1e-12 * std::max(1.0, reference));
+  }
+}
+
+TEST(FitterTest, SearchPathPopulatesWallSeconds) {
+  // Regression: refit_hypothesis used to be the only entry point filling
+  // stats.wall_seconds; the engine/search path must report it too.
+  const auto data = sample_1d(kProcessCounts,
+                              [](double v) { return 3e3 * v * std::log2(v); });
+  FitOptions options;
+  FitEngine engine(data, options);
+  std::vector<Term> pool;
+  for (double e : {0.5, 1.0, 2.0}) {
+    Term t;
+    t.coefficient = 1.0;
+    t.factors = {pmnf_factor(0, e, 1.0)};
+    pool.push_back(t);
+  }
+  const FitResult via_engine = fit_with_pool_engine(engine, pool);
+  EXPECT_GT(via_engine.stats.wall_seconds, 0.0);
+  const FitResult via_refit = refit_hypothesis(data, {pool[1]});
+  EXPECT_GT(via_refit.stats.wall_seconds, 0.0);
+}
+
+TEST(FitterTest, DegenerateDomainEdgePointsFitFinite) {
+  // Regression for the log2_clamped fix: points at the domain edge x = 1
+  // make every log column exactly zero there, and a point below the edge
+  // (clamped) must not poison the basis with NaN/-inf. The batched and
+  // scalar engines must agree on such degenerate data too.
+  MeasurementSet data({"p"});
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    data.add({x}, 5.0 * x * std::log2(std::max(x, 1.0)) + 3.0);
+  }
+  const FitResult result = fit_single_parameter(data);
+  EXPECT_TRUE(std::isfinite(result.quality.cv_score));
+  for (const Term& t : result.model.terms()) {
+    EXPECT_TRUE(std::isfinite(t.coefficient));
+  }
+  // Model evaluation below the PMNF domain clamps to the edge value.
+  EXPECT_TRUE(std::isfinite(result.model.evaluate1(0.5)));
+  EXPECT_DOUBLE_EQ(result.model.evaluate1(0.5), result.model.evaluate1(1.0));
+
+  FitOptions scalar;
+  scalar.batched_cv = false;
+  const FitResult reference =
+      fit_single_parameter(data, SearchSpace::paper_default(), scalar);
+  EXPECT_EQ(result.model.to_string(), reference.model.to_string());
 }
 
 // ---------------------------------------------------------------------------

@@ -88,6 +88,33 @@ TEST(InversionTest, MonotonicityProbeDetectsDecrease) {
   EXPECT_FALSE(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6));
 }
 
+TEST(InversionTest, MonotonicityProbeValidatesItsArguments) {
+  // Regression: the geometric probe ratio divides by probes - 1, so
+  // probes <= 1 (UB/inf) and hi == lo (degenerate spacing) must be
+  // rejected with a clear message instead of probing garbage.
+  const Model m = linear_model(3.0);
+  const double coordinate[] = {1.0};
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6, 1),
+               exareq::InvalidArgument);
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6, 0),
+               exareq::InvalidArgument);
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, coordinate, 4.0, 4.0),
+               exareq::InvalidArgument);
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, coordinate, 8.0, 4.0),
+               exareq::InvalidArgument);
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, coordinate, 0.5, 4.0),
+               exareq::InvalidArgument);
+  // Out-of-range parameter index / wrong coordinate width would write past
+  // the probe point; both must throw up front.
+  EXPECT_THROW(is_monotone_in_parameter(m, 1, coordinate, 1.0, 1e6),
+               exareq::InvalidArgument);
+  const double wide[] = {1.0, 2.0};
+  EXPECT_THROW(is_monotone_in_parameter(m, 0, wide, 1.0, 1e6),
+               exareq::InvalidArgument);
+  // The smallest valid probe count still works.
+  EXPECT_TRUE(is_monotone_in_parameter(m, 0, coordinate, 1.0, 1e6, 2));
+}
+
 TEST(InversionTest, ConstantModelIsMonotone) {
   const Model m = Model::constant_model({"n"}, 4.0);
   const double coordinate[] = {1.0};

@@ -142,5 +142,157 @@ TEST(LinalgTest, WeightedLeastSquaresRejectsNegativeWeights) {
   EXPECT_THROW(weighted_least_squares(a, b, w), exareq::InvalidArgument);
 }
 
+// --- RetainedQr: the batched fitter's incremental factorization --------
+
+std::vector<double> matrix_column(const Matrix& a, std::size_t c) {
+  std::vector<double> column(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) column[r] = a(r, c);
+  return column;
+}
+
+TEST(RetainedQrTest, MatchesLeastSquaresOnOverdeterminedSystem) {
+  Rng rng(42);
+  const std::vector<double> truth{1.25, -0.5, 6.0};
+  Matrix a(12, 3);
+  std::vector<double> b(12);
+  for (std::size_t r = 0; r < 12; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.uniform(-4.0, 4.0);
+      acc += a(r, c) * truth[c];
+    }
+    b[r] = acc + rng.uniform(-0.01, 0.01);  // keep it inconsistent
+  }
+  const auto reference = least_squares(a, b);
+  RetainedQr qr(12, b);
+  for (std::size_t c = 0; c < 3; ++c) qr.append_column(matrix_column(a, c));
+  EXPECT_FALSE(qr.rank_deficient());
+  qr.solve();
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(qr.solution()[c], reference.solution[c], 1e-12);
+  }
+}
+
+TEST(RetainedQrTest, ExtensionFromCopiedPrefixMatchesStandaloneBuild) {
+  // The batched scorer factors the selected prefix once and extends a copy
+  // per candidate; the copy-then-append path must be bit-identical to
+  // appending every column into a fresh factorization.
+  Rng rng(9);
+  Matrix a(10, 3);
+  std::vector<double> b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(0.5, 8.0);
+    b[r] = rng.uniform(1.0, 100.0);
+  }
+  RetainedQr fresh(10, b);
+  for (std::size_t c = 0; c < 3; ++c) fresh.append_column(matrix_column(a, c));
+  fresh.solve();
+
+  RetainedQr prefix(10, b);
+  prefix.append_column(matrix_column(a, 0));
+  prefix.append_column(matrix_column(a, 1));
+  RetainedQr extended = prefix;
+  extended.append_column(matrix_column(a, 2));
+  extended.solve();
+
+  ASSERT_EQ(extended.cols(), fresh.cols());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(extended.solution()[c], fresh.solution()[c]);
+  }
+}
+
+TEST(RetainedQrTest, LeaveOneOutMatchesExplicitSubsetRefit) {
+  Rng rng(77);
+  const std::size_t m = 9;
+  Matrix a(m, 2);
+  std::vector<double> b(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    a(r, 0) = 1.0;
+    a(r, 1) = rng.uniform(1.0, 50.0);
+    b[r] = 3.0 + 0.5 * a(r, 1) + rng.uniform(-1.0, 1.0);
+  }
+  RetainedQr qr(m, b);
+  qr.append_column(matrix_column(a, 0));
+  qr.append_column(matrix_column(a, 1));
+  qr.solve();
+  for (std::size_t left_out = 0; left_out < m; ++left_out) {
+    std::vector<double> loo(2);
+    double press = 0.0;
+    ASSERT_TRUE(qr.leave_one_out(left_out, loo, &press));
+    // Explicit refit over the other m - 1 rows.
+    Matrix sub(m - 1, 2);
+    std::vector<double> sub_b(m - 1);
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == left_out) continue;
+      sub(i, 0) = a(r, 0);
+      sub(i, 1) = a(r, 1);
+      sub_b[i] = b[r];
+      ++i;
+    }
+    const auto reference = least_squares(sub, sub_b);
+    EXPECT_NEAR(loo[0], reference.solution[0], 1e-9);
+    EXPECT_NEAR(loo[1], reference.solution[1], 1e-9);
+    // The PRESS residual is the left-out row's prediction error under the
+    // subset fit.
+    const double predicted = reference.solution[0] * a(left_out, 0) +
+                             reference.solution[1] * a(left_out, 1);
+    EXPECT_NEAR(press, b[left_out] - predicted, 1e-9);
+  }
+}
+
+TEST(RetainedQrTest, DetectsCollinearAppendedColumn) {
+  std::vector<double> b{1.0, 2.0, 3.0, 4.0, 5.0};
+  RetainedQr qr(5, b);
+  std::vector<double> first{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> collinear{2.0, 4.0, 6.0, 8.0, 10.0};
+  qr.append_column(first);
+  EXPECT_FALSE(qr.rank_deficient());
+  qr.append_column(collinear);
+  EXPECT_TRUE(qr.rank_deficient());
+  EXPECT_THROW(qr.solve(), exareq::InvalidArgument);
+}
+
+TEST(RetainedQrTest, DetectsZeroColumn) {
+  std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  RetainedQr qr(4, b);
+  qr.append_column(std::vector<double>{0.0, 0.0, 0.0, 0.0});
+  EXPECT_TRUE(qr.rank_deficient());
+}
+
+TEST(RetainedQrTest, LeverageOneRowReportsSingularDowndate) {
+  // Row 3 is the only row with a nonzero second coordinate: removing it
+  // collapses the rank, so its leverage is 1 and the downdate must refuse.
+  std::vector<double> b{1.0, 1.1, 0.9, 7.0};
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = 1.0;
+    a(r, 1) = (r == 3) ? 1.0 : 0.0;
+  }
+  RetainedQr qr(4, b);
+  qr.append_column(matrix_column(a, 0));
+  qr.append_column(matrix_column(a, 1));
+  ASSERT_FALSE(qr.rank_deficient());
+  qr.solve();
+  std::vector<double> loo(2);
+  EXPECT_FALSE(qr.leave_one_out(3, loo));
+  EXPECT_TRUE(qr.leave_one_out(0, loo));
+}
+
+TEST(RetainedQrTest, ValidatesArguments) {
+  std::vector<double> b{1.0, 2.0, 3.0};
+  RetainedQr qr(3, b);
+  EXPECT_THROW(qr.append_column(std::vector<double>{1.0, 2.0}),
+               exareq::InvalidArgument);
+  EXPECT_THROW(qr.solve(), exareq::InvalidArgument);  // no columns yet
+  qr.append_column(std::vector<double>{1.0, 1.0, 1.0});
+  std::vector<double> out(1);
+  EXPECT_THROW(qr.leave_one_out(0, out), exareq::InvalidArgument);  // unsolved
+  qr.solve();
+  EXPECT_THROW(qr.leave_one_out(3, out), exareq::InvalidArgument);  // row range
+  EXPECT_THROW(qr.append_column(std::vector<double>{1.0, 2.0, 3.0}),
+               exareq::InvalidArgument);  // append after solve
+}
+
 }  // namespace
 }  // namespace exareq::model

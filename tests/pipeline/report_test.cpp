@@ -112,6 +112,7 @@ TEST(ReportTest, EngineStatsTableListsEveryFitAndATotal) {
   RequirementModels models = sample_models(false, true);
   models.flops.stats.hypotheses_scored = 1234;
   models.flops.stats.cv_solves = 567;
+  models.flops.stats.qr_extensions = 7654;
   models.flops.stats.wall_seconds = 0.25;
   models.flops.stats.threads = 4;
   ChannelModel channel;
@@ -123,7 +124,9 @@ TEST(ReportTest, EngineStatsTableListsEveryFitAndATotal) {
   const std::string text = render_engine_stats(models);
   EXPECT_NE(text.find("Hypotheses"), std::string::npos);
   EXPECT_NE(text.find("CV solves"), std::string::npos);
+  EXPECT_NE(text.find("Extensions"), std::string::npos);
   EXPECT_NE(text.find("1,234"), std::string::npos);
+  EXPECT_NE(text.find("7,654"), std::string::npos);
   EXPECT_NE(text.find("cg_allreduce"), std::string::npos);
   // The totals row carries the resolved thread count (max across fits).
   EXPECT_NE(text.find("Total (threads=4)"), std::string::npos);
