@@ -8,17 +8,22 @@
 // --trace records the request/cache/compute spans of every run into one
 // Chrome trace_event file. Tracing adds per-span overhead, so traced runs
 // are not comparable to untraced trend numbers.
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "model/search_space.hpp"
 #include "obs/trace.hpp"
+#include "online/service.hpp"
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "support/format.hpp"
@@ -69,8 +74,95 @@ struct RunResult {
   double seconds;
   double requests_per_second;
   double cache_hit_rate;
+  double p50_latency_us;
   double p99_latency_us;
 };
+
+/// Ingest-while-querying smoke: how much does a concurrent ingest stream —
+/// including the refits it triggers on the online worker — degrade query
+/// latency? One batch carries five distinct (p, n) rows synthesized from
+/// the app's own models, so every refit fits a well-posed 5-point-per-
+/// parameter dataset.
+struct IngestSmoke {
+  double baseline_p50_us = 0.0;
+  double ingest_p50_us = 0.0;
+  double impact_pct = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t refits = 0;
+};
+
+std::string make_ingest_batch(const codesign::AppRequirements& app) {
+  std::string line = "ingest " + app.name +
+                     " p,n,bytes_used,flops,loads_stores,"
+                     "bytes_sent_received,stack_distance";
+  for (int k = 1; k <= 5; ++k) {
+    const double p = static_cast<double>(1 << k);
+    const double n = static_cast<double>(1 << (5 + k));
+    line += ';' + format_compact(p) + ',' + format_compact(n) + ',' +
+            std::to_string(app.footprint.evaluate2(p, n)) + ',' +
+            std::to_string(app.flops.evaluate2(p, n)) + ',' +
+            std::to_string(app.loads_stores.evaluate2(p, n)) + ',' +
+            std::to_string(app.comm_bytes.evaluate2(p, n)) + ',' +
+            std::to_string(app.stack_distance.evaluate1(n));
+  }
+  return line;
+}
+
+IngestSmoke run_ingest_smoke(const codesign::AppRequirements& app,
+                             const std::vector<std::string>& workload,
+                             double baseline_p50_us) {
+  serve::ModelRegistry registry;
+  registry.insert(app);
+
+  online::OnlineServiceOptions online_options;
+  online_options.policy.refit_rows = 5;  // every batch triggers a refit
+  online_options.refit.generator.space = model::SearchSpace::coarse();
+  online_options.refit.generator.top_factors_per_parameter = 2;
+  online::OnlineService service(registry, online_options);
+
+  serve::ServerOptions server_options;
+  server_options.workers = 4;
+  server_options.queue_capacity = workload.size();
+  server_options.cache_capacity = 4096;
+  server_options.online = service.hooks();
+  serve::Server server(registry, server_options);
+
+  // The ingester streams batches on its own thread (server.handle, so the
+  // query latency histogram stays dominated by queries) until the query
+  // workload has drained.
+  std::atomic<bool> querying{true};
+  std::uint64_t batches = 0;
+  std::thread ingester([&] {
+    const std::string batch = make_ingest_batch(app);
+    while (querying.load(std::memory_order_acquire)) {
+      (void)server.handle(batch);
+      ++batches;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::future<std::string>> responses;
+  responses.reserve(workload.size());
+  for (const std::string& line : workload) {
+    responses.push_back(server.submit(line));
+  }
+  for (auto& response : responses) (void)response.get();
+  querying.store(false, std::memory_order_release);
+  ingester.join();
+  service.drain();
+
+  IngestSmoke smoke;
+  smoke.baseline_p50_us = baseline_p50_us;
+  smoke.ingest_p50_us = server.metrics().p50_latency_us;
+  smoke.impact_pct = baseline_p50_us > 0.0
+                         ? 100.0 * (smoke.ingest_p50_us - baseline_p50_us) /
+                               baseline_p50_us
+                         : 0.0;
+  smoke.batches = batches;
+  smoke.refits = service.stats().refits;
+  service.stop();
+  return smoke;
+}
 
 RunResult run_one(serve::ModelRegistry& registry,
                   const std::vector<std::string>& workload,
@@ -98,7 +190,8 @@ RunResult run_one(serve::ModelRegistry& registry,
   const serve::MetricsSnapshot snapshot = server.metrics();
   return {workers, elapsed.count(),
           static_cast<double>(workload.size()) / elapsed.count(),
-          snapshot.cache_hit_rate(), snapshot.p99_latency_us};
+          snapshot.cache_hit_rate(), snapshot.p50_latency_us,
+          snapshot.p99_latency_us};
 }
 
 }  // namespace
@@ -141,6 +234,19 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n' << table.render() << '\n';
 
+  // The acceptance bar: a live ingest stream (one refit per 5-row batch)
+  // must not move the 4-worker query p50 by more than ~10%.
+  double baseline_p50_us = 0.0;
+  for (const RunResult& r : results) {
+    if (r.workers == 4) baseline_p50_us = r.p50_latency_us;
+  }
+  const IngestSmoke smoke = run_ingest_smoke(app, workload, baseline_p50_us);
+  std::cout << "\ningest-while-querying smoke (4 workers): baseline p50 "
+            << format_compact(smoke.baseline_p50_us) << " us, with ingest "
+            << format_compact(smoke.ingest_p50_us) << " us ("
+            << format_fixed(smoke.impact_pct, 1) << " % impact, "
+            << smoke.batches << " batches, " << smoke.refits << " refits)\n";
+
   std::ostringstream json;
   json << "{\n  \"benchmark\": \"serve_throughput\",\n"
        << "  \"app\": \"" << app.name << "\",\n"
@@ -150,10 +256,15 @@ int main(int argc, char** argv) {
     json << "    {\"workers\": " << r.workers << ", \"seconds\": " << r.seconds
          << ", \"requests_per_second\": " << r.requests_per_second
          << ", \"cache_hit_rate\": " << r.cache_hit_rate
+         << ", \"p50_latency_us\": " << r.p50_latency_us
          << ", \"p99_latency_us\": " << r.p99_latency_us << '}'
          << (i + 1 < results.size() ? "," : "") << '\n';
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"ingest_smoke\": {\"baseline_p50_us\": "
+       << smoke.baseline_p50_us << ", \"ingest_p50_us\": "
+       << smoke.ingest_p50_us << ", \"impact_pct\": " << smoke.impact_pct
+       << ", \"batches\": " << smoke.batches << ", \"refits\": "
+       << smoke.refits << "}\n}\n";
   std::ofstream("BENCH_serve.json") << json.str();
   std::cout << "\nwrote BENCH_serve.json\n";
   if (trace.has_value()) {

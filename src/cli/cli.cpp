@@ -18,6 +18,7 @@
 #include "memtrace/locality.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "online/service.hpp"
 #include "model/serialize.hpp"
 #include "pipeline/campaign.hpp"
 #include "pipeline/codesign_bridge.hpp"
@@ -313,6 +314,27 @@ std::vector<std::string> split_paths(const std::string& text) {
   return paths;
 }
 
+/// Online ingest/refit knobs (see docs/ONLINE.md).
+online::OnlineServiceOptions online_options(const Flags& flags) {
+  online::OnlineServiceOptions options;
+  const std::int64_t refit_rows = flags.integer("refit-rows", 25);
+  exareq::require(refit_rows >= 0,
+                  "--refit-rows expects a non-negative integer");
+  options.policy.refit_rows = static_cast<std::size_t>(refit_rows);
+  const std::int64_t staleness = flags.integer("refit-staleness-ms", 0);
+  exareq::require(staleness >= 0,
+                  "--refit-staleness-ms expects a non-negative integer");
+  options.policy.max_staleness = std::chrono::milliseconds(staleness);
+  const std::int64_t max_pending = flags.integer("max-pending", 4096);
+  exareq::require(max_pending >= 1, "--max-pending expects a positive integer");
+  options.policy.max_pending_rows = static_cast<std::size_t>(max_pending);
+  const double regression = flags.number("max-regression", 0.0);
+  exareq::require(regression >= 0.0,
+                  "--max-regression expects a non-negative number");
+  options.refit.max_quality_regression = regression;
+  return options;
+}
+
 int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
   serve::ModelRegistry registry(
       pipeline::make_registry_fitter(campaign_config(flags)));
@@ -322,7 +344,12 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
       err << "loaded models for " << name << " from " << path << "\n";
     }
   }
-  serve::Server server(registry, server_options(flags));
+  // Declared registry -> service -> server so the hooks the server holds
+  // outlive it, and refits can publish into the registry until the end.
+  online::OnlineService online_service(registry, online_options(flags));
+  serve::ServerOptions options = server_options(flags);
+  options.online = online_service.hooks();
+  serve::Server server(registry, options);
 
   const auto requests = flags.get("requests");
   const auto socket_path = flags.get("socket");
@@ -342,6 +369,9 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
       responses.push_back(server.submit(line));
     }
     for (auto& response : responses) out << response.get() << "\n";
+    // Batch mode is often scripted (ingest rows then read --status); a
+    // drain makes every accepted row's refit visible before the report.
+    online_service.drain();
     err << "served " << responses.size() << " requests\n";
   }
 
@@ -359,7 +389,10 @@ int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
     err << "shut down\n";
   }
 
-  if (flags.flag_set("status")) out << server.status_report();
+  if (flags.flag_set("status")) {
+    online_service.drain();
+    out << server.status_report();
+  }
   return 0;
 }
 
@@ -387,7 +420,8 @@ std::string usage() {
          "  locality <app> [--size N]\n"
          "  serve   [--models F1,F2,..] [--requests FILE] [--socket PATH]\n"
          "           [--workers N] [--queue N] [--deadline-ms D] [--cache N]\n"
-         "           [--status]\n"
+         "           [--refit-rows N] [--refit-staleness-ms D] [--max-pending N]\n"
+         "           [--max-regression X] [--status]\n"
          "  query   --socket PATH --request 'eval LULESH flops 64 1024'\n"
          "Every command except `list` also accepts:\n"
          "  --trace FILE     record spans and write a Chrome trace_event JSON\n"
@@ -405,7 +439,10 @@ std::string usage() {
          "model bundles (--models, written by `model --models-out`) or by\n"
          "fitting on demand; --requests FILE serves a batch, --socket serves\n"
          "a line protocol over a Unix socket, --status prints the metrics\n"
-         "report. See docs/SERVING.md.\n";
+         "report. `serve` also accepts streamed measurement rows over the\n"
+         "`ingest` verb and refits models online (--refit-rows,\n"
+         "--refit-staleness-ms, --max-pending, --max-regression; see\n"
+         "docs/ONLINE.md). See docs/SERVING.md.\n";
 }
 
 std::vector<std::int64_t> parse_int_list(const std::string& text) {

@@ -158,6 +158,7 @@ Model parse_model(const std::string& text) {
 namespace {
 
 const char* const kBundleHeaderPrefix = "exareq requirement models:";
+const char* const kFormatPrefix = "format";
 
 std::string trim(const std::string& text) {
   const auto first = text.find_first_not_of(" \t\r");
@@ -171,6 +172,7 @@ std::string trim(const std::string& text) {
 std::string serialize_bundle(const ModelBundle& bundle) {
   std::ostringstream os;
   os << "# " << kBundleHeaderPrefix << ' ' << bundle.name << '\n';
+  os << "# " << kFormatPrefix << ' ' << bundle.format_version << '\n';
   for (const auto& [label, m] : bundle.models) {
     os << "# " << label << '\n' << serialize_model(m);
   }
@@ -189,6 +191,22 @@ ModelBundle parse_bundle(const std::string& text) {
       const std::string comment = trim(content.substr(1));
       if (comment.rfind(kBundleHeaderPrefix, 0) == 0) {
         bundle.name = trim(comment.substr(std::string(kBundleHeaderPrefix).size()));
+      } else if (comment.rfind(std::string(kFormatPrefix) + ' ', 0) == 0) {
+        // `# format <k>` must be recognized before the label fallback, or a
+        // future file's version marker would silently become a model label.
+        const std::string number =
+            trim(comment.substr(std::string(kFormatPrefix).size()));
+        const double value = parse_double(number, "bundle format version");
+        const int version = static_cast<int>(value);
+        exareq::require(static_cast<double>(version) == value && version >= 1,
+                        "parse_bundle: bad format version '" + number + "'");
+        exareq::require(
+            version <= ModelBundle::kCurrentFormatVersion,
+            "parse_bundle: bundle format " + std::to_string(version) +
+                " is newer than this build supports (max format " +
+                std::to_string(ModelBundle::kCurrentFormatVersion) +
+                "); regenerate the file or upgrade exareq");
+        bundle.format_version = version;
       } else {
         pending_label = comment;
       }

@@ -33,6 +33,7 @@ Model parse_model(const std::string& text);
 ///
 /// File layout (comment lines carry the metadata):
 ///   # exareq requirement models: LULESH
+///   # format 1
 ///   # footprint
 ///   model v1
 ///   ...
@@ -40,16 +41,25 @@ Model parse_model(const std::string& text);
 ///   # flops
 ///   ...
 struct ModelBundle {
+  /// Bundle-file format revision. Bump kCurrentFormatVersion when the
+  /// layout changes incompatibly; the loader refuses newer files instead
+  /// of misreading them (hot-swap persistence may outlive the writer).
+  static constexpr int kCurrentFormatVersion = 1;
+
   std::string name;
   std::vector<std::pair<std::string, Model>> models;
+  /// Format the file declared (files without a `# format` line are the
+  /// original layout, which is format 1). Declared after `models` so the
+  /// existing `{name, models}` aggregate initializers keep compiling.
+  int format_version = kCurrentFormatVersion;
 };
 
 /// Serializes a bundle (round-trips bit-exactly through parse_bundle).
 std::string serialize_bundle(const ModelBundle& bundle);
 
 /// Parses a bundle; models without a preceding `# label` comment get the
-/// label "model<index>". Throws InvalidArgument on malformed input or an
-/// empty bundle.
+/// label "model<index>". Throws InvalidArgument on malformed input, an
+/// empty bundle, or a `# format` newer than kCurrentFormatVersion.
 ModelBundle parse_bundle(const std::string& text);
 
 }  // namespace exareq::model

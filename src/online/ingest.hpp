@@ -1,0 +1,31 @@
+// Ingest payload parsing and validation: the wire side of the online
+// requirements loop.
+//
+// An `ingest <app> <payload>` request carries a batch of measurement rows
+// as a campaign CSV — the exact schema `exareq campaign --csv-out` writes
+// (p, n, the five metrics, then `chan:<flags>:<name>` columns) — with
+// records joined by ';' instead of newlines so a whole batch travels in one
+// newline-framed protocol line. Parsing reuses the hardened CSV layer
+// (duplicate headers, ragged rows, and NaN/inf cells are rejected with
+// row/column positions) plus CampaignData::from_csv, then re-validates what
+// from_csv is lenient about: p and n must be positive integers and every
+// metric must be non-negative. Cells must not themselves contain ';'
+// (channel names never do; the separator is part of the wire format, not
+// of CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/measure.hpp"
+
+namespace exareq::online {
+
+/// Parses and validates one ingest payload into measurement rows. Throws
+/// InvalidArgument with a position-carrying message on malformed input
+/// (header-only payloads, unknown/missing columns, ragged rows, NaN/inf
+/// cells, non-integral or non-positive p/n, negative metrics).
+std::vector<pipeline::AppMeasurement> parse_ingest_payload(
+    const std::string& payload);
+
+}  // namespace exareq::online

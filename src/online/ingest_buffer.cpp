@@ -1,0 +1,112 @@
+#include "online/ingest_buffer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace exareq::online {
+
+IngestBuffer::IngestBuffer(RefitPolicy policy, Clock clock)
+    : policy_(policy),
+      clock_(clock ? std::move(clock)
+                   : [] { return std::chrono::steady_clock::now(); }) {
+  exareq::require(policy_.max_pending_rows >= 1,
+                  "IngestBuffer: max_pending_rows must be >= 1");
+}
+
+std::size_t IngestBuffer::add(const std::string& key,
+                              std::vector<pipeline::AppMeasurement> rows) {
+  exareq::require(!rows.empty(), "IngestBuffer: empty batch");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[key];
+  if (slot.rows.size() + rows.size() > policy_.max_pending_rows) {
+    const std::size_t pending = slot.rows.size();
+    if (pending == 0) slots_.erase(key);
+    throw exareq::InvalidArgument(
+        "ingest buffer for '" + key + "' is full (" +
+        std::to_string(pending) + " rows pending, batch of " +
+        std::to_string(rows.size()) + " exceeds the bound of " +
+        std::to_string(policy_.max_pending_rows) + "); retry after a refit");
+  }
+  if (slot.rows.empty()) slot.oldest = clock_();
+  slot.rows.insert(slot.rows.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+  return slot.rows.size();
+}
+
+std::vector<pipeline::AppMeasurement> IngestBuffer::take(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return {};
+  std::vector<pipeline::AppMeasurement> rows = std::move(it->second.rows);
+  slots_.erase(it);
+  return rows;
+}
+
+bool IngestBuffer::slot_due(const Slot& slot,
+                            std::chrono::steady_clock::time_point now) const {
+  if (slot.rows.empty()) return false;
+  if (policy_.refit_rows > 0 && slot.rows.size() >= policy_.refit_rows) {
+    return true;
+  }
+  if (policy_.max_staleness.count() > 0 &&
+      now - slot.oldest >= policy_.max_staleness) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> IngestBuffer::due_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = clock_();
+  std::vector<std::string> keys;
+  for (const auto& [key, slot] : slots_) {
+    if (slot_due(slot, now)) keys.push_back(key);
+  }
+  return keys;  // map iteration order is already sorted
+}
+
+std::vector<std::string> IngestBuffer::pending_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  for (const auto& [key, slot] : slots_) {
+    if (!slot.rows.empty()) keys.push_back(key);
+  }
+  return keys;
+}
+
+std::size_t IngestBuffer::pending(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(key);
+  return it == slots_.end() ? 0 : it->second.rows.size();
+}
+
+std::size_t IngestBuffer::total_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, slot] : slots_) total += slot.rows.size();
+  return total;
+}
+
+double IngestBuffer::staleness_seconds(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.rows.empty()) return 0.0;
+  return std::chrono::duration<double>(clock_() - it->second.oldest).count();
+}
+
+double IngestBuffer::max_staleness_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = clock_();
+  double worst = 0.0;
+  for (const auto& [key, slot] : slots_) {
+    if (slot.rows.empty()) continue;
+    worst = std::max(worst,
+                     std::chrono::duration<double>(now - slot.oldest).count());
+  }
+  return worst;
+}
+
+}  // namespace exareq::online

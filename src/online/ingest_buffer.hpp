@@ -1,0 +1,91 @@
+// IngestBuffer: bounded per-model staging area between the wire and the
+// refitter.
+//
+// Ingested rows land here, keyed by (lower-cased) application name, until
+// the refit policy declares the key due — either enough rows accumulated
+// (`refit_rows`) or the oldest pending row aged past `max_staleness`. The
+// buffer is strictly bounded: a key whose pending rows would exceed
+// `max_pending_rows` rejects the batch with InvalidArgument (the server
+// turns that into a structured `error` response) instead of growing —
+// an unresponsive refitter must surface as backpressure, not as unbounded
+// server memory.
+//
+// Time is injectable so staleness-driven refits can be tested
+// deterministically (the default clock is steady_clock).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/measure.hpp"
+
+namespace exareq::online {
+
+/// When the refitter should pick a key up, and how much a key may stage.
+struct RefitPolicy {
+  /// Pending rows that make a key due; 0 disables the row-count trigger.
+  std::size_t refit_rows = 25;
+  /// Age of the oldest pending row that makes a key due; 0 disables.
+  std::chrono::milliseconds max_staleness{0};
+  /// Hard per-key bound; a batch that would exceed it is rejected.
+  std::size_t max_pending_rows = 4096;
+};
+
+class IngestBuffer {
+ public:
+  using Clock = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// A default-constructed (empty) clock means steady_clock::now.
+  explicit IngestBuffer(RefitPolicy policy = {}, Clock clock = {});
+
+  IngestBuffer(const IngestBuffer&) = delete;
+  IngestBuffer& operator=(const IngestBuffer&) = delete;
+
+  /// Stages a batch under `key`; returns the key's pending row count.
+  /// Throws InvalidArgument when the batch is empty or would exceed
+  /// `max_pending_rows` (nothing is staged in that case).
+  std::size_t add(const std::string& key,
+                  std::vector<pipeline::AppMeasurement> rows);
+
+  /// Removes and returns everything pending for `key` (empty if nothing).
+  std::vector<pipeline::AppMeasurement> take(const std::string& key);
+
+  /// Keys the policy declares due right now, sorted.
+  std::vector<std::string> due_keys() const;
+
+  /// Keys with any pending rows, due or not (drain force-flush), sorted.
+  std::vector<std::string> pending_keys() const;
+
+  std::size_t pending(const std::string& key) const;
+  std::size_t total_pending() const;
+
+  /// Age in seconds of the oldest pending row of `key` (0 when none).
+  double staleness_seconds(const std::string& key) const;
+
+  /// Largest staleness over all keys (0 when nothing is pending) — the
+  /// value behind the `online.staleness_seconds` gauge.
+  double max_staleness_seconds() const;
+
+  const RefitPolicy& policy() const { return policy_; }
+
+ private:
+  struct Slot {
+    std::vector<pipeline::AppMeasurement> rows;
+    std::chrono::steady_clock::time_point oldest{};
+  };
+
+  bool slot_due(const Slot& slot,
+                std::chrono::steady_clock::time_point now) const;
+
+  RefitPolicy policy_;
+  Clock clock_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace exareq::online

@@ -1,0 +1,62 @@
+#include "online/versioned_model.hpp"
+
+#include "support/error.hpp"
+
+namespace exareq::online {
+
+std::string version_source_name(VersionSource source) {
+  switch (source) {
+    case VersionSource::kInsert:
+      return "insert";
+    case VersionSource::kFile:
+      return "file";
+    case VersionSource::kFitOnDemand:
+      return "fit-on-demand";
+    case VersionSource::kOnlineRefit:
+      return "online-refit";
+    case VersionSource::kRollback:
+      return "rollback";
+  }
+  return "?";
+}
+
+std::shared_ptr<const ModelVersion> VersionedModel::previous() const {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  return previous_;
+}
+
+std::uint64_t VersionedModel::publish(
+    std::shared_ptr<const codesign::AppRequirements> models,
+    VersionSource source, std::uint64_t rows, double mean_abs_relative_error) {
+  exareq::require(models != nullptr,
+                  "VersionedModel::publish: null model bundle");
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  auto snapshot = std::make_shared<ModelVersion>();
+  snapshot->version = epoch_.load(std::memory_order_relaxed) + 1;
+  snapshot->models = std::move(models);
+  snapshot->source = source;
+  snapshot->rows = rows;
+  snapshot->mean_abs_relative_error = mean_abs_relative_error;
+  snapshot->published_at = std::chrono::steady_clock::now();
+  previous_ = current_.load(std::memory_order_relaxed);
+  // The epoch is bumped before the snapshot becomes visible, so a reader
+  // that loads current() and then epoch() always finds version <= epoch —
+  // the consistency invariant the Online* concurrency suites assert.
+  epoch_.store(snapshot->version, std::memory_order_release);
+  current_.store(snapshot, std::memory_order_release);
+  return snapshot->version;
+}
+
+bool VersionedModel::rollback() {
+  std::shared_ptr<const ModelVersion> restore;
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    restore = previous_;
+  }
+  if (!restore) return false;
+  publish(restore->models, VersionSource::kRollback, restore->rows,
+          restore->mean_abs_relative_error);
+  return true;
+}
+
+}  // namespace exareq::online

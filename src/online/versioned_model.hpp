@@ -1,0 +1,99 @@
+// VersionedModel: the atomic hot-swap slot behind every registry entry.
+//
+// The online-requirements loop (src/online) refits models while queries are
+// being answered, so the handoff between "the model a refit just produced"
+// and "the model a query evaluates" must be a single atomic flip — a query
+// must never observe half of an old bundle and half of a new one. The slot
+// therefore stores one immutable ModelVersion snapshot behind one
+// std::atomic<std::shared_ptr>: readers pay a single atomic load (no lock,
+// no waiting on a writer mid-refit), writers serialize among themselves on
+// a small mutex that readers never touch.
+//
+// Versions are epoch-counted: every publish (and every rollback, which is a
+// publish of the retained previous snapshot) bumps the epoch, and the
+// version id inside a snapshot equals the epoch that produced it. A reader
+// holding a snapshot can therefore tell exactly which publish it observed,
+// which is what the Online* concurrency suites pin: any snapshot read
+// during a refit race is internally consistent and its version never
+// exceeds the slot's epoch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "codesign/requirements.hpp"
+
+namespace exareq::online {
+
+/// How a model version entered the slot (rendered in `serve --status`).
+enum class VersionSource {
+  kInsert,       ///< preloaded in process (ModelRegistry::insert)
+  kFile,         ///< loaded from a serialized bundle file
+  kFitOnDemand,  ///< registry fit-on-demand (query-triggered)
+  kOnlineRefit,  ///< incremental refit over streamed ingest rows
+  kRollback,     ///< re-published previous version after a bad refit
+};
+
+std::string version_source_name(VersionSource source);
+
+/// One immutable published version. Everything a query needs — the model
+/// bundle plus its provenance — travels in one snapshot so a reader never
+/// has to correlate separately-updated fields.
+struct ModelVersion {
+  std::uint64_t version = 0;  ///< epoch that published this snapshot
+  std::shared_ptr<const codesign::AppRequirements> models;
+  VersionSource source = VersionSource::kInsert;
+  /// Measurement rows behind the fit (0 when unknown, e.g. loaded bundles).
+  std::uint64_t rows = 0;
+  /// Mean absolute relative error of the fit over its own measurements
+  /// (NaN when unknown) — the quality the refit regression guard compares.
+  double mean_abs_relative_error = std::numeric_limits<double>::quiet_NaN();
+  std::chrono::steady_clock::time_point published_at{};
+};
+
+class VersionedModel {
+ public:
+  VersionedModel() = default;
+  VersionedModel(const VersionedModel&) = delete;
+  VersionedModel& operator=(const VersionedModel&) = delete;
+
+  /// The current snapshot: one atomic load, lock-free with respect to
+  /// concurrent publishes. Null until the first publish.
+  std::shared_ptr<const ModelVersion> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// The snapshot displaced by the latest publish (for rollback); null
+  /// until a second version exists.
+  std::shared_ptr<const ModelVersion> previous() const;
+
+  /// Number of publishes (including rollbacks) so far.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Publishes a new version and retains the displaced one for rollback.
+  /// Returns the new version id (== the new epoch). The models pointer must
+  /// be a validated bundle; `rows`/`quality` are provenance for --status and
+  /// the regression guard.
+  std::uint64_t publish(std::shared_ptr<const codesign::AppRequirements> models,
+                        VersionSource source, std::uint64_t rows = 0,
+                        double mean_abs_relative_error =
+                            std::numeric_limits<double>::quiet_NaN());
+
+  /// Re-publishes the previous version (as a new epoch, source kRollback),
+  /// so a bad hot-swap can be undone without refitting. Returns false when
+  /// no previous version exists.
+  bool rollback();
+
+ private:
+  std::atomic<std::shared_ptr<const ModelVersion>> current_{};
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex writer_mutex_;
+  std::shared_ptr<const ModelVersion> previous_;
+};
+
+}  // namespace exareq::online

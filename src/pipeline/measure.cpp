@@ -9,6 +9,33 @@
 
 namespace exareq::pipeline {
 
+bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b) {
+  if (a.processes != b.processes) return a.processes < b.processes;
+  if (a.problem_size != b.problem_size) return a.problem_size < b.problem_size;
+  if (a.bytes_used != b.bytes_used) return a.bytes_used < b.bytes_used;
+  if (a.flops != b.flops) return a.flops < b.flops;
+  if (a.loads_stores != b.loads_stores) return a.loads_stores < b.loads_stores;
+  if (a.bytes_sent_received != b.bytes_sent_received) {
+    return a.bytes_sent_received < b.bytes_sent_received;
+  }
+  if (a.stack_distance != b.stack_distance) {
+    return a.stack_distance < b.stack_distance;
+  }
+  auto it_a = a.channels.begin();
+  auto it_b = b.channels.begin();
+  for (; it_a != a.channels.end() && it_b != b.channels.end();
+       ++it_a, ++it_b) {
+    if (it_a->first != it_b->first) return it_a->first < it_b->first;
+    const ChannelMeasurement& ca = it_a->second;
+    const ChannelMeasurement& cb = it_b->second;
+    if (ca.bytes != cb.bytes) return ca.bytes < cb.bytes;
+    if (ca.uses_allreduce != cb.uses_allreduce) return cb.uses_allreduce;
+    if (ca.uses_bcast != cb.uses_bcast) return cb.uses_bcast;
+    if (ca.uses_alltoall != cb.uses_alltoall) return cb.uses_alltoall;
+  }
+  return it_a == a.channels.end() && it_b != b.channels.end();
+}
+
 AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
                            const LocalityOptions& locality) {
   exareq::require(p >= 1, "measure_app: need at least one process");

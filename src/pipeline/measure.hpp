@@ -41,6 +41,13 @@ struct AppMeasurement {
   std::map<std::string, ChannelMeasurement> channels;
 };
 
+/// Strict-weak ordering over the full measurement tuple — (p, n), every
+/// metric, then the channel map. Sorting a batch of rows with it yields one
+/// canonical order for any arrival permutation, which is how the online
+/// refit path (src/online) makes an incremental fit bit-identical to a cold
+/// fit on the concatenated data regardless of ingest order.
+bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b);
+
 /// Options for the locality part of a measurement.
 struct LocalityOptions {
   bool enabled = true;

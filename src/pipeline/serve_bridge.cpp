@@ -1,5 +1,8 @@
 #include "pipeline/serve_bridge.hpp"
 
+#include <cmath>
+#include <vector>
+
 #include "apps/application.hpp"
 #include "pipeline/codesign_bridge.hpp"
 
@@ -18,6 +21,20 @@ make_registry_fitter(CampaignConfig config, model::GeneratorOptions options) {
     const CampaignData data = run_campaign(app, config);
     return to_requirements(model_requirements(data, options));
   };
+}
+
+FittedBundle fit_requirement_bundle(const CampaignData& data,
+                                    model::GeneratorOptions options) {
+  options.fit.threads = 1;
+  const RequirementModels models = model_requirements(data, options);
+  FittedBundle bundle;
+  bundle.requirements = to_requirements(models);
+  const std::vector<double> errors = all_relative_errors(models);
+  double sum = 0.0;
+  for (const double e : errors) sum += std::abs(e);
+  bundle.mean_abs_relative_error =
+      errors.empty() ? 0.0 : sum / static_cast<double>(errors.size());
+  return bundle;
 }
 
 model::ModelBundle to_model_bundle(const RequirementModels& models) {

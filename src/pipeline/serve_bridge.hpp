@@ -22,6 +22,24 @@ std::function<codesign::AppRequirements(const std::string&)>
 make_registry_fitter(CampaignConfig config = {},
                      model::GeneratorOptions options = {});
 
+/// A fitted co-design bundle plus the fit's own quality number — what the
+/// online refit loop publishes into a registry slot and what its quality
+/// regression guard compares across versions.
+struct FittedBundle {
+  codesign::AppRequirements requirements;
+  /// Mean absolute relative error of every measurement under its fitted
+  /// model, across all five metrics.
+  double mean_abs_relative_error = 0.0;
+};
+
+/// Fits all requirement models over an in-memory campaign (the online
+/// ingest path, where rows arrive over the wire instead of from
+/// run_campaign). Serial like make_registry_fitter, and for the same
+/// reason: callers may fit concurrently with server-worker fits, and the
+/// process-wide shared pool admits one top-level client.
+FittedBundle fit_requirement_bundle(const CampaignData& data,
+                                    model::GeneratorOptions options = {});
+
 /// The fitted models as a serializable bundle (labels footprint, flops,
 /// comm_bytes, loads_stores, stack_distance — what ModelRegistry::load_file
 /// expects, and what `exareq model --models-out` writes).

@@ -56,6 +56,7 @@ std::string render_status_report(const MetricsSnapshot& snapshot) {
   table.add_row({"registry", "in-flight fits", count(snapshot.in_flight_fits)});
   table.add_row({"registry", "files loaded", count(snapshot.files_loaded)});
   table.add_row({"registry", "apps loaded", count(snapshot.apps_loaded)});
+  table.add_row({"registry", "hot swaps", count(snapshot.hot_swaps)});
   return table.render();
 }
 
@@ -73,6 +74,7 @@ std::string status_line(const MetricsSnapshot& snapshot) {
      << " in_flight_fits=" << snapshot.in_flight_fits
      << " singleflight_waits=" << snapshot.singleflight_waits
      << " apps=" << snapshot.apps_loaded
+     << " hot_swaps=" << snapshot.hot_swaps
      << " p50_us=" << snapshot.p50_latency_us
      << " p99_us=" << snapshot.p99_latency_us
      << " mean_us=" << snapshot.mean_latency_us;

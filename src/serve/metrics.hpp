@@ -45,6 +45,7 @@ struct MetricsSnapshot {
   std::uint64_t in_flight_fits = 0;      ///< currently fitting
   std::uint64_t files_loaded = 0;
   std::uint64_t apps_loaded = 0;
+  std::uint64_t hot_swaps = 0;  ///< publishes that replaced a live version
 
   /// Fraction of cache lookups answered from the cache (0 when none).
   double cache_hit_rate() const;

@@ -88,7 +88,47 @@ std::vector<std::string> FrameDecoder::feed(std::string_view bytes) {
   return frames;
 }
 
+namespace {
+
+// `ingest <app> <payload>` carries a CSV batch whose cells may hold
+// arbitrary non-whitespace runs, so it is split verb/app/rest-of-line
+// instead of whitespace-tokenized like the query verbs.
+Request parse_ingest(const std::string& line) {
+  std::size_t pos = line.find_first_not_of(" \t");
+  pos = line.find_first_of(" \t", pos);  // skip the verb
+  pos = line.find_first_not_of(" \t", pos);
+  exareq::require(pos != std::string::npos,
+                  "request 'ingest' expects the form 'ingest <app> <csv-payload>'");
+  const std::size_t app_end = line.find_first_of(" \t", pos);
+  exareq::require(app_end != std::string::npos,
+                  "request 'ingest' expects the form 'ingest <app> <csv-payload>'");
+  Request request;
+  request.kind = RequestKind::kIngest;
+  request.app = line.substr(pos, app_end - pos);
+  const std::size_t payload_begin = line.find_first_not_of(" \t", app_end);
+  exareq::require(payload_begin != std::string::npos,
+                  "ingest payload is empty (expected ';'-joined campaign CSV "
+                  "records, header first)");
+  request.payload = line.substr(payload_begin);
+  while (!request.payload.empty() &&
+         (request.payload.back() == ' ' || request.payload.back() == '\t')) {
+    request.payload.pop_back();
+  }
+  return request;
+}
+
+}  // namespace
+
 Request parse_request(const std::string& line) {
+  {
+    const std::size_t verb_begin = line.find_first_not_of(" \t");
+    if (verb_begin != std::string::npos &&
+        line.compare(verb_begin, 6, "ingest") == 0 &&
+        (verb_begin + 6 == line.size() ||
+         line[verb_begin + 6] == ' ' || line[verb_begin + 6] == '\t')) {
+      return parse_ingest(line);
+    }
+  }
   const std::vector<std::string> tokens = tokenize(line);
   exareq::require(!tokens.empty(), "empty request line");
   Request request;
@@ -136,7 +176,7 @@ Request parse_request(const std::string& line) {
   }
   throw exareq::InvalidArgument(
       "unknown request '" + verb +
-      "' (expected eval|invert|upgrade|strawman|status)");
+      "' (expected eval|invert|upgrade|strawman|status|ingest)");
 }
 
 std::string canonical_key(const Request& request) {
@@ -162,12 +202,17 @@ std::string canonical_key(const Request& request) {
     case RequestKind::kStatus:
       os << "status";
       break;
+    case RequestKind::kIngest:
+      // Never cached; the key exists only so every request has one.
+      os << "ingest|" << lowercase(request.app);
+      break;
   }
   return os.str();
 }
 
 bool cacheable(const Request& request) {
-  return request.kind != RequestKind::kStatus;
+  return request.kind != RequestKind::kStatus &&
+         request.kind != RequestKind::kIngest;
 }
 
 std::string ok_response(const std::string& payload) {

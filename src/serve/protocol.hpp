@@ -6,6 +6,9 @@
 //   upgrade <app> <processes> <mem>  -> ok upgrade A:<5 ratios>;B:...;C:...
 //   strawman <app>                   -> ok strawman <system>:<fields>;...
 //   status                           -> ok status <key=value ...>
+//   ingest <app> <csv-payload>       -> ok ingest accepted=<rows> ...
+// The ingest payload is a campaign CSV (header first) with records joined
+// by ';' instead of newlines, so a whole measurement batch fits one frame.
 // Failures answer `error <category>: <message>` on a single line; the
 // connection stays usable. Values are full-precision (%.17g) so results are
 // bit-identical to the in-process library calls the CLI commands make.
@@ -48,12 +51,13 @@ class FrameDecoder {
   std::string buffer_;
 };
 
-enum class RequestKind { kEval, kInvert, kUpgrade, kStrawman, kStatus };
+enum class RequestKind { kEval, kInvert, kUpgrade, kStrawman, kStatus, kIngest };
 
 /// One parsed request. Unused fields stay at their defaults.
 struct Request {
   RequestKind kind = RequestKind::kStatus;
-  std::string app;     ///< all kinds except status
+  std::string app;      ///< all kinds except status
+  std::string payload;  ///< ingest: ';'-joined campaign CSV records
   std::string metric;  ///< eval: footprint|flops|comm_bytes|loads_stores|stack_distance
   double p = 0.0;      ///< eval: process count
   double n = 0.0;      ///< eval: problem size per process
@@ -69,7 +73,8 @@ Request parse_request(const std::string& line);
 /// spelling of the same request -- map to the same entry.
 std::string canonical_key(const Request& request);
 
-/// Status requests are never cached (they must observe live counters).
+/// Status requests are never cached (they must observe live counters), and
+/// ingest requests are writes, not queries.
 bool cacheable(const Request& request);
 
 /// "ok <payload>".

@@ -111,6 +111,8 @@ QueryEngine::QueryEngine(ModelRegistry& registry, ShardedLruCache* cache)
 std::string QueryEngine::compute(const Request& request) {
   exareq::require(request.kind != RequestKind::kStatus,
                   "status requests are answered by the server");
+  exareq::require(request.kind != RequestKind::kIngest,
+                  "ingest requests are routed to the online service");
   const std::shared_ptr<const codesign::AppRequirements> app =
       registry_.get(request.app);
   switch (request.kind) {
@@ -123,6 +125,7 @@ std::string QueryEngine::compute(const Request& request) {
     case RequestKind::kStrawman:
       return compute_strawman(*app);
     case RequestKind::kStatus:
+    case RequestKind::kIngest:
       break;
   }
   throw exareq::InvalidArgument("unhandled request kind");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -22,17 +23,62 @@ std::string ModelRegistry::key_of(const std::string& app) {
 }
 
 void ModelRegistry::insert(codesign::AppRequirements models) {
+  publish(std::move(models), online::VersionSource::kInsert);
+}
+
+std::uint64_t ModelRegistry::publish(codesign::AppRequirements models,
+                                     online::VersionSource source,
+                                     std::uint64_t rows,
+                                     double mean_abs_relative_error) {
   models.validate();
   exareq::require(!models.name.empty(), "ModelRegistry: bundle has no name");
   auto shared =
       std::make_shared<const codesign::AppRequirements>(std::move(models));
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entries_[key_of(shared->name)];
-  exareq::require(!entry.fitting,
-                  "ModelRegistry: cannot replace '" + shared->name +
-                      "' while a fit for it is in flight");
-  if (!entry.models) ++stats_.apps;
-  entry.models = std::move(shared);
+  const bool first = entry.slot->current() == nullptr;
+  const std::uint64_t version = entry.slot->publish(
+      std::move(shared), source, rows, mean_abs_relative_error);
+  if (first) {
+    ++stats_.apps;
+  } else {
+    ++stats_.hot_swaps;
+  }
+  // A publish can satisfy lookups waiting on an in-flight fit of this app.
+  fit_done_.notify_all();
+  return version;
+}
+
+bool ModelRegistry::rollback(const std::string& app) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key_of(app));
+  if (it == entries_.end()) return false;
+  if (!it->second.slot->rollback()) return false;
+  ++stats_.hot_swaps;
+  return true;
+}
+
+bool ModelRegistry::try_begin_fit(const std::string& app) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key_of(app)];
+  if (entry.fitting) return false;
+  entry.fitting = true;
+  ++stats_.fits_started;
+  ++stats_.in_flight_fits;
+  return true;
+}
+
+void ModelRegistry::end_fit(const std::string& app, bool completed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key_of(app)];
+  entry.fitting = false;
+  --stats_.in_flight_fits;
+  if (completed) {
+    ++stats_.fits_completed;
+  } else {
+    ++stats_.fit_failures;
+  }
+  fit_done_.notify_all();
 }
 
 std::string ModelRegistry::load_file(const std::string& path) {
@@ -74,7 +120,7 @@ std::string ModelRegistry::load_file(const std::string& path) {
       "model file '" + path +
           "' must contain footprint, flops, comm_bytes, loads_stores and "
           "stack_distance models");
-  insert(std::move(requirements));
+  publish(std::move(requirements), online::VersionSource::kFile);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.files_loaded;
   return bundle.name;
@@ -82,10 +128,20 @@ std::string ModelRegistry::load_file(const std::string& path) {
 
 std::shared_ptr<const codesign::AppRequirements> ModelRegistry::find(
     const std::string& app) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key_of(app));
-  if (it == entries_.end()) return nullptr;
-  return it->second.models;
+  const auto snapshot = version_of(app);
+  return snapshot ? snapshot->models : nullptr;
+}
+
+std::shared_ptr<const online::ModelVersion> ModelRegistry::version_of(
+    const std::string& app) const {
+  std::shared_ptr<online::VersionedModel> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key_of(app));
+    if (it == entries_.end()) return nullptr;
+    slot = it->second.slot;
+  }
+  return slot->current();
 }
 
 std::shared_ptr<const codesign::AppRequirements> ModelRegistry::get(
@@ -95,15 +151,21 @@ std::shared_ptr<const codesign::AppRequirements> ModelRegistry::get(
   ++stats_.lookups;
   for (;;) {
     const auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.models) {
-      ++stats_.hits;
-      return it->second.models;
+    if (it != entries_.end()) {
+      if (const auto snapshot = it->second.slot->current()) {
+        ++stats_.hits;
+        return snapshot->models;
+      }
+      if (it->second.fitting) {
+        // Another thread — a query-triggered fit or an online refit — is
+        // fitting this app: wait for it instead of starting a duplicate
+        // fit (single-flight).
+        ++stats_.singleflight_waits;
+        fit_done_.wait(lock);
+        continue;
+      }
     }
-    if (it == entries_.end() || !it->second.fitting) break;
-    // Another thread is fitting this app: wait for it instead of starting
-    // a duplicate fit (single-flight).
-    ++stats_.singleflight_waits;
-    fit_done_.wait(lock);
+    break;
   }
   exareq::require(static_cast<bool>(fitter_),
                   "no models loaded for '" + app +
@@ -130,16 +192,20 @@ std::shared_ptr<const codesign::AppRequirements> ModelRegistry::get(
   Entry& entry = entries_[key];
   entry.fitting = false;
   if (failure) {
-    // A failed fit is not cached: drop the placeholder so the next lookup
-    // retries, and wake the waiters so one of them can.
+    // A failed fit is not cached: the entry keeps no version, so the next
+    // lookup retries; wake the waiters so one of them can.
     ++stats_.fit_failures;
-    if (!entry.models) entries_.erase(key);
     fit_done_.notify_all();
     std::rethrow_exception(failure);
   }
   ++stats_.fits_completed;
-  if (!entry.models) ++stats_.apps;
-  entry.models = fitted;
+  const bool first = entry.slot->current() == nullptr;
+  entry.slot->publish(fitted, online::VersionSource::kFitOnDemand);
+  if (first) {
+    ++stats_.apps;
+  } else {
+    ++stats_.hot_swaps;
+  }
   fit_done_.notify_all();
   return fitted;
 }
@@ -149,10 +215,38 @@ std::vector<std::string> ModelRegistry::app_names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   names.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
-    if (entry.models) names.push_back(entry.models->name);
+    if (const auto snapshot = entry.slot->current()) {
+      names.push_back(snapshot->models->name);
+    }
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::vector<ModelInfo> ModelRegistry::model_infos() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ModelInfo> infos;
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    const auto snapshot = entry.slot->current();
+    if (!snapshot) continue;
+    ModelInfo info;
+    info.name = snapshot->models->name;
+    info.version = snapshot->version;
+    info.epoch = entry.slot->epoch();
+    info.source = snapshot->source;
+    info.rows = snapshot->rows;
+    info.mean_abs_relative_error = snapshot->mean_abs_relative_error;
+    info.age_seconds =
+        std::chrono::duration<double>(now - snapshot->published_at).count();
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const ModelInfo& a, const ModelInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
 }
 
 RegistryStats ModelRegistry::stats() const {

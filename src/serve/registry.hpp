@@ -1,20 +1,25 @@
 // ModelRegistry: the serving subsystem's store of fitted requirement
 // models, one codesign::AppRequirements bundle per application.
 //
-// Models enter the registry three ways: preloaded in process (`insert`),
+// Models enter the registry four ways: preloaded in process (`insert`),
 // loaded from a serialized bundle file written by `exareq model
-// --models-out` (`load_file`, via model/serialize.hpp), or fitted on demand
+// --models-out` (`load_file`, via model/serialize.hpp), fitted on demand
 // through a caller-supplied Fitter (the pipeline's campaign runner, wired
-// by pipeline/serve_bridge.hpp). On-demand fits are single-flight: when
+// by pipeline/serve_bridge.hpp), or hot-swapped by the online refit loop
+// (src/online) through `publish`. On-demand fits are single-flight: when
 // several queries miss the same application concurrently, exactly one
 // thread runs the fit while the others wait on it and share the result —
 // the fit is seconds of work, so stampeding it would multiply the service's
-// heaviest operation.
+// heaviest operation. The online refitter reuses the same gate
+// (`try_begin_fit`/`end_fit`), so a background refit and a query-triggered
+// fit of the same application never race.
 //
-// Lookups after load are lock-held only for a map find; the returned
-// shared_ptr keeps a bundle alive across its use even if the registry is
-// mutated concurrently. Keys are case-insensitive (matching the CLI's app
-// lookup).
+// Every entry owns an online::VersionedModel hot-swap slot: a publish flips
+// queries to the new version in one atomic store, and readers of an
+// already-loaded model never block on a refit in progress. Lookups are
+// lock-held only for a map find; the returned shared_ptr keeps a bundle
+// alive across its use even if the registry is mutated concurrently. Keys
+// are case-insensitive (matching the CLI's app lookup).
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "codesign/requirements.hpp"
+#include "online/versioned_model.hpp"
 
 namespace exareq::serve {
 
@@ -41,6 +47,19 @@ struct RegistryStats {
   std::uint64_t in_flight_fits = 0;
   std::uint64_t files_loaded = 0;
   std::uint64_t apps = 0;
+  std::uint64_t hot_swaps = 0;  ///< publishes that replaced a live version
+};
+
+/// Per-model provenance for `serve --status`: which version is live, how it
+/// got there, and how stale it is.
+struct ModelInfo {
+  std::string name;
+  std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+  online::VersionSource source = online::VersionSource::kInsert;
+  std::uint64_t rows = 0;
+  double mean_abs_relative_error = 0.0;  ///< NaN when unknown
+  double age_seconds = 0.0;              ///< since this version was published
 };
 
 class ModelRegistry {
@@ -73,14 +92,45 @@ class ModelRegistry {
   std::shared_ptr<const codesign::AppRequirements> find(
       const std::string& app) const;
 
+  /// The full versioned snapshot of one app (version id, provenance,
+  /// publish time); nullptr on a miss. Lock-free after the map find.
+  std::shared_ptr<const online::ModelVersion> version_of(
+      const std::string& app) const;
+
+  /// Publishes a new model version for `app` (validated), atomically
+  /// flipping concurrent queries to it. Returns the new version id. This is
+  /// the hot-swap entry point of the online refit loop; `insert` and
+  /// `load_file` route through it too.
+  std::uint64_t publish(codesign::AppRequirements models,
+                        online::VersionSource source, std::uint64_t rows = 0,
+                        double mean_abs_relative_error =
+                            std::numeric_limits<double>::quiet_NaN());
+
+  /// Re-publishes the previous version of `app` (source kRollback).
+  /// Returns false when the app has no displaced version to restore.
+  bool rollback(const std::string& app);
+
+  /// Single-flight gate, shared between query-triggered fit-on-demand and
+  /// the online refitter: returns true when the caller acquired the
+  /// exclusive right to fit `app` (it must call `end_fit` when done),
+  /// false when another fit for the same app is already in flight.
+  bool try_begin_fit(const std::string& app);
+  void end_fit(const std::string& app, bool completed);
+
   /// Loaded application names, sorted.
   std::vector<std::string> app_names() const;
+
+  /// Per-model version/staleness rows, sorted by name (`serve --status`).
+  std::vector<ModelInfo> model_infos() const;
 
   RegistryStats stats() const;
 
  private:
   struct Entry {
-    std::shared_ptr<const codesign::AppRequirements> models;
+    /// The hot-swap slot; a stable heap object so publishes and reads can
+    /// proceed outside the registry mutex.
+    std::shared_ptr<online::VersionedModel> slot =
+        std::make_shared<online::VersionedModel>();
     bool fitting = false;
   };
 

@@ -1,10 +1,14 @@
 #include "serve/server.hpp"
 
+#include <cmath>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
 namespace exareq::serve {
@@ -136,7 +140,19 @@ std::string Server::process(const std::string& line) {
     return error_response("bad-request", error.what());
   }
   if (request.kind == RequestKind::kStatus) {
-    return ok_response("status " + status_line(metrics()));
+    std::string line_out = status_line(metrics());
+    if (options_.online.status_fields) {
+      const std::string extra = options_.online.status_fields();
+      if (!extra.empty()) line_out += " " + extra;
+    }
+    return ok_response("status " + line_out);
+  }
+  if (request.kind == RequestKind::kIngest) {
+    if (!options_.online.ingest) {
+      return error_response("bad-request",
+                            "ingest is not enabled on this server");
+    }
+    return options_.online.ingest(request);
   }
   return engine_.answer(request);
 }
@@ -159,11 +175,34 @@ MetricsSnapshot Server::metrics() const {
   snapshot.in_flight_fits = registry.in_flight_fits;
   snapshot.files_loaded = registry.files_loaded;
   snapshot.apps_loaded = registry.apps;
+  snapshot.hot_swaps = registry.hot_swaps;
   return snapshot;
 }
 
 std::string Server::status_report() const {
-  return render_status_report(metrics());
+  std::string report = render_status_report(metrics());
+  const std::vector<ModelInfo> infos = registry_.model_infos();
+  if (!infos.empty()) {
+    TextTable table(
+        {"Model", "Version", "Source", "Rows", "MeanRelErr", "Age [s]"});
+    table.set_alignment({Align::kLeft, Align::kRight, Align::kLeft,
+                         Align::kRight, Align::kRight, Align::kRight});
+    for (const ModelInfo& info : infos) {
+      table.add_row({info.name, std::to_string(info.version),
+                     online::version_source_name(info.source),
+                     std::to_string(info.rows),
+                     std::isnan(info.mean_abs_relative_error)
+                         ? std::string("-")
+                         : format_compact(info.mean_abs_relative_error),
+                     format_fixed(info.age_seconds, 1)});
+    }
+    report += "\n" + table.render();
+  }
+  if (options_.online.status_section) {
+    const std::string section = options_.online.status_section();
+    if (!section.empty()) report += "\n" + section;
+  }
+  return report;
 }
 
 }  // namespace exareq::serve

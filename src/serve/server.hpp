@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,20 @@ class ThreadPool;
 
 namespace exareq::serve {
 
+/// Callbacks the online-requirements service (src/online) installs so the
+/// server can route `ingest` requests and extend `status` without the
+/// serve library depending on the online one (which depends on serve).
+/// The hook owner must outlive the server.
+struct OnlineHooks {
+  /// Handles one ingest request; returns the full response line and must
+  /// not throw. Unset = ingest answered `error bad-request: ... not enabled`.
+  std::function<std::string(const Request&)> ingest;
+  /// Extra `key=value ...` fields appended to the status line.
+  std::function<std::string()> status_fields;
+  /// Extra multi-line section appended to the --status report.
+  std::function<std::string()> status_section;
+};
+
 struct ServerOptions {
   /// Worker threads draining the queue; 0 = hardware concurrency.
   std::size_t workers = 0;
@@ -53,6 +68,8 @@ struct ServerOptions {
   /// Result-cache entries (0 disables caching) and shard count.
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 8;
+  /// Online ingest/refit integration (empty = serving is read-only).
+  OnlineHooks online = {};
 };
 
 class Server {

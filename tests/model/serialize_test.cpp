@@ -121,5 +121,57 @@ TEST(SerializeTest, BundleRejectsEmptyInput) {
                exareq::InvalidArgument);
 }
 
+TEST(SerializeTest, BundleFormatVersionRoundTrips) {
+  ModelBundle original;
+  original.name = "Versioned";
+  original.models = {{"footprint", lulesh_like()}};
+  const std::string text = serialize_bundle(original);
+  EXPECT_NE(text.find("# format 1"), std::string::npos) << text;
+
+  const ModelBundle restored = parse_bundle(text);
+  EXPECT_EQ(restored.format_version, ModelBundle::kCurrentFormatVersion);
+  EXPECT_EQ(restored.name, "Versioned");
+  ASSERT_EQ(restored.models.size(), 1u);
+}
+
+TEST(SerializeTest, BundleWithoutFormatLineDefaultsToCurrent) {
+  // Files written before the format field existed carry no `# format`
+  // line; they must keep loading as format 1.
+  const std::string text = "# exareq requirement models: Legacy\n"
+                           "# footprint\n" +
+                           serialize_model(lulesh_like());
+  const ModelBundle bundle = parse_bundle(text);
+  EXPECT_EQ(bundle.format_version, 1);
+  ASSERT_EQ(bundle.models.size(), 1u);
+}
+
+TEST(SerializeTest, BundleRejectsUnknownFutureFormat) {
+  const std::string text = "# exareq requirement models: Future\n"
+                           "# format 2\n"
+                           "# footprint\n" +
+                           serialize_model(lulesh_like());
+  try {
+    parse_bundle(text);
+    FAIL() << "future format accepted";
+  } catch (const exareq::InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("format 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("max format 1"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeTest, BundleRejectsMalformedFormatLine) {
+  const std::string body = "# footprint\n" + serialize_model(lulesh_like());
+  EXPECT_THROW(parse_bundle("# exareq requirement models: X\n# format x\n" +
+                            body),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_bundle("# exareq requirement models: X\n# format 1.5\n" +
+                            body),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_bundle("# exareq requirement models: X\n# format 0\n" +
+                            body),
+               exareq::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace exareq::model

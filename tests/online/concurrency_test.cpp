@@ -1,0 +1,154 @@
+// Race tests for the hot-swap path, designed for the TSan preset
+// (`ctest -R 'Online'` under --preset tsan): queries must never observe a
+// partially-swapped model, and version ids must stay coherent with the
+// slot epoch while ingest, refit, and fit-on-demand contend on one key.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../serve/serve_test_util.hpp"
+#include "online/service.hpp"
+#include "online/versioned_model.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+
+namespace exareq::online {
+namespace {
+
+std::shared_ptr<const codesign::AppRequirements> bundle(
+    const std::string& name) {
+  return std::make_shared<const codesign::AppRequirements>(
+      serve::testing::make_test_requirements(name));
+}
+
+TEST(OnlineConcurrencyTest, ReadersSeeOnlyCompleteSnapshotsDuringPublishRace) {
+  VersionedModel slot;
+  constexpr int kPublishes = 400;
+  constexpr int kReaders = 4;
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&slot, &done, &failed] {
+      std::uint64_t last_seen = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snapshot = slot.current();
+        const std::uint64_t epoch = slot.epoch();
+        if (snapshot == nullptr) continue;
+        // A snapshot is all-or-nothing: its models pointer is set and its
+        // version id never runs ahead of the slot epoch (current was
+        // loaded first) or behind what this reader already saw.
+        if (snapshot->models == nullptr || snapshot->version == 0 ||
+            snapshot->version > epoch || snapshot->version < last_seen) {
+          failed.store(true, std::memory_order_release);
+          return;
+        }
+        last_seen = snapshot->version;
+      }
+    });
+  }
+
+  for (int i = 0; i < kPublishes; ++i) {
+    slot.publish(bundle("app"), VersionSource::kOnlineRefit,
+                 static_cast<std::uint64_t>(i + 1), 0.1);
+    if (i % 16 == 15) slot.rollback();  // rollbacks are publishes too
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_FALSE(failed.load());
+  ASSERT_NE(slot.current(), nullptr);
+  EXPECT_EQ(slot.current()->version, slot.epoch());
+}
+
+TEST(OnlineConcurrencyTest, IngestRefitAndQueryRaceOnOneKey) {
+  // Fit-on-demand and the online refitter share the registry's
+  // single-flight gate; queries read through the atomic slot. Hammer all
+  // three on the same key and check that every observation is coherent.
+  serve::ModelRegistry registry(
+      [](const std::string& app) {
+        return serve::testing::make_test_requirements(app);
+      });
+
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 2;
+  auto fit = [](const pipeline::CampaignData& data) {
+    pipeline::FittedBundle fitted;
+    fitted.requirements = serve::testing::make_test_requirements(data.app_name);
+    fitted.mean_abs_relative_error = 0.05;
+    return fitted;
+  };
+  OnlineService service(registry, options, fit);
+
+  constexpr int kBatches = 30;
+  const char* kHeader =
+      "p,n,bytes_used,flops,loads_stores,bytes_sent_received,stack_distance";
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  std::thread ingester([&service, &failed, kHeader] {
+    for (int i = 0; i < kBatches; ++i) {
+      const std::string line = std::string("ingest app ") + kHeader + ";" +
+                               std::to_string(1 << (1 + i % 8)) + "," +
+                               std::to_string(32 + i) + ",1e3,2e6,3e5,4e4,12.5";
+      const serve::Request request = serve::parse_request(line);
+      const std::string response = service.handle_ingest(request);
+      if (response.rfind("ok ", 0) != 0) {
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  });
+
+  std::thread querier([&registry, &done, &failed] {
+    while (!done.load(std::memory_order_acquire)) {
+      // get() may fit on demand; either way the bundle must be complete.
+      const auto models = registry.get("app");
+      if (models == nullptr || models->name.empty()) {
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  });
+
+  std::thread inspector([&registry, &done, &failed] {
+    std::uint64_t last_seen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto version = registry.version_of("app");
+      if (version == nullptr) continue;
+      if (version->models == nullptr || version->version < last_seen) {
+        failed.store(true, std::memory_order_release);
+        return;
+      }
+      last_seen = version->version;
+    }
+  });
+
+  ingester.join();
+  service.drain();
+  done.store(true, std::memory_order_release);
+  querier.join();
+  inspector.join();
+
+  EXPECT_FALSE(failed.load());
+  const OnlineStats stats = service.stats();
+  EXPECT_EQ(stats.rows_ingested, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(stats.rows_pending, 0u);
+  EXPECT_GE(stats.refits, 1u);
+  const auto version = registry.version_of("app");
+  ASSERT_NE(version, nullptr);
+  EXPECT_NE(version->models, nullptr);
+  // The final refit (after drain) saw every ingested row.
+  EXPECT_GE(version->version, stats.last_version);
+}
+
+}  // namespace
+}  // namespace exareq::online

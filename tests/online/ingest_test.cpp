@@ -1,0 +1,161 @@
+// Ingest payload validation (wire -> rows) and the bounded staging buffer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "online/ingest.hpp"
+#include "online/ingest_buffer.hpp"
+#include "support/error.hpp"
+
+namespace exareq::online {
+namespace {
+
+const char* kHeader =
+    "p,n,bytes_used,flops,loads_stores,bytes_sent_received,stack_distance";
+
+std::string payload(const std::vector<std::string>& records) {
+  std::string text = kHeader;
+  for (const std::string& record : records) text += ";" + record;
+  return text;
+}
+
+TEST(OnlineIngestTest, ParsesValidBatch) {
+  const auto rows = parse_ingest_payload(
+      payload({"4,64,1e3,2e6,3e5,4e4,12.5", "8,128,2e3,4e6,6e5,8e4,25"}));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].processes, 4);
+  EXPECT_EQ(rows[0].problem_size, 64);
+  EXPECT_DOUBLE_EQ(rows[0].bytes_used, 1e3);
+  EXPECT_DOUBLE_EQ(rows[1].stack_distance, 25.0);
+  EXPECT_TRUE(rows[0].channels.empty());
+}
+
+TEST(OnlineIngestTest, ParsesChannelColumns) {
+  const std::string text =
+      std::string(kHeader) +
+      ",chan:a:mpi_allreduce;16,256,1,2,3,4,5,9.5e2";
+  const auto rows = parse_ingest_payload(text);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].channels.count("mpi_allreduce"), 1u);
+  const auto& channel = rows[0].channels.at("mpi_allreduce");
+  EXPECT_DOUBLE_EQ(channel.bytes, 9.5e2);
+  EXPECT_TRUE(channel.uses_allreduce);
+  EXPECT_FALSE(channel.uses_bcast);
+}
+
+TEST(OnlineIngestTest, RejectsHeaderOnlyPayload) {
+  EXPECT_THROW(parse_ingest_payload(kHeader), exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, RejectsMissingColumns) {
+  EXPECT_THROW(parse_ingest_payload("p,n,bytes_used;4,64,1"),
+               exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, RejectsRaggedRows) {
+  EXPECT_THROW(parse_ingest_payload(payload({"4,64,1,2,3,4"})),
+               exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, RejectsNanAndInfCells) {
+  EXPECT_THROW(parse_ingest_payload(payload({"4,64,nan,2,3,4,5"})),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_ingest_payload(payload({"4,64,inf,2,3,4,5"})),
+               exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, RejectsNonIntegralOrNonPositiveGridCoordinates) {
+  EXPECT_THROW(parse_ingest_payload(payload({"4.5,64,1,2,3,4,5"})),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_ingest_payload(payload({"0,64,1,2,3,4,5"})),
+               exareq::InvalidArgument);
+  EXPECT_THROW(parse_ingest_payload(payload({"4,-64,1,2,3,4,5"})),
+               exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, RejectsNegativeMetrics) {
+  EXPECT_THROW(parse_ingest_payload(payload({"4,64,-1,2,3,4,5"})),
+               exareq::InvalidArgument);
+}
+
+TEST(OnlineIngestTest, ErrorsNameTheOffendingRow) {
+  try {
+    parse_ingest_payload(payload({"4,64,1,2,3,4,5", "3.5,64,1,2,3,4,5"}));
+    FAIL() << "expected InvalidArgument";
+  } catch (const exareq::InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("row 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+pipeline::AppMeasurement row(int p, std::int64_t n) {
+  pipeline::AppMeasurement m;
+  m.processes = p;
+  m.problem_size = n;
+  return m;
+}
+
+TEST(OnlineIngestBufferTest, RowCountThresholdMakesKeyDue) {
+  RefitPolicy policy;
+  policy.refit_rows = 3;
+  IngestBuffer buffer(policy);
+  EXPECT_EQ(buffer.add("app", {row(4, 64), row(8, 64)}), 2u);
+  EXPECT_TRUE(buffer.due_keys().empty());
+  EXPECT_EQ(buffer.add("app", {row(16, 64)}), 3u);
+  ASSERT_EQ(buffer.due_keys().size(), 1u);
+  EXPECT_EQ(buffer.due_keys()[0], "app");
+  EXPECT_EQ(buffer.total_pending(), 3u);
+
+  const auto taken = buffer.take("app");
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_EQ(buffer.total_pending(), 0u);
+  EXPECT_TRUE(buffer.due_keys().empty());
+}
+
+TEST(OnlineIngestBufferTest, StalenessMakesKeyDueUnderInjectedClock) {
+  RefitPolicy policy;
+  policy.refit_rows = 0;  // only the staleness trigger
+  policy.max_staleness = std::chrono::milliseconds(100);
+  auto now = std::chrono::steady_clock::time_point{};
+  IngestBuffer buffer(policy, [&now] { return now; });
+  buffer.add("app", {row(4, 64)});
+  EXPECT_TRUE(buffer.due_keys().empty());
+  EXPECT_DOUBLE_EQ(buffer.staleness_seconds("app"), 0.0);
+
+  now += std::chrono::milliseconds(250);
+  ASSERT_EQ(buffer.due_keys().size(), 1u);
+  EXPECT_DOUBLE_EQ(buffer.staleness_seconds("app"), 0.25);
+  EXPECT_DOUBLE_EQ(buffer.max_staleness_seconds(), 0.25);
+}
+
+TEST(OnlineIngestBufferTest, BoundedMemoryRejectsOverflowingBatch) {
+  RefitPolicy policy;
+  policy.max_pending_rows = 3;
+  IngestBuffer buffer(policy);
+  buffer.add("app", {row(4, 64), row(8, 64)});
+  EXPECT_THROW(buffer.add("app", {row(16, 64), row(32, 64)}),
+               exareq::InvalidArgument);
+  // The rejected batch left nothing behind.
+  EXPECT_EQ(buffer.pending("app"), 2u);
+  // A fitting batch still goes through.
+  EXPECT_EQ(buffer.add("app", {row(16, 64)}), 3u);
+}
+
+TEST(OnlineIngestBufferTest, KeysAreIndependent) {
+  RefitPolicy policy;
+  policy.refit_rows = 2;
+  IngestBuffer buffer(policy);
+  buffer.add("a", {row(4, 64)});
+  buffer.add("b", {row(4, 64), row(8, 64)});
+  const auto due = buffer.due_keys();
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], "b");
+  const auto pending = buffer.pending_keys();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(buffer.total_pending(), 3u);
+}
+
+}  // namespace
+}  // namespace exareq::online

@@ -1,0 +1,261 @@
+// OnlineService end to end: ingest over the serve protocol, policy-driven
+// refits, hot-swap, rollback, failure handling, and status reporting.
+#include "online/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../serve/serve_test_util.hpp"
+#include "online/refitter.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+
+namespace exareq::online {
+namespace {
+
+const char* kHeader =
+    "p,n,bytes_used,flops,loads_stores,bytes_sent_received,stack_distance";
+
+std::string ingest_line(const std::string& app, int rows, int p0 = 4) {
+  std::string line = "ingest " + app + " " + kHeader;
+  for (int i = 0; i < rows; ++i) {
+    const int p = p0 << i;
+    line += ";" + std::to_string(p) + ",64,1e3,2e6,3e5,4e4,12.5";
+  }
+  return line;
+}
+
+/// A fit seam that records how many rows each fit saw and returns a
+/// synthetic bundle with a scripted quality sequence.
+struct ScriptedFitter {
+  std::vector<double> qualities{0.1};
+  std::atomic<int> calls{0};
+  std::mutex mutex;
+  std::vector<std::size_t> rows_seen;
+
+  IncrementalRefitter::FitFn fn() {
+    return [this](const pipeline::CampaignData& data) {
+      const int call = calls.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        rows_seen.push_back(data.measurements.size());
+      }
+      pipeline::FittedBundle bundle;
+      bundle.requirements =
+          serve::testing::make_test_requirements(data.app_name);
+      bundle.mean_abs_relative_error =
+          qualities[std::min<std::size_t>(static_cast<std::size_t>(call),
+                                          qualities.size() - 1)];
+      return bundle;
+    };
+  }
+};
+
+TEST(OnlineServiceTest, IngestThroughServerRefitsAndHotSwaps) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 3;
+  ScriptedFitter fitter;
+  OnlineService service(registry, options, fitter.fn());
+
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  server_options.online = service.hooks();
+  serve::Server server(registry, server_options);
+
+  const std::string response = server.handle(ingest_line("TestApp", 3));
+  EXPECT_EQ(response.rfind("ok ingest accepted=3 pending=3", 0), 0u)
+      << response;
+  service.drain();
+
+  const auto version = registry.version_of("TestApp");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->version, 1u);
+  EXPECT_EQ(version->source, VersionSource::kOnlineRefit);
+  EXPECT_EQ(version->rows, 3u);
+  EXPECT_DOUBLE_EQ(version->mean_abs_relative_error, 0.1);
+  ASSERT_EQ(fitter.rows_seen.size(), 1u);
+  EXPECT_EQ(fitter.rows_seen[0], 3u);
+
+  // The refitted model answers queries.
+  const std::string eval = server.handle("eval TestApp footprint 4 64");
+  EXPECT_EQ(eval.rfind("ok eval ", 0), 0u) << eval;
+
+  // The status line carries the online fields.
+  const std::string status = server.handle("status");
+  EXPECT_NE(status.find("online_rows=3"), std::string::npos) << status;
+  EXPECT_NE(status.find("online_refits=1"), std::string::npos) << status;
+  // The --status report gains the per-model version/age table and the
+  // online section.
+  const std::string report = server.status_report();
+  EXPECT_NE(report.find("online-refit"), std::string::npos) << report;
+  EXPECT_NE(report.find("Age [s]"), std::string::npos) << report;
+  EXPECT_NE(report.find("rows ingested"), std::string::npos) << report;
+}
+
+TEST(OnlineServiceTest, BelowThresholdRowsStayPendingUntilDrain) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 100;
+  ScriptedFitter fitter;
+  OnlineService service(registry, options, fitter.fn());
+
+  serve::Request request = serve::parse_request(ingest_line("app", 2));
+  const std::string response = service.handle_ingest(request);
+  EXPECT_EQ(response.rfind("ok ingest accepted=2 pending=2", 0), 0u);
+  EXPECT_EQ(service.stats().rows_pending, 2u);
+  EXPECT_EQ(registry.version_of("app"), nullptr);
+
+  service.drain();  // force-flushes below-threshold rows
+  EXPECT_EQ(service.stats().rows_pending, 0u);
+  ASSERT_NE(registry.version_of("app"), nullptr);
+  EXPECT_EQ(registry.version_of("app")->rows, 2u);
+}
+
+TEST(OnlineServiceTest, MalformedPayloadIsStructuredBadRequest) {
+  serve::ModelRegistry registry;
+  ScriptedFitter fitter;
+  OnlineService service(registry, {}, fitter.fn());
+  serve::Request request =
+      serve::parse_request("ingest app p,n;4,not-a-number");
+  const std::string response = service.handle_ingest(request);
+  EXPECT_EQ(response.rfind("error bad-request:", 0), 0u) << response;
+  EXPECT_EQ(service.stats().batches_rejected, 1u);
+  EXPECT_EQ(service.stats().rows_ingested, 0u);
+}
+
+TEST(OnlineServiceTest, FullBufferIsStructuredOverloadError) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 0;  // nothing drains the buffer
+  options.policy.max_pending_rows = 3;
+  ScriptedFitter fitter;
+  OnlineService service(registry, options, fitter.fn());
+
+  const serve::Request first =
+      serve::parse_request(ingest_line("app", 2));
+  EXPECT_EQ(service.handle_ingest(first).rfind("ok ", 0), 0u);
+  const serve::Request second =
+      serve::parse_request(ingest_line("app", 2, 16));
+  const std::string response = service.handle_ingest(second);
+  EXPECT_EQ(response.rfind("error overload:", 0), 0u) << response;
+  EXPECT_NE(response.find("retry after a refit"), std::string::npos);
+  EXPECT_EQ(service.stats().rows_pending, 2u);
+}
+
+TEST(OnlineServiceTest, StalenessTriggersRefitWithoutReachingRowThreshold) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 0;
+  options.policy.max_staleness = std::chrono::milliseconds(50);
+  ScriptedFitter fitter;
+  auto now = std::chrono::steady_clock::time_point{};
+  std::mutex clock_mutex;
+  OnlineService service(registry, options, fitter.fn(),
+                        [&now, &clock_mutex] {
+                          std::lock_guard<std::mutex> lock(clock_mutex);
+                          return now;
+                        });
+
+  const serve::Request request = serve::parse_request(ingest_line("app", 1));
+  ASSERT_EQ(service.handle_ingest(request).rfind("ok ", 0), 0u);
+  {
+    std::lock_guard<std::mutex> lock(clock_mutex);
+    now += std::chrono::milliseconds(200);
+  }
+  // The worker polls staleness every ~20ms of real time.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.stats().refits == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.stats().refits, 1u);
+  ASSERT_NE(registry.version_of("app"), nullptr);
+  EXPECT_EQ(registry.version_of("app")->source, VersionSource::kOnlineRefit);
+}
+
+TEST(OnlineServiceTest, QualityRegressionRollsBackToPreviousVersion) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 1;
+  options.refit.max_quality_regression = 0.1;
+  ScriptedFitter fitter;
+  fitter.qualities = {0.1, 0.9};  // second refit is much worse
+  OnlineService service(registry, options, fitter.fn());
+
+  const serve::Request first = serve::parse_request(ingest_line("app", 1));
+  service.handle_ingest(first);
+  service.drain();
+  const auto v1 = registry.version_of("app");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+
+  const serve::Request second =
+      serve::parse_request(ingest_line("app", 1, 16));
+  service.handle_ingest(second);
+  service.drain();
+
+  const OnlineStats stats = service.stats();
+  EXPECT_EQ(stats.refits, 2u);
+  EXPECT_EQ(stats.rollbacks, 1u);
+  const auto current = registry.version_of("app");
+  ASSERT_NE(current, nullptr);
+  // Rolled back: the good bundle is current again (same object), as a new
+  // epoch with rollback provenance.
+  EXPECT_EQ(current->models, v1->models);
+  EXPECT_EQ(current->source, VersionSource::kRollback);
+  EXPECT_EQ(current->version, 3u);
+}
+
+TEST(OnlineServiceTest, FitFailureKeepsServingThePreviousVersion) {
+  serve::ModelRegistry registry;
+  OnlineServiceOptions options;
+  options.policy.refit_rows = 1;
+  std::atomic<int> calls{0};
+  auto fit = [&calls](const pipeline::CampaignData& data) {
+    if (calls.fetch_add(1) >= 1) {
+      throw exareq::InvalidArgument("synthetic fit failure");
+    }
+    pipeline::FittedBundle bundle;
+    bundle.requirements = serve::testing::make_test_requirements(data.app_name);
+    bundle.mean_abs_relative_error = 0.1;
+    return bundle;
+  };
+  OnlineService service(registry, options, fit);
+
+  service.handle_ingest(serve::parse_request(ingest_line("app", 1)));
+  service.drain();
+  const auto v1 = registry.version_of("app");
+  ASSERT_NE(v1, nullptr);
+
+  service.handle_ingest(serve::parse_request(ingest_line("app", 1, 16)));
+  service.drain();
+  const OnlineStats stats = service.stats();
+  EXPECT_EQ(stats.refit_failures, 1u);
+  EXPECT_EQ(stats.refits, 1u);
+  // Still serving the last good version.
+  EXPECT_EQ(registry.version_of("app")->models, v1->models);
+}
+
+TEST(OnlineServiceTest, IngestWithoutHooksIsRejectedByServer) {
+  serve::ModelRegistry registry;
+  registry.insert(serve::testing::make_test_requirements("app"));
+  serve::ServerOptions options;
+  options.workers = 1;
+  serve::Server server(registry, options);
+  const std::string response = server.handle(ingest_line("app", 1));
+  EXPECT_EQ(response.rfind("error bad-request:", 0), 0u) << response;
+  EXPECT_NE(response.find("not enabled"), std::string::npos) << response;
+}
+
+}  // namespace
+}  // namespace exareq::online

@@ -1,0 +1,83 @@
+// The hot-swap slot: publish flips atomically, versions are epoch-counted,
+// rollback re-publishes the displaced snapshot.
+#include "online/versioned_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "../serve/serve_test_util.hpp"
+
+namespace exareq::online {
+namespace {
+
+std::shared_ptr<const codesign::AppRequirements> bundle(const char* name) {
+  return std::make_shared<const codesign::AppRequirements>(
+      serve::testing::make_test_requirements(name));
+}
+
+TEST(OnlineVersionedModelTest, StartsEmpty) {
+  VersionedModel slot;
+  EXPECT_EQ(slot.current(), nullptr);
+  EXPECT_EQ(slot.previous(), nullptr);
+  EXPECT_EQ(slot.epoch(), 0u);
+  EXPECT_FALSE(slot.rollback());
+}
+
+TEST(OnlineVersionedModelTest, PublishFlipsCurrentAndBumpsEpoch) {
+  VersionedModel slot;
+  const auto models = bundle("app");
+  const std::uint64_t v1 =
+      slot.publish(models, VersionSource::kInsert, 7, 0.25);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(slot.epoch(), 1u);
+  const auto snapshot = slot.current();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->version, 1u);
+  EXPECT_EQ(snapshot->models, models);  // pointer identity, no copy
+  EXPECT_EQ(snapshot->source, VersionSource::kInsert);
+  EXPECT_EQ(snapshot->rows, 7u);
+  EXPECT_DOUBLE_EQ(snapshot->mean_abs_relative_error, 0.25);
+  EXPECT_EQ(slot.previous(), nullptr);
+}
+
+TEST(OnlineVersionedModelTest, SecondPublishRetainsPreviousForRollback) {
+  VersionedModel slot;
+  const auto first = bundle("app");
+  const auto second = bundle("app");
+  slot.publish(first, VersionSource::kInsert);
+  const std::uint64_t v2 =
+      slot.publish(second, VersionSource::kOnlineRefit, 30, 0.5);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(slot.current()->models, second);
+  ASSERT_NE(slot.previous(), nullptr);
+  EXPECT_EQ(slot.previous()->models, first);
+
+  ASSERT_TRUE(slot.rollback());
+  const auto restored = slot.current();
+  EXPECT_EQ(restored->models, first);  // the displaced bundle, same object
+  EXPECT_EQ(restored->source, VersionSource::kRollback);
+  // A rollback is a publish: the epoch moves forward, never back.
+  EXPECT_EQ(restored->version, 3u);
+  EXPECT_EQ(slot.epoch(), 3u);
+  // The rolled-back (bad) version is retained, so rollback can be undone.
+  EXPECT_EQ(slot.previous()->models, second);
+}
+
+TEST(OnlineVersionedModelTest, SourceNamesAreStable) {
+  EXPECT_EQ(version_source_name(VersionSource::kInsert), "insert");
+  EXPECT_EQ(version_source_name(VersionSource::kFile), "file");
+  EXPECT_EQ(version_source_name(VersionSource::kFitOnDemand), "fit-on-demand");
+  EXPECT_EQ(version_source_name(VersionSource::kOnlineRefit), "online-refit");
+  EXPECT_EQ(version_source_name(VersionSource::kRollback), "rollback");
+}
+
+TEST(OnlineVersionedModelTest, DefaultQualityIsUnknown) {
+  VersionedModel slot;
+  slot.publish(bundle("app"), VersionSource::kFile);
+  EXPECT_TRUE(std::isnan(slot.current()->mean_abs_relative_error));
+}
+
+}  // namespace
+}  // namespace exareq::online

@@ -97,6 +97,40 @@ TEST(ServeProtocolTest, RejectsUnknownCommandWithExpectedList) {
   }
 }
 
+TEST(ServeProtocolTest, ParsesIngestWithRawCsvPayload) {
+  const Request r = parse_request(
+      "ingest LULESH p,n,bytes_used,flops,loads_stores,"
+      "bytes_sent_received,stack_distance;4,64,1,2,3,4,5  ");
+  EXPECT_EQ(r.kind, RequestKind::kIngest);
+  EXPECT_EQ(r.app, "LULESH");
+  // The payload is the raw rest-of-line (trailing whitespace trimmed);
+  // validation happens in the online layer, not the protocol parser.
+  EXPECT_EQ(r.payload,
+            "p,n,bytes_used,flops,loads_stores,"
+            "bytes_sent_received,stack_distance;4,64,1,2,3,4,5");
+}
+
+TEST(ServeProtocolTest, RejectsIngestWithoutAppOrPayload) {
+  EXPECT_THROW(parse_request("ingest"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("ingest lulesh"), exareq::InvalidArgument);
+  EXPECT_THROW(parse_request("ingest lulesh   "), exareq::InvalidArgument);
+  try {
+    parse_request("ingest lulesh ");
+    FAIL() << "empty payload accepted";
+  } catch (const exareq::InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("payload"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ServeProtocolTest, IngestIsNotCacheableAndKeysByApp) {
+  const Request a = parse_request("ingest LULESH p,n;4,64");
+  EXPECT_FALSE(cacheable(a));
+  const Request b = parse_request("ingest lulesh p,n;8,128");
+  // The cache key unifies app spellings; ingest bypasses the cache anyway.
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+}
+
 TEST(ServeFrameDecoderTest, SplitsCompleteFramesAndBuffersTheTail) {
   FrameDecoder decoder;
   const auto frames = decoder.feed("status\neval a flops 1 2\npartial");
@@ -147,6 +181,26 @@ TEST(ServeFrameDecoderTest, OversizedFrameDetectedAcrossChunks) {
   FrameDecoder other(16);
   EXPECT_THROW(other.feed(std::string(17, 'c') + "\n"),
                exareq::InvalidArgument);
+}
+
+TEST(ServeFrameDecoderTest, OversizedIngestFrameIsRejectedStructurally) {
+  // An ingest line carrying an unbounded CSV payload must hit the frame
+  // bound before the payload is ever buffered whole.
+  FrameDecoder decoder(64);
+  std::string line = "ingest app p,n";
+  while (line.size() <= 80) line += ";4,64";
+  try {
+    decoder.feed(line + "\n");
+    FAIL() << "oversized ingest frame accepted";
+  } catch (const exareq::InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("frame"), std::string::npos)
+        << error.what();
+  }
+  // The decoder recovers: the next well-formed request still parses.
+  EXPECT_FALSE(decoder.has_partial_frame());
+  const auto frames = decoder.feed("status\n");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "status");
 }
 
 TEST(ServeFrameDecoderTest, FrameOfExactlyMaxBytesIsAccepted) {

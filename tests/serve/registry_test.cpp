@@ -161,5 +161,79 @@ TEST(ServeRegistryTest, FailedFitIsRetriedNotCached) {
   EXPECT_EQ(registry.stats().fits_completed, 1u);
 }
 
+TEST(ServeRegistryTest, PublishHotSwapsAndTracksVersions) {
+  ModelRegistry registry;
+  registry.insert(make_test_requirements("App"));
+  const auto v1 = registry.version_of("app");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->source, online::VersionSource::kInsert);
+  EXPECT_EQ(registry.stats().hot_swaps, 0u);  // first publish, no swap
+
+  const std::uint64_t v2 = registry.publish(
+      make_test_requirements("App"), online::VersionSource::kOnlineRefit,
+      /*rows=*/25, /*mean_abs_relative_error=*/0.02);
+  EXPECT_EQ(v2, 2u);
+  const auto current = registry.version_of("App");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 2u);
+  EXPECT_EQ(current->rows, 25u);
+  EXPECT_DOUBLE_EQ(current->mean_abs_relative_error, 0.02);
+  EXPECT_EQ(registry.stats().hot_swaps, 1u);
+  EXPECT_EQ(registry.stats().apps, 1u);  // still one app, two versions
+}
+
+TEST(ServeRegistryTest, RollbackRestoresTheDisplacedVersion) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.rollback("ghost"));  // unknown app
+
+  registry.insert(make_test_requirements("App"));
+  EXPECT_FALSE(registry.rollback("app"));  // no displaced version yet
+
+  const auto good = registry.get("app");
+  registry.publish(make_test_requirements("App"),
+                   online::VersionSource::kOnlineRefit, 10, 0.9);
+  ASSERT_TRUE(registry.rollback("APP"));
+  const auto restored = registry.version_of("app");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->source, online::VersionSource::kRollback);
+  EXPECT_EQ(restored->version, 3u);  // rollback is a forward publish
+  EXPECT_EQ(registry.get("app"), good);  // same bundle object again
+}
+
+TEST(ServeRegistryTest, ModelInfosReportVersionProvenanceAndAge) {
+  ModelRegistry registry;
+  registry.insert(make_test_requirements("Beta"));
+  registry.insert(make_test_requirements("Alpha"));
+  registry.publish(make_test_requirements("Beta"),
+                   online::VersionSource::kOnlineRefit, 12, 0.05);
+
+  const auto infos = registry.model_infos();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "Alpha");  // sorted by name
+  EXPECT_EQ(infos[1].name, "Beta");
+  EXPECT_EQ(infos[0].version, 1u);
+  EXPECT_EQ(infos[1].version, 2u);
+  EXPECT_EQ(infos[1].source, online::VersionSource::kOnlineRefit);
+  EXPECT_EQ(infos[1].rows, 12u);
+  EXPECT_GE(infos[0].age_seconds, 0.0);
+}
+
+TEST(ServeRegistryTest, FitGateIsExclusivePerApp) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.try_begin_fit("app"));
+  EXPECT_FALSE(registry.try_begin_fit("APP"));  // same key, gate held
+  EXPECT_TRUE(registry.try_begin_fit("other"));  // distinct apps don't block
+  registry.end_fit("other", /*completed=*/false);
+  registry.end_fit("app", /*completed=*/true);
+  EXPECT_TRUE(registry.try_begin_fit("app"));  // released
+  registry.end_fit("app", true);
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.fits_started, 3u);
+  EXPECT_EQ(stats.fits_completed, 2u);
+  EXPECT_EQ(stats.fit_failures, 1u);
+  EXPECT_EQ(stats.in_flight_fits, 0u);
+}
+
 }  // namespace
 }  // namespace exareq::serve
