@@ -5,8 +5,8 @@
 #include <csignal>
 #include <chrono>
 #include <fstream>
-#include <future>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <set>
@@ -24,8 +24,11 @@
 #include "pipeline/codesign_bridge.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/serve_bridge.hpp"
+#include "serve/binary_protocol.hpp"
+#include "serve/frontend.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
-#include "serve/server.hpp"
+#include "serve/sharded_server.hpp"
 #include "serve/socket_server.hpp"
 #include "support/error.hpp"
 #include "support/format.hpp"
@@ -78,7 +81,7 @@ struct Flags {
 
 /// Flags that take no value (an optional one may still follow via --flag=v).
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"status", "metrics"};
+  static const std::set<std::string> flags = {"status", "metrics", "binary"};
   return flags;
 }
 
@@ -285,12 +288,16 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void handle_stop_signal(int) { g_stop_requested = 1; }
 
-/// Serve options from flags (workers/queue/deadline-ms/cache).
-serve::ServerOptions server_options(const Flags& flags) {
-  serve::ServerOptions options;
+/// Serve options from flags (workers/queue/deadline-ms/cache). --workers
+/// is the shard count; 0 (the default) sizes it to the hardware.
+serve::ShardedServerOptions sharded_options(const Flags& flags) {
+  serve::ShardedServerOptions options;
   const std::int64_t workers = flags.integer("workers", 0);
   exareq::require(workers >= 0, "--workers expects a non-negative integer");
-  options.workers = static_cast<std::size_t>(workers);
+  options.shards =
+      workers == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(workers);
   const std::int64_t queue = flags.integer("queue", 256);
   exareq::require(queue >= 1, "--queue expects a positive integer");
   options.queue_capacity = static_cast<std::size_t>(queue);
@@ -300,6 +307,30 @@ serve::ServerOptions server_options(const Flags& flags) {
   const std::int64_t cache = flags.integer("cache", 1024);
   exareq::require(cache >= 0, "--cache expects a non-negative integer");
   options.cache_capacity = static_cast<std::size_t>(cache);
+  return options;
+}
+
+/// Front-end listener options from flags (socket/tcp/max-frame).
+serve::FrontEndOptions frontend_options(const Flags& flags) {
+  serve::FrontEndOptions options;
+  if (const auto socket_path = flags.get("socket")) {
+    options.unix_path = *socket_path;
+  }
+  const std::int64_t tcp = flags.integer("tcp", -1);
+  exareq::require(tcp >= -1 && tcp <= 65535,
+                  "--tcp expects a port number (0 binds an ephemeral port)");
+  options.tcp_port = static_cast<int>(tcp);
+  const std::int64_t max_frame = flags.integer(
+      "max-frame",
+      static_cast<std::int64_t>(serve::FrameDecoder::kDefaultMaxFrameBytes));
+  exareq::require(max_frame >= 1, "--max-frame expects a positive byte count");
+  options.max_frame_bytes = static_cast<std::size_t>(max_frame);
+  const std::int64_t max_binary = flags.integer(
+      "max-binary-frame",
+      static_cast<std::int64_t>(serve::binary::kDefaultBatchMaxFrameBytes));
+  exareq::require(max_binary >= 1,
+                  "--max-binary-frame expects a positive byte count");
+  options.max_binary_frame_bytes = static_cast<std::size_t>(max_binary);
   return options;
 }
 
@@ -336,75 +367,166 @@ online::OnlineServiceOptions online_options(const Flags& flags) {
 }
 
 int cmd_serve(const Flags& flags, std::ostream& out, std::ostream& err) {
-  serve::ModelRegistry registry(
-      pipeline::make_registry_fitter(campaign_config(flags)));
+  // Each shard owns a full slice of the serving stack; the factory hands
+  // every shard its own fit-on-demand registry (the fitter is serial per
+  // shard, so shards may fit distinct apps concurrently).
+  const pipeline::CampaignConfig fit_config = campaign_config(flags);
+  serve::ShardedServer server(sharded_options(flags), [fit_config] {
+    return std::make_unique<serve::ModelRegistry>(
+        pipeline::make_registry_fitter(fit_config));
+  });
   if (const auto models = flags.get("models")) {
     for (const std::string& path : split_paths(*models)) {
-      const std::string name = registry.load_file(path);
-      err << "loaded models for " << name << " from " << path << "\n";
+      const std::string name = server.load_file(path);
+      err << "loaded models for " << name << " into shard "
+          << server.shard_of(name) << " from " << path << "\n";
     }
   }
-  // Declared registry -> service -> server so the hooks the server holds
-  // outlive it, and refits can publish into the registry until the end.
-  online::OnlineService online_service(registry, online_options(flags));
-  serve::ServerOptions options = server_options(flags);
-  options.online = online_service.hooks();
-  serve::Server server(registry, options);
+  // One online service per shard, bound to that shard's registry, so
+  // ingest-triggered refits publish into the owning shard without any
+  // cross-shard locking. Declared after the server they feed; the explicit
+  // server.stop() below joins the shard threads before these services (and
+  // the hooks they back) are destroyed.
+  std::vector<std::unique_ptr<online::OnlineService>> online_services;
+  for (std::size_t shard = 0; shard < server.shard_count(); ++shard) {
+    online_services.push_back(std::make_unique<online::OnlineService>(
+        server.registry(shard), online_options(flags)));
+    server.set_online_hooks(shard, online_services.back()->hooks());
+  }
+  const auto drain_online = [&online_services] {
+    for (const auto& service : online_services) service->drain();
+  };
 
   const auto requests = flags.get("requests");
-  const auto socket_path = flags.get("socket");
-  exareq::require(requests.has_value() || socket_path.has_value(),
-                  "serve needs --requests FILE and/or --socket PATH");
+  const serve::FrontEndOptions front_options = frontend_options(flags);
+  const bool listen =
+      !front_options.unix_path.empty() || front_options.tcp_port >= 0;
+  exareq::require(requests.has_value() || listen,
+                  "serve needs --requests FILE, --socket PATH, and/or "
+                  "--tcp PORT");
 
   if (requests.has_value()) {
     std::ifstream file(*requests);
     exareq::require(file.good(),
                     "cannot open request file '" + *requests + "'");
-    // Submit everything up front so the admission queue, workers, and
-    // backpressure see the whole batch, then answer in request order.
-    std::vector<std::future<std::string>> responses;
+    std::vector<std::string> lines;
     std::string line;
     while (std::getline(file, line)) {
       if (line.empty() || line[0] == '#') continue;
-      responses.push_back(server.submit(line));
+      lines.push_back(line);
     }
-    for (auto& response : responses) out << response.get() << "\n";
+    // The whole file goes down as one batch — parsed once, bucketed by
+    // shard, buckets answered in parallel, responses in request order.
+    // Malformed lines answer in place without failing the batch.
+    std::vector<std::string> responses(lines.size());
+    std::vector<serve::Request> batch;
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      try {
+        batch.push_back(serve::parse_request(lines[i]));
+        positions.push_back(i);
+      } catch (const exareq::Error& error) {
+        responses[i] = serve::error_response("bad-request", error.what());
+      }
+    }
+    const std::vector<std::string> answers = server.submit_batch(batch);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      responses[positions[i]] = answers[i];
+    }
+    for (const std::string& response : responses) out << response << "\n";
     // Batch mode is often scripted (ingest rows then read --status); a
     // drain makes every accepted row's refit visible before the report.
-    online_service.drain();
-    err << "served " << responses.size() << " requests\n";
+    drain_online();
+    err << "served " << responses.size() << " requests across "
+        << server.shard_count() << " shards\n";
   }
 
-  if (socket_path.has_value()) {
-    serve::SocketServer socket(server, *socket_path);
-    socket.start();
-    err << "serving on " << *socket_path << " with " << server.worker_count()
-        << " workers (SIGINT/SIGTERM stops)\n";
+  if (listen) {
+    serve::FrontEnd front(server, front_options);
+    front.start();
+    err << "serving on ";
+    if (!front_options.unix_path.empty()) err << front_options.unix_path;
+    if (front.tcp_port() >= 0) {
+      if (!front_options.unix_path.empty()) err << " and ";
+      err << front_options.tcp_host << ":" << front.tcp_port();
+    }
+    err << " with " << server.shard_count()
+        << " worker shards, text + binary (SIGINT/SIGTERM stops)\n";
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
     while (g_stop_requested == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    socket.stop();
+    front.stop();
     err << "shut down\n";
   }
 
   if (flags.flag_set("status")) {
-    online_service.drain();
+    drain_online();
     out << server.status_report();
   }
+  // Shard threads call into the per-shard online hooks, so the server must
+  // be fully stopped before the services (declared after it) go away.
+  server.stop();
   return 0;
 }
 
 int cmd_query(const Flags& flags, std::ostream& out) {
   const auto socket_path = flags.get("socket");
+  const std::int64_t tcp_port = flags.integer("tcp", -1);
+  exareq::require(tcp_port >= -1 && tcp_port <= 65535,
+                  "--tcp expects a port number");
+  exareq::require(socket_path.has_value() != (tcp_port >= 0),
+                  "query needs exactly one of --socket PATH or --tcp PORT");
+  const std::string host = flags.get("host").value_or("127.0.0.1");
   const auto request = flags.get("request");
-  exareq::require(socket_path.has_value() && request.has_value(),
-                  "query needs --socket PATH and --request 'LINE'");
-  const std::string response =
-      serve::query_over_socket(*socket_path, *request);
-  out << response << "\n";
-  return response.rfind("ok", 0) == 0 ? 0 : 1;
+  const auto requests_file = flags.get("requests");
+  exareq::require(request.has_value() != requests_file.has_value(),
+                  "query needs exactly one of --request 'LINE' or "
+                  "--requests FILE");
+
+  // Single text query (the default): one line down, one line back.
+  if (request.has_value() && !flags.flag_set("binary")) {
+    const std::string response =
+        socket_path.has_value()
+            ? serve::query_over_socket(*socket_path, *request)
+            : serve::query_over_tcp(host, static_cast<int>(tcp_port),
+                                    *request);
+    out << response << "\n";
+    return response.rfind("ok", 0) == 0 ? 0 : 1;
+  }
+
+  // Binary path (--binary, or implied by --requests): every request rides
+  // in one frame, decoded once server-side and bucketed across shards.
+  std::vector<std::string> lines;
+  if (request.has_value()) {
+    lines.push_back(*request);
+  } else {
+    std::ifstream file(*requests_file);
+    exareq::require(file.good(),
+                    "cannot open request file '" + *requests_file + "'");
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      lines.push_back(line);
+    }
+  }
+  std::vector<serve::Request> batch;
+  batch.reserve(lines.size());
+  for (const std::string& line : lines) {
+    batch.push_back(serve::parse_request(line));
+  }
+  const std::vector<std::string> responses =
+      socket_path.has_value()
+          ? serve::query_batch_over_socket(*socket_path, batch)
+          : serve::query_batch_over_tcp(host, static_cast<int>(tcp_port),
+                                        batch);
+  bool all_ok = true;
+  for (const std::string& response : responses) {
+    out << response << "\n";
+    if (response.rfind("ok", 0) != 0) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -419,10 +541,13 @@ std::string usage() {
          "  strawman <app> [--in FILE] [--threads N]\n"
          "  locality <app> [--size N]\n"
          "  serve   [--models F1,F2,..] [--requests FILE] [--socket PATH]\n"
-         "           [--workers N] [--queue N] [--deadline-ms D] [--cache N]\n"
+         "           [--tcp PORT] [--workers N] [--queue N] [--deadline-ms D]\n"
+         "           [--cache N] [--max-frame B] [--max-binary-frame B]\n"
          "           [--refit-rows N] [--refit-staleness-ms D] [--max-pending N]\n"
          "           [--max-regression X] [--status]\n"
-         "  query   --socket PATH --request 'eval LULESH flops 64 1024'\n"
+         "  query   (--socket PATH | --tcp PORT [--host H])\n"
+         "           (--request 'eval LULESH flops 64 1024' | --requests FILE)\n"
+         "           [--binary]\n"
          "Every command except `list` also accepts:\n"
          "  --trace FILE     record spans and write a Chrome trace_event JSON\n"
          "                   file (load in chrome://tracing or Perfetto)\n"
@@ -437,12 +562,19 @@ std::string usage() {
          "bit-identical at any thread count).\n"
          "`serve` answers eval/invert/upgrade/strawman/status queries from\n"
          "model bundles (--models, written by `model --models-out`) or by\n"
-         "fitting on demand; --requests FILE serves a batch, --socket serves\n"
-         "a line protocol over a Unix socket, --status prints the metrics\n"
-         "report. `serve` also accepts streamed measurement rows over the\n"
-         "`ingest` verb and refits models online (--refit-rows,\n"
-         "--refit-staleness-ms, --max-pending, --max-regression; see\n"
-         "docs/ONLINE.md). See docs/SERVING.md.\n";
+         "fitting on demand. Applications are hash-partitioned across\n"
+         "--workers shards (0 = hardware concurrency), each owning its own\n"
+         "registry, cache, and online refit loop. --requests FILE serves the\n"
+         "file as one batch; --socket and/or --tcp start listeners speaking\n"
+         "both the line text protocol and the batched binary wire format\n"
+         "(auto-detected per connection; --max-frame / --max-binary-frame\n"
+         "bound a request line / binary frame); --status prints the metrics\n"
+         "report with a per-shard table. `serve` also accepts streamed\n"
+         "measurement rows over the `ingest` verb and refits models online\n"
+         "(--refit-rows, --refit-staleness-ms, --max-pending,\n"
+         "--max-regression; see docs/ONLINE.md). `query` sends one line\n"
+         "(text) or, with --binary or --requests FILE, a batched binary\n"
+         "frame. See docs/SERVING.md for both wire formats.\n";
 }
 
 std::vector<std::int64_t> parse_int_list(const std::string& text) {

@@ -30,12 +30,6 @@ double parse_number(const std::string& token, const char* what) {
   return value;
 }
 
-const std::vector<std::string>& metric_names() {
-  static const std::vector<std::string> names = {
-      "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
-  return names;
-}
-
 std::string lowercase(std::string text) {
   std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
@@ -51,6 +45,43 @@ void expect_arity(const std::vector<std::string>& tokens, std::size_t arity,
 }
 
 }  // namespace
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string> names = {
+      "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
+  return names;
+}
+
+void validate_request(const Request& request) {
+  if (request.kind == RequestKind::kStatus) return;
+  exareq::require(!request.app.empty(), "application name is empty");
+  switch (request.kind) {
+    case RequestKind::kEval: {
+      const auto& names = metric_names();
+      exareq::require(
+          std::find(names.begin(), names.end(), request.metric) != names.end(),
+          "unknown metric '" + request.metric +
+              "' (expected footprint|flops|comm_bytes|loads_stores|stack_distance)");
+      exareq::require(request.p >= 1.0 && request.n >= 1.0,
+                      "eval coordinates must be >= 1");
+      break;
+    }
+    case RequestKind::kInvert:
+    case RequestKind::kUpgrade:
+      exareq::require(request.processes >= 1.0, "process count must be >= 1");
+      exareq::require(request.memory_per_process > 0.0,
+                      "memory per process must be positive");
+      break;
+    case RequestKind::kIngest:
+      exareq::require(!request.payload.empty(),
+                      "ingest payload is empty (expected ';'-joined campaign "
+                      "CSV records, header first)");
+      break;
+    case RequestKind::kStrawman:
+    case RequestKind::kStatus:
+      break;
+  }
+}
 
 FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
     : max_frame_bytes_(max_frame_bytes) {
@@ -143,15 +174,9 @@ Request parse_request(const std::string& line) {
     request.kind = RequestKind::kEval;
     request.app = tokens[1];
     request.metric = tokens[2];
-    const auto& names = metric_names();
-    exareq::require(
-        std::find(names.begin(), names.end(), request.metric) != names.end(),
-        "unknown metric '" + request.metric +
-            "' (expected footprint|flops|comm_bytes|loads_stores|stack_distance)");
     request.p = parse_number(tokens[3], "process count");
     request.n = parse_number(tokens[4], "problem size");
-    exareq::require(request.p >= 1.0 && request.n >= 1.0,
-                    "eval coordinates must be >= 1");
+    validate_request(request);
     return request;
   }
   if (verb == "invert" || verb == "upgrade") {
@@ -163,9 +188,7 @@ Request parse_request(const std::string& line) {
     request.app = tokens[1];
     request.processes = parse_number(tokens[2], "process count");
     request.memory_per_process = parse_number(tokens[3], "memory per process");
-    exareq::require(request.processes >= 1.0, "process count must be >= 1");
-    exareq::require(request.memory_per_process > 0.0,
-                    "memory per process must be positive");
+    validate_request(request);
     return request;
   }
   if (verb == "strawman") {

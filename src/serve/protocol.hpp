@@ -68,6 +68,16 @@ struct Request {
 /// Parses one request line; throws InvalidArgument on malformed input.
 Request parse_request(const std::string& line);
 
+/// The eval metric names, in canonical order. The index of a name in this
+/// list is its metric id on the binary wire (serve/binary_protocol.hpp).
+const std::vector<std::string>& metric_names();
+
+/// Semantic validation shared by the text parser and the binary decoder:
+/// throws InvalidArgument (with the same messages parse_request produces)
+/// when a request violates a protocol invariant — unknown metric,
+/// coordinates below 1, non-positive memory, empty app or ingest payload.
+void validate_request(const Request& request);
+
 /// Canonical cache key: kind, lower-cased app, and full-precision numbers,
 /// so "eval LULESH flops 64 1024" and "eval lulesh flops 64.0 1e3+24" -- any
 /// spelling of the same request -- map to the same entry.

@@ -1,0 +1,500 @@
+#include "serve/sharded_server.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+#include "support/format.hpp"
+#include "support/table.hpp"
+
+namespace exareq::serve {
+namespace {
+
+/// Work envelopes travel on this tag; replies use per-batch ticket tags
+/// in [1, simmpi::kUserTagLimit).
+constexpr simmpi::Tag kTagWork = 0;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void put_u32_le(std::vector<std::byte>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xFF));
+  }
+}
+
+void put_i64_le(std::vector<std::byte>& out, std::int64_t value) {
+  const auto bits = static_cast<std::uint64_t>(value);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::byte>((bits >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t read_u32_le(const std::byte* p) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | std::to_integer<std::uint32_t>(p[i]);
+  }
+  return value;
+}
+
+std::int64_t read_i64_le(const std::byte* p) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) {
+    bits = (bits << 8) | std::to_integer<std::uint64_t>(p[i]);
+  }
+  return static_cast<std::int64_t>(bits);
+}
+
+/// [reply_tag u32][enqueue_ns i64][request frame]
+constexpr std::size_t kWorkHeaderBytes = 12;
+
+std::vector<std::byte> pack_work(std::uint32_t reply_tag,
+                                 std::int64_t enqueue_ns,
+                                 std::string_view frame) {
+  std::vector<std::byte> payload;
+  payload.reserve(kWorkHeaderBytes + frame.size());
+  put_u32_le(payload, reply_tag);
+  put_i64_le(payload, enqueue_ns);
+  for (const char byte : frame) {
+    payload.push_back(static_cast<std::byte>(byte));
+  }
+  return payload;
+}
+
+std::string bytes_to_string(const std::vector<std::byte>& bytes,
+                            std::size_t offset) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()) + offset,
+                     bytes.size() - offset);
+}
+
+std::vector<std::byte> string_to_bytes(std::string_view text) {
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  return std::vector<std::byte>(data, data + text.size());
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(ShardedServerOptions options,
+                             RegistryFactory factory)
+    : options_(options) {
+  exareq::require(options_.shards >= 1, "ShardedServer: shards must be >= 1");
+  exareq::require(options_.queue_capacity >= 1,
+                  "ShardedServer: queue capacity must be >= 1");
+  front_rank_ = static_cast<int>(options_.shards);
+  runtime_ = std::make_unique<simmpi::Runtime>(front_rank_ + 1);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->registry =
+        factory ? factory() : std::make_unique<ModelRegistry>();
+    exareq::require(shard->registry != nullptr,
+                    "ShardedServer: registry factory returned null");
+    shard->cache = std::make_unique<ShardedLruCache>(options_.cache_capacity,
+                                                     options_.cache_shards);
+    shard->engine = std::make_unique<QueryEngine>(
+        *shard->registry,
+        options_.cache_capacity > 0 ? shard->cache.get() : nullptr);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->thread = std::thread([this, i] { shard_loop(i); });
+  }
+}
+
+ShardedServer::~ShardedServer() { stop(); }
+
+std::size_t ShardedServer::shard_of(std::string_view app,
+                                    std::size_t shard_count) {
+  // FNV-1a over the lower-cased name, matching the registry's
+  // case-insensitive keys so "LULESH" and "lulesh" land on one shard.
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : app) {
+    hash ^= static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(c)));
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash % shard_count);
+}
+
+std::size_t ShardedServer::shard_of(std::string_view app) const {
+  return shard_of(app, shards_.size());
+}
+
+ModelRegistry& ShardedServer::registry(std::size_t shard) {
+  exareq::require(shard < shards_.size(),
+                  "ShardedServer: shard index out of range");
+  return *shards_[shard]->registry;
+}
+
+void ShardedServer::set_online_hooks(std::size_t shard, OnlineHooks hooks) {
+  exareq::require(shard < shards_.size(),
+                  "ShardedServer: shard index out of range");
+  shards_[shard]->online = std::move(hooks);
+}
+
+void ShardedServer::insert(codesign::AppRequirements models) {
+  exareq::require(!models.name.empty(),
+                  "ShardedServer: bundle has no name to route by");
+  registry(shard_of(models.name)).insert(std::move(models));
+}
+
+std::string ShardedServer::load_file(const std::string& path) {
+  // Load into a scratch registry first to learn the application name, then
+  // route the validated bundle to its owning shard. Bundle files are a
+  // startup-time path, so the extra parse-copy is irrelevant.
+  ModelRegistry scratch;
+  const std::string name = scratch.load_file(path);
+  const auto models = scratch.find(name);
+  exareq::require(models != nullptr,
+                  "model file '" + path + "' loaded no usable bundle");
+  registry(shard_of(name))
+      .publish(*models, online::VersionSource::kFile);
+  return name;
+}
+
+std::vector<std::string> ShardedServer::submit_batch(
+    const std::vector<Request>& requests) {
+  std::vector<std::string> responses(requests.size());
+  if (requests.empty()) return responses;
+  obs::ScopedSpan span("serve_batch", "serve");
+
+  std::shared_lock<std::shared_mutex> lock(lifecycle_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    front_metrics_.requests.fetch_add(requests.size(),
+                                      std::memory_order_relaxed);
+    front_metrics_.responses_error.fetch_add(requests.size(),
+                                             std::memory_order_relaxed);
+    const std::string line =
+        error_response("shutdown", "server is no longer accepting requests");
+    std::fill(responses.begin(), responses.end(), line);
+    return responses;
+  }
+
+  // Bucket by owning shard; status requests are answered here, at the
+  // front end, because only it sees the cross-shard aggregate.
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].kind == RequestKind::kStatus) {
+      front_metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+      front_metrics_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+      responses[i] = ok_response("status " + front_status_line());
+      continue;
+    }
+    buckets[shard_of(requests[i].app)].push_back(i);
+  }
+
+  struct Pending {
+    std::size_t shard;
+    simmpi::Tag ticket;
+    const std::vector<std::size_t>* indices;
+  };
+  std::vector<Pending> pending;
+  const std::int64_t enqueue_ns = steady_now_ns();
+  for (std::size_t shard = 0; shard < buckets.size(); ++shard) {
+    const std::vector<std::size_t>& indices = buckets[shard];
+    if (indices.empty()) continue;
+    Metrics& counters = shards_[shard]->metrics;
+    counters.requests.fetch_add(indices.size(), std::memory_order_relaxed);
+    if (runtime_->mailbox(static_cast<simmpi::Rank>(shard)).pending() >=
+        options_.queue_capacity) {
+      counters.sheds.fetch_add(indices.size(), std::memory_order_relaxed);
+      counters.responses_error.fetch_add(indices.size(),
+                                         std::memory_order_relaxed);
+      const std::string line = error_response(
+          "shed", "admission queue full (capacity " +
+                      std::to_string(options_.queue_capacity) + ")");
+      for (const std::size_t index : indices) responses[index] = line;
+      continue;
+    }
+    std::vector<Request> sub;
+    sub.reserve(indices.size());
+    for (const std::size_t index : indices) sub.push_back(requests[index]);
+    const std::string frame = binary::encode_request_frame(sub);
+    const simmpi::Tag ticket =
+        1 + static_cast<simmpi::Tag>(
+                next_ticket_.fetch_add(1, std::memory_order_relaxed) %
+                static_cast<std::uint32_t>(simmpi::kUserTagLimit - 1));
+    runtime_->mailbox(static_cast<simmpi::Rank>(shard))
+        .put(simmpi::Envelope{front_rank_, kTagWork,
+                              pack_work(static_cast<std::uint32_t>(ticket),
+                                        enqueue_ns, frame)});
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    pending.push_back(Pending{shard, ticket, &indices});
+  }
+
+  // Collect replies; the buckets execute on their shards in parallel while
+  // this thread blocks on the first one's ticket.
+  for (const Pending& wait : pending) {
+    const simmpi::Envelope reply =
+        runtime_->mailbox(front_rank_)
+            .get(static_cast<simmpi::Rank>(wait.shard), wait.ticket);
+    const std::vector<std::string> lines =
+        binary::decode_response_frame(bytes_to_string(reply.payload, 0));
+    const std::vector<std::size_t>& indices = *wait.indices;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      responses[indices[i]] =
+          i < lines.size()
+              ? lines[i]
+              : error_response("internal", "shard reply missing a record");
+    }
+  }
+  return responses;
+}
+
+std::string ShardedServer::handle(const Request& request) {
+  return submit_batch({request})[0];
+}
+
+std::string ShardedServer::handle_line(const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& error) {
+    front_metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    front_metrics_.responses_error.fetch_add(1, std::memory_order_relaxed);
+    return error_response("bad-request", error.what());
+  }
+  return handle(request);
+}
+
+void ShardedServer::shard_loop(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  simmpi::Mailbox& inbox =
+      runtime_->mailbox(static_cast<simmpi::Rank>(shard_index));
+  const std::int64_t deadline_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.deadline)
+          .count();
+  for (;;) {
+    simmpi::Envelope work = inbox.get(simmpi::kAnySource, kTagWork);
+    if (work.payload.empty()) return;  // poison: stop this shard
+    obs::ScopedSpan span("serve_shard_batch", "serve");
+    const std::uint32_t reply_tag = read_u32_le(work.payload.data());
+    const std::int64_t enqueue_ns = read_i64_le(work.payload.data() + 4);
+
+    std::vector<std::string> lines;
+    try {
+      const std::string frame = bytes_to_string(work.payload, kWorkHeaderBytes);
+      const std::vector<binary::RequestView> views =
+          binary::decode_request_frame(frame);
+      lines.reserve(views.size());
+      const bool expired =
+          deadline_ns > 0 && steady_now_ns() - enqueue_ns > deadline_ns;
+      for (const binary::RequestView& view : views) {
+        std::string line;
+        if (expired) {
+          shard.metrics.deadline_drops.fetch_add(1, std::memory_order_relaxed);
+          line = error_response(
+              "deadline", "request waited longer than " +
+                              std::to_string(options_.deadline.count()) +
+                              " ms for a worker");
+        } else {
+          line = process_one(shard, view);
+        }
+        shard.metrics.latency.record(
+            static_cast<double>(steady_now_ns() - enqueue_ns) / 1000.0);
+        if (line.rfind("ok", 0) == 0) {
+          shard.metrics.responses_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          shard.metrics.responses_error.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+        lines.push_back(std::move(line));
+      }
+    } catch (const std::exception& error) {
+      // A frame the front end built should never fail to decode; answering
+      // instead of rethrowing keeps the shard alive for the next batch
+      // (the front end fills unanswered records with an internal error).
+      lines.assign(1, error_response("internal", error.what()));
+    }
+    const std::string reply = binary::encode_response_frame(lines);
+    runtime_->mailbox(front_rank_)
+        .put(simmpi::Envelope{static_cast<simmpi::Rank>(shard_index),
+                              static_cast<simmpi::Tag>(reply_tag),
+                              string_to_bytes(reply)});
+  }
+}
+
+std::string ShardedServer::process_one(Shard& shard,
+                                       const binary::RequestView& view) {
+  Request request;
+  try {
+    request = view.materialize();
+  } catch (const std::exception& error) {
+    return error_response("bad-request", error.what());
+  }
+  if (request.kind == RequestKind::kStatus) {
+    // Normally intercepted at the front end; answered shard-locally when a
+    // caller routes one here directly.
+    MetricsSnapshot snapshot;
+    shard.metrics.merge_into(snapshot);
+    return ok_response("status " + status_line(snapshot));
+  }
+  if (request.kind == RequestKind::kIngest) {
+    if (!shard.online.ingest) {
+      return error_response("bad-request",
+                            "ingest is not enabled on this server");
+    }
+    return shard.online.ingest(request);
+  }
+  return shard.engine->answer(request);
+}
+
+std::string ShardedServer::front_status_line() {
+  std::string line = status_line(metrics());
+  line += " shards=" + std::to_string(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->online.status_fields) continue;
+    const std::string extra = shards_[i]->online.status_fields();
+    if (!extra.empty()) line += " " + extra;
+  }
+  return line;
+}
+
+MetricsSnapshot ShardedServer::metrics() const {
+  MetricsSnapshot total;
+  front_metrics_.merge_into(total);
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) {
+    MetricsSnapshot s;
+    shard->metrics.merge_into(s);
+    total.requests += s.requests;
+    total.responses_ok += s.responses_ok;
+    total.responses_error += s.responses_error;
+    total.sheds += s.sheds;
+    total.deadline_drops += s.deadline_drops;
+    merged.merge_from(shard->metrics.latency);
+
+    const CacheStats cache = shard->cache->stats();
+    total.cache_hits += cache.hits;
+    total.cache_misses += cache.misses;
+    total.cache_evictions += cache.evictions;
+    total.cache_entries += cache.entries;
+    const RegistryStats registry = shard->registry->stats();
+    total.registry_lookups += registry.lookups;
+    total.registry_hits += registry.hits;
+    total.fits_started += registry.fits_started;
+    total.fits_completed += registry.fits_completed;
+    total.fit_failures += registry.fit_failures;
+    total.singleflight_waits += registry.singleflight_waits;
+    total.in_flight_fits += registry.in_flight_fits;
+    total.files_loaded += registry.files_loaded;
+    total.apps_loaded += registry.apps;
+    total.hot_swaps += registry.hot_swaps;
+  }
+  merged.merge_from(front_metrics_.latency);
+  total.p50_latency_us = merged.quantile_us(0.50);
+  total.p99_latency_us = merged.quantile_us(0.99);
+  total.mean_latency_us = merged.mean_us();
+  return total;
+}
+
+std::vector<ShardStatus> ShardedServer::shard_statuses() const {
+  std::vector<ShardStatus> statuses;
+  statuses.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardStatus status;
+    status.shard = i;
+    status.apps = shard.registry->app_names();
+    status.queue_depth =
+        runtime_->mailbox(static_cast<simmpi::Rank>(i)).pending();
+    shard.metrics.merge_into(status.metrics);
+    const CacheStats cache = shard.cache->stats();
+    status.metrics.cache_hits = cache.hits;
+    status.metrics.cache_misses = cache.misses;
+    status.metrics.cache_evictions = cache.evictions;
+    status.metrics.cache_entries = cache.entries;
+    const RegistryStats registry = shard.registry->stats();
+    status.metrics.registry_lookups = registry.lookups;
+    status.metrics.registry_hits = registry.hits;
+    status.metrics.fits_started = registry.fits_started;
+    status.metrics.fits_completed = registry.fits_completed;
+    status.metrics.fit_failures = registry.fit_failures;
+    status.metrics.singleflight_waits = registry.singleflight_waits;
+    status.metrics.in_flight_fits = registry.in_flight_fits;
+    status.metrics.files_loaded = registry.files_loaded;
+    status.metrics.apps_loaded = registry.apps;
+    status.metrics.hot_swaps = registry.hot_swaps;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+std::string ShardedServer::status_report() const {
+  std::string report = render_status_report(metrics());
+
+  TextTable table({"Shard", "Models", "Requests", "Cache hits", "Hit rate",
+                   "Queue", "p50 [us]"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  for (const ShardStatus& status : shard_statuses()) {
+    table.add_row(
+        {std::to_string(status.shard), std::to_string(status.apps.size()),
+         format_count(status.metrics.requests),
+         format_count(status.metrics.cache_hits),
+         format_fixed(100.0 * status.metrics.cache_hit_rate(), 1) + " %",
+         std::to_string(status.queue_depth),
+         format_compact(status.metrics.p50_latency_us)});
+  }
+  report += "\n" + table.render();
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::vector<ModelInfo> infos = shards_[i]->registry->model_infos();
+    if (infos.empty()) continue;
+    report += "\nshard " + std::to_string(i) + " models: ";
+    for (std::size_t j = 0; j < infos.size(); ++j) {
+      if (j > 0) report += ", ";
+      report += infos[j].name + " v" + std::to_string(infos[j].version);
+    }
+  }
+  for (const auto& shard : shards_) {
+    if (!shard->online.status_section) continue;
+    const std::string section = shard->online.status_section();
+    if (!section.empty()) report += "\n" + section;
+  }
+  return report;
+}
+
+void ShardedServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  std::unique_lock<std::shared_mutex> lock(lifecycle_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Poison after every in-flight batch (shared holders) has finished;
+    // mailbox FIFO guarantees queued work is answered before the poison.
+    runtime_->mailbox(static_cast<simmpi::Rank>(i))
+        .put(simmpi::Envelope{front_rank_, kTagWork, {}});
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  publish_metrics();
+}
+
+void ShardedServer::publish_metrics() {
+  const MetricsSnapshot snapshot = metrics();
+  auto& registry = obs::MetricRegistry::instance();
+  registry.counter("serve.shard.requests").add(snapshot.requests);
+  registry.counter("serve.shard.batches")
+      .add(batches_.load(std::memory_order_relaxed));
+  registry.counter("serve.shard.errors").add(snapshot.responses_error);
+  registry.counter("serve.shard.sheds").add(snapshot.sheds);
+  registry.counter("serve.shard.deadline_drops").add(snapshot.deadline_drops);
+  registry.counter("serve.shard.cache_hits").add(snapshot.cache_hits);
+  registry.gauge("serve.shard.count").set(static_cast<double>(shards_.size()));
+  auto& histogram = registry.histogram("serve.shard.latency_us");
+  for (const auto& shard : shards_) {
+    histogram.merge_from(shard->metrics.latency);
+  }
+}
+
+}  // namespace exareq::serve

@@ -41,8 +41,11 @@ void send_all(int fd, const std::string& data) {
 
 }  // namespace
 
-SocketServer::SocketServer(Server& server, std::string socket_path)
-    : server_(server), path_(std::move(socket_path)) {}
+SocketServer::SocketServer(Server& server, std::string socket_path,
+                           std::size_t max_frame_bytes)
+    : server_(server),
+      path_(std::move(socket_path)),
+      max_frame_bytes_(max_frame_bytes) {}
 
 SocketServer::~SocketServer() { stop(); }
 
@@ -111,7 +114,7 @@ void SocketServer::serve_connection(int fd) {
     std::erase(connection_fds_, fd);
     ::close(fd);
   };
-  FrameDecoder decoder;
+  FrameDecoder decoder(max_frame_bytes_);
   char chunk[4096];
   for (;;) {
     const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);

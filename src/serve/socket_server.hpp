@@ -8,10 +8,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "serve/protocol.hpp"
 
 namespace exareq::serve {
 
@@ -20,7 +23,11 @@ class Server;
 class SocketServer {
  public:
   /// Binds nothing yet; `server` must outlive this object.
-  SocketServer(Server& server, std::string socket_path);
+  /// `max_frame_bytes` bounds a single request line (the CLI's
+  /// --max-frame); an oversized line answers `error bad-request:` and
+  /// drops the connection.
+  SocketServer(Server& server, std::string socket_path,
+               std::size_t max_frame_bytes = FrameDecoder::kDefaultMaxFrameBytes);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -35,6 +42,7 @@ class SocketServer {
   void stop();
 
   const std::string& path() const { return path_; }
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
 
  private:
   void accept_loop();
@@ -42,6 +50,7 @@ class SocketServer {
 
   Server& server_;
   std::string path_;
+  std::size_t max_frame_bytes_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::thread acceptor_;

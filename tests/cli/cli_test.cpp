@@ -1,11 +1,15 @@
 #include "cli/cli.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "../serve/serve_test_util.hpp"
+#include "model/serialize.hpp"
 #include "support/error.hpp"
 
 namespace exareq::cli {
@@ -236,6 +240,91 @@ TEST(CliTest, ThreadsFlagRejectsOverflowAndJunkSuffixes) {
     EXPECT_EQ(result.exit_code, 1) << "'" << bad << "'";
     EXPECT_NE(result.err.find("threads"), std::string::npos) << result.err;
   }
+}
+
+/// Writes a synthetic model bundle file the registry can load, so serve
+/// tests never measure or fit.
+std::string write_bundle_file(const std::string& name) {
+  const codesign::AppRequirements app =
+      serve::testing::make_test_requirements(name);
+  model::ModelBundle bundle;
+  bundle.name = name;
+  bundle.models = {{"footprint", app.footprint},
+                   {"flops", app.flops},
+                   {"comm_bytes", app.comm_bytes},
+                   {"loads_stores", app.loads_stores},
+                   {"stack_distance", app.stack_distance}};
+  const std::string path = "/tmp/exareq_cli_" + name + "_" +
+                           std::to_string(::getpid()) + ".models";
+  std::ofstream file(path);
+  file << model::serialize_bundle(bundle);
+  return path;
+}
+
+TEST(CliTest, ServeAnswersRequestsFileAsOneShardedBatch) {
+  const std::string lulesh = write_bundle_file("lulesh");
+  const std::string hpcg = write_bundle_file("hpcg");
+  const std::string requests = "/tmp/exareq_cli_requests_" +
+                               std::to_string(::getpid()) + ".txt";
+  {
+    std::ofstream file(requests);
+    file << "# comment lines and blanks are skipped\n"
+         << "\n"
+         << "eval lulesh flops 64 100\n"
+         << "eval hpcg footprint 64 100\n"
+         << "definitely not a verb\n"
+         << "invert lulesh 65536 2147483648\n"
+         << "status\n";
+  }
+  const CliRun result = run({"serve", "--models", lulesh + "," + hpcg,
+                             "--requests", requests, "--workers", "3",
+                             "--status"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  std::vector<std::string> lines;
+  std::stringstream stream(result.out);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  ASSERT_GE(lines.size(), 5u) << result.out;
+  EXPECT_EQ(lines[0].rfind("ok eval ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok eval ", 0), 0u) << lines[1];
+  // The malformed line answers in place without failing the batch.
+  EXPECT_EQ(lines[2].rfind("error bad-request", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("ok invert ", 0), 0u) << lines[3];
+  EXPECT_NE(lines[4].find("shards=3"), std::string::npos) << lines[4];
+  // --status appends the per-shard table after the responses.
+  EXPECT_NE(result.out.find("Shard"), std::string::npos);
+  EXPECT_NE(result.err.find("across 3 shards"), std::string::npos)
+      << result.err;
+  std::remove(lulesh.c_str());
+  std::remove(hpcg.c_str());
+  std::remove(requests.c_str());
+}
+
+TEST(CliTest, ServeWithoutSinkFailsWithMessage) {
+  const CliRun result = run({"serve", "--workers", "2"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--requests FILE, --socket PATH, and/or --tcp"),
+            std::string::npos)
+      << result.err;
+}
+
+TEST(CliTest, QueryValidatesItsFlagCombinations) {
+  // No transport.
+  CliRun result = run({"query", "--request", "status"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--socket PATH or --tcp PORT"), std::string::npos)
+      << result.err;
+  // Both payload flags at once.
+  result = run({"query", "--socket", "/tmp/nope.sock", "--request", "status",
+                "--requests", "/tmp/nope.txt"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--request 'LINE' or"), std::string::npos)
+      << result.err;
+  // --binary with a line the client cannot encode fails client-side.
+  result = run({"query", "--socket", "/tmp/nope.sock", "--binary",
+                "--request", "not a verb"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos) << result.err;
 }
 
 }  // namespace

@@ -1,0 +1,416 @@
+// Differential oracle (7): the sharded serving tier end to end — requests
+// encoded into one binary frame, sent over a Unix socket to a FrontEnd,
+// bucketed across ShardedServer shards, and scattered back — vs answering
+// each line one at a time on a plain unsharded QueryEngine. Every response
+// must be byte-identical: the binary codec, the shard partition, the
+// per-shard caches, and the batch scatter may not change a single byte of
+// any answer.
+//
+// Plus the mutation-fuzz drivers for the binary codec: decode-or-clean-
+// error over mutated genuine frames, and chunked/whole framing equivalence
+// for BinaryFrameDecoder.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codesign/requirements.hpp"
+#include "serve/binary_protocol.hpp"
+#include "serve/frontend.hpp"
+#include "serve/protocol.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/sharded_server.hpp"
+#include "support/error.hpp"
+#include "testkit/domain_gen.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/property.hpp"
+#include "testkit/shrink.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+namespace binary = exareq::serve::binary;
+
+std::string render(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// One sharded case: several planted application bundles (so the hash
+// partition actually spreads work) plus a batch of request lines against
+// them, with intentional duplicates so per-shard cache hits answer part of
+// the batch.
+struct ShardCase {
+  std::vector<codesign::AppRequirements> apps;
+  std::vector<std::string> lines;
+
+  std::string describe() const {
+    std::string text = "shard{";
+    for (const auto& app : apps) text += app.name + " ";
+    text += ":";
+    for (const std::string& line : lines) text += " [" + line + "]";
+    return text + "}";
+  }
+};
+
+Gen<ShardCase> shard_case_gen() {
+  return Gen<ShardCase>([](Rng& rng) {
+    ShardCase shard_case;
+    for (int i = 0; i < 3; ++i) {
+      shard_case.apps.push_back(
+          planted_requirements_gen("planted" + std::to_string(i))(rng));
+    }
+    static const std::vector<std::string> metrics = {
+        "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
+    const auto request_line = [&rng, &shard_case]() -> std::string {
+      const std::string& app =
+          shard_case.apps[static_cast<std::size_t>(rng.uniform_int(0, 2))]
+              .name;
+      const double p = std::floor(std::exp(rng.uniform(0.0, std::log(1e4))));
+      const double n = std::floor(std::exp(rng.uniform(0.0, std::log(1e6))));
+      const double memory =
+          std::exp(rng.uniform(std::log(1e3), std::log(1e13)));
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          return "eval " + app + " " +
+                 metrics[static_cast<std::size_t>(rng.uniform_int(0, 4))] +
+                 " " + render(p) + " " + render(n);
+        case 1:
+          return "invert " + app + " " + render(p) + " " + render(memory);
+        case 2:
+          return "upgrade " + app + " " + render(p) + " " + render(memory);
+        default:
+          return "strawman " + app;
+      }
+    };
+    const std::int64_t count = rng.uniform_int(1, 8);
+    for (std::int64_t i = 0; i < count; ++i) {
+      shard_case.lines.push_back(request_line());
+      if (rng.next_double() < 0.4) {
+        shard_case.lines.push_back(shard_case.lines.back());
+      }
+    }
+    return shard_case;
+  });
+}
+
+Shrinker<ShardCase> shard_case_shrinker() {
+  return [](const ShardCase& shard_case) {
+    std::vector<ShardCase> candidates;
+    if (shard_case.lines.size() > 1) {
+      for (std::size_t i = 0; i < shard_case.lines.size(); ++i) {
+        ShardCase fewer = shard_case;
+        fewer.lines.erase(fewer.lines.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        candidates.push_back(std::move(fewer));
+      }
+    }
+    return candidates;
+  };
+}
+
+// The production path: the whole batch as ONE binary frame over a real
+// Unix socket into a 3-shard server, responses scattered back in request
+// order.
+std::string batched_binary_responses(const ShardCase& shard_case) {
+  serve::ShardedServerOptions options;
+  options.shards = 3;
+  serve::ShardedServer server(options);
+  for (const auto& app : shard_case.apps) server.insert(app);
+  serve::FrontEndOptions front_options;
+  front_options.unix_path =
+      "/tmp/exareq_shard_oracle_" + std::to_string(::getpid()) + ".sock";
+  serve::FrontEnd front(server, front_options);
+  front.start();
+
+  std::vector<serve::Request> batch;
+  batch.reserve(shard_case.lines.size());
+  for (const std::string& line : shard_case.lines) {
+    batch.push_back(serve::parse_request(line));
+  }
+  const std::vector<std::string> responses =
+      serve::query_batch_over_socket(front_options.unix_path, batch);
+  std::string transcript;
+  for (const std::string& response : responses) transcript += response + "\n";
+  return transcript;
+}
+
+// The reference path: each line answered one at a time by a plain
+// unsharded, uncached engine — the pre-sharding serving semantics.
+std::string oneshot_text_responses(const ShardCase& shard_case) {
+  std::string transcript;
+  for (const std::string& line : shard_case.lines) {
+    serve::ModelRegistry registry;
+    for (const auto& app : shard_case.apps) registry.insert(app);
+    serve::QueryEngine engine(registry);
+    transcript += engine.answer_line(line) + "\n";
+  }
+  return transcript;
+}
+
+TEST(PropertyShardOracleTest, BatchedBinaryMatchesOneAtATimeText) {
+  const PropertyConfig config = property_config("shard-differential", 100);
+  DiffOracle<ShardCase, std::string> oracle;
+  oracle.fast = batched_binary_responses;
+  oracle.reference = oneshot_text_responses;
+  oracle.diff = text_diff;
+  const auto result = check_differential(config, shard_case_gen(),
+                                         shard_case_shrinker(), oracle);
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const ShardCase& shard_case) { return shard_case.describe(); });
+}
+
+TEST(PropertyShardOracleTest, PartitionIsTotalAndPermutationInvariant) {
+  // Every app name lands on exactly one shard regardless of request order,
+  // and batch responses are a permutation-stable function of the requests:
+  // reversing the batch reverses the responses and nothing else.
+  const PropertyConfig config = property_config("shard-permutation", 100);
+  const auto property = [](const ShardCase& shard_case) -> std::string {
+    serve::ShardedServerOptions options;
+    options.shards = 3;
+    serve::ShardedServer server(options);
+    for (const auto& app : shard_case.apps) server.insert(app);
+
+    std::vector<serve::Request> batch;
+    for (const std::string& line : shard_case.lines) {
+      batch.push_back(serve::parse_request(line));
+    }
+    const std::vector<std::string> forward = server.submit_batch(batch);
+    std::vector<serve::Request> reversed(batch.rbegin(), batch.rend());
+    std::vector<std::string> backward = server.submit_batch(reversed);
+    std::reverse(backward.begin(), backward.end());
+    if (forward != backward) {
+      return "batch responses depend on request order";
+    }
+    return {};
+  };
+  const auto result = check(config, shard_case_gen(), shard_case_shrinker(),
+                            Property<ShardCase>(property));
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const ShardCase& shard_case) { return shard_case.describe(); });
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec fuzz drivers (see fuzz_parsers_test.cpp for the text-side
+// counterparts and the EXAREQ_FUZZ_SECONDS smoke contract).
+
+FuzzConfig fuzz_config() {
+  FuzzConfig config;
+  config.seed = property_config("fuzz-binary").seed;
+  config.iterations = 5000;
+  if (const char* seconds = std::getenv("EXAREQ_FUZZ_SECONDS")) {
+    config.seconds = std::atof(seconds);
+    if (config.seconds > 0.0) config.iterations = 0;
+  }
+  return config;
+}
+
+/// Genuine frames so mutations explore deep branches (string lengths,
+/// metric ids, record counts) instead of dying on the magic byte.
+std::vector<std::string> binary_corpus() {
+  std::vector<serve::Request> requests;
+  serve::Request eval;
+  eval.kind = serve::RequestKind::kEval;
+  eval.app = "lulesh";
+  eval.metric = "flops";
+  eval.p = 64.0;
+  eval.n = 1024.0;
+  requests.push_back(eval);
+  serve::Request invert;
+  invert.kind = serve::RequestKind::kInvert;
+  invert.app = "milc";
+  invert.processes = 128.0;
+  invert.memory_per_process = 34359738368.0;
+  requests.push_back(invert);
+  serve::Request upgrade;
+  upgrade.kind = serve::RequestKind::kUpgrade;
+  upgrade.app = "kripke";
+  upgrade.processes = 1024.0;
+  upgrade.memory_per_process = 1e9;
+  requests.push_back(upgrade);
+  serve::Request strawman;
+  strawman.kind = serve::RequestKind::kStrawman;
+  strawman.app = "relearn";
+  requests.push_back(strawman);
+  serve::Request status;
+  status.kind = serve::RequestKind::kStatus;
+  requests.push_back(status);
+  serve::Request ingest;
+  ingest.kind = serve::RequestKind::kIngest;
+  ingest.app = "lulesh";
+  ingest.payload = "p,n,flops;4,64,1024;8,128,9000";
+  requests.push_back(ingest);
+
+  return {
+      binary::encode_request_frame(requests),
+      binary::encode_request_frame({eval}),
+      binary::encode_response_frame(
+          {"ok eval 1024", "error bad-request: application name is empty",
+           "ok status requests=3 ok=3"}),
+      binary::encode_response_frame({""}),
+  };
+}
+
+TEST(PropertyFuzzBinaryCodecTest, DecodeOrCleanError) {
+  const auto outcome = fuzz_strings(
+      fuzz_config(), mutated(binary_corpus()), [](const std::string& input) {
+        if (!input.empty() &&
+            static_cast<unsigned char>(input[0]) == binary::kResponseMagic) {
+          (void)binary::decode_response_frame(input);
+          return;
+        }
+        // Materialize every decoded view: semantic validation (metric ids,
+        // coordinate bounds) must also reject dirty records cleanly, and
+        // the views must stay inside the frame's bytes under ASan.
+        for (const binary::RequestView& view :
+             binary::decode_request_frame(input)) {
+          (void)view.materialize();
+        }
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+  EXPECT_GT(outcome.rejected, 0u);  // mutations do reach the error paths
+}
+
+TEST(PropertyFuzzBinaryCodecTest, AcceptedFramesRoundTrip) {
+  // Anything the decoder accepts must re-encode to the identical bytes —
+  // the zero-copy views alias the input, so this pins offset arithmetic.
+  const auto outcome = fuzz_strings(
+      fuzz_config(), mutated(binary_corpus()), [](const std::string& input) {
+        if (!input.empty() &&
+            static_cast<unsigned char>(input[0]) == binary::kResponseMagic) {
+          const std::vector<std::string> lines =
+              binary::decode_response_frame(input);
+          if (binary::encode_response_frame(lines) != input) {
+            throw std::logic_error("accepted response frame fails to "
+                                   "round-trip bit-exactly");
+          }
+          return;
+        }
+        std::vector<serve::Request> requests;
+        for (const binary::RequestView& view :
+             binary::decode_request_frame(input)) {
+          serve::Request request;
+          request.app = std::string(view.app);
+          switch (view.opcode) {
+            case binary::Opcode::kEval: {
+              request.kind = serve::RequestKind::kEval;
+              const auto& names = serve::metric_names();
+              // The decoder is lazy about metric ids (materialize() checks
+              // them); the name-keyed encoder cannot express an unknown id.
+              if (view.metric_id >= names.size()) return;
+              request.metric = names[view.metric_id];
+              request.p = view.p;
+              request.n = view.n;
+              break;
+            }
+            case binary::Opcode::kInvert:
+            case binary::Opcode::kUpgrade:
+              request.kind = view.opcode == binary::Opcode::kInvert
+                                 ? serve::RequestKind::kInvert
+                                 : serve::RequestKind::kUpgrade;
+              request.processes = view.processes;
+              request.memory_per_process = view.memory_per_process;
+              break;
+            case binary::Opcode::kStrawman:
+              request.kind = serve::RequestKind::kStrawman;
+              break;
+            case binary::Opcode::kStatus:
+              request.kind = serve::RequestKind::kStatus;
+              break;
+            case binary::Opcode::kIngest:
+              request.kind = serve::RequestKind::kIngest;
+              request.payload = std::string(view.payload);
+              break;
+          }
+          requests.push_back(std::move(request));
+        }
+        if (binary::encode_request_frame(requests) != input) {
+          throw std::logic_error(
+              "accepted request frame fails to round-trip bit-exactly");
+        }
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+}
+
+TEST(PropertyFuzzBinaryFrameDecoderTest, ChunkingNeverChangesFraming) {
+  // Feed mutated frame streams byte-chunked and whole. When the whole
+  // buffer is accepted, chunked feeding must yield identical frames and
+  // partial state; when the whole buffer is rejected (bad magic or
+  // oversize), chunked feeding must reject the stream too — it may first
+  // return frames the whole-buffer call lost to the exception, but it must
+  // not silently accept everything.
+  const std::vector<std::string> base = binary_corpus();
+  std::vector<std::string> corpus = {
+      base[0] + base[1],
+      base[2] + base[3] + base[2],
+      base[1] + std::string("eval lulesh flops 64 1024\n") + base[1],
+      base[0].substr(0, base[0].size() / 2),
+  };
+  FuzzConfig config = fuzz_config();
+  Rng chunker(config.seed + 1);
+  const auto outcome = fuzz_strings(
+      config, mutated(corpus), [&chunker](const std::string& input) {
+        constexpr std::size_t kLimit = 4096;
+        binary::BinaryFrameDecoder whole(kLimit);
+        bool whole_threw = false;
+        std::vector<std::string> expected;
+        try {
+          expected = whole.feed(input);
+        } catch (const exareq::Error&) {
+          whole_threw = true;
+        }
+
+        binary::BinaryFrameDecoder chunked(kLimit);
+        bool chunked_threw = false;
+        std::vector<std::string> actual;
+        std::size_t offset = 0;
+        while (offset < input.size()) {
+          const std::size_t step =
+              static_cast<std::size_t>(chunker.uniform_int(1, 48));
+          const std::size_t take = std::min(step, input.size() - offset);
+          try {
+            for (std::string& frame :
+                 chunked.feed(std::string_view(input).substr(offset, take))) {
+              actual.push_back(std::move(frame));
+            }
+          } catch (const exareq::Error&) {
+            chunked_threw = true;
+            break;
+          }
+          offset += take;
+        }
+
+        if (whole_threw != chunked_threw) {
+          throw std::logic_error(
+              whole_threw
+                  ? "chunked decoder accepted a stream the whole-buffer "
+                    "decoder rejected"
+                  : "chunked decoder rejected a stream the whole-buffer "
+                    "decoder accepted");
+        }
+        if (!whole_threw) {
+          if (actual != expected) {
+            throw std::logic_error(
+                "chunked framing diverges from whole-buffer framing");
+          }
+          if (chunked.partial_bytes() != whole.partial_bytes()) {
+            throw std::logic_error("chunked partial-frame state diverges");
+          }
+        }
+      });
+  EXPECT_TRUE(outcome.passed()) << outcome.summary();
+}
+
+}  // namespace
+}  // namespace exareq::testkit
