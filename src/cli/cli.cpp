@@ -81,7 +81,8 @@ struct Flags {
 
 /// Flags that take no value (an optional one may still follow via --flag=v).
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags = {"status", "metrics", "binary"};
+  static const std::set<std::string> flags = {"status", "metrics", "binary",
+                                              "resume"};
   return flags;
 }
 
@@ -107,6 +108,15 @@ Flags parse_flags(const std::vector<std::string>& args, std::size_t first) {
   return flags;
 }
 
+/// Resolves --sampling NAME to its preset; throws on unknown names.
+pipeline::SamplingPreset sampling_preset(const std::string& name) {
+  const auto preset = pipeline::sampling_preset_from_name(name);
+  exareq::require(preset.has_value(),
+                  "flag --sampling expects one of exact, balanced, sparse, "
+                  "minimal; got '" + name + "'");
+  return *preset;
+}
+
 pipeline::CampaignConfig campaign_config(const Flags& flags) {
   pipeline::CampaignConfig config;
   if (const auto processes = flags.get("processes")) {
@@ -123,6 +133,19 @@ pipeline::CampaignConfig campaign_config(const Flags& flags) {
                   "flag --threads expects a non-negative integer, got " +
                       std::to_string(threads));
   config.threads = static_cast<std::size_t>(threads);
+  if (const auto preset = flags.get("sampling")) {
+    config.locality = pipeline::locality_preset(sampling_preset(*preset));
+  }
+  if (const auto directory = flags.get("checkpoint")) {
+    exareq::require(!directory->empty(),
+                    "flag --checkpoint expects a directory path");
+    config.checkpoint.directory = *directory;
+    config.checkpoint.resume = flags.flag_set("resume");
+  } else {
+    exareq::require(!flags.flag_set("resume"),
+                    "flag --resume needs --checkpoint DIR (there is no "
+                    "checkpoint to resume from)");
+  }
   return config;
 }
 
@@ -263,6 +286,9 @@ int cmd_locality(const apps::Application& app, const Flags& flags,
   exareq::require(n >= 1, "--size must be >= 1");
   memtrace::LocalityConfig config;
   config.sampler = memtrace::SamplerConfig{64, 512, 0};
+  if (const auto preset = flags.get("sampling")) {
+    config = pipeline::locality_preset(sampling_preset(*preset)).config;
+  }
   // Streamed: the kernel feeds the analyzer directly, no materialized trace.
   memtrace::LocalityAnalyzer analyzer(config);
   app.trace_locality(n, analyzer);
@@ -535,11 +561,12 @@ std::string usage() {
   return "usage: exareq <command> [...]\n"
          "  list                                     list the bundled applications\n"
          "  measure <app> [--processes L] [--sizes L] [--threads N] [--out FILE]\n"
+         "           [--checkpoint DIR [--resume]] [--sampling PRESET]\n"
          "  model   <app> [--in FILE] [--models-out FILE] [--threads N]\n"
          "  upgrade <app> [--in FILE] [--base-processes P] [--base-memory B]\n"
          "           [--threads N]\n"
          "  strawman <app> [--in FILE] [--threads N]\n"
-         "  locality <app> [--size N]\n"
+         "  locality <app> [--size N] [--sampling PRESET]\n"
          "  serve   [--models F1,F2,..] [--requests FILE] [--socket PATH]\n"
          "           [--tcp PORT] [--workers N] [--queue N] [--deadline-ms D]\n"
          "           [--cache N] [--max-frame B] [--max-binary-frame B]\n"
@@ -555,6 +582,12 @@ std::string usage() {
          "                   (text by default). See docs/OBSERVABILITY.md.\n"
          "Lists are comma-separated integers, e.g. --processes 4,8,16,32,64;\n"
          "they are sorted, deduplicated, and need >= 2 distinct values.\n"
+         "`measure --checkpoint DIR` appends every completed grid point to a\n"
+         "crash-safe checkpoint; `--resume` reloads it after an interruption\n"
+         "and measures only the missing points (the CSV is byte-identical to\n"
+         "an uninterrupted run; see docs/MEASUREMENT.md). --sampling picks a\n"
+         "locality sampling preset: exact, balanced (default), sparse, or\n"
+         "minimal (sparser = faster tracing, fewer distance samples).\n"
          "Analysis commands measure on the fly unless --in supplies a campaign\n"
          "CSV written by `measure`. --threads sizes the thread pool used for\n"
          "measurement campaigns (grid points run concurrently) and for the\n"

@@ -1,0 +1,352 @@
+#include "memtrace/compressed_trace.hpp"
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+
+namespace {
+
+// "EXCT" little-endian — compressed-trace container magic.
+constexpr std::uint32_t kMagic = 0x54435845u;
+constexpr std::uint32_t kFormatVersion = 1;
+
+// Run headers pack the group id into their low 3 bits; this code means the
+// real group id follows as its own varint.
+constexpr std::uint64_t kGroupEscape = 7;
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    ++size;
+    value >>= 7;
+  }
+  return size;
+}
+
+// Encodes one completed run. The header varint packs
+// (length << 4) | (rle ? 8 : 0) | group code; the payload is either one
+// zigzag varint per delta or (count, zigzag delta) pairs over the maximal
+// constant-delta segments, whichever is smaller.
+void encode_run(std::vector<std::uint8_t>& out, GroupId group,
+                const std::vector<std::int64_t>& deltas) {
+  std::size_t raw_size = 0;
+  std::size_t rle_size = 0;
+  for (std::size_t i = 0; i < deltas.size();) {
+    std::size_t j = i + 1;
+    while (j < deltas.size() && deltas[j] == deltas[i]) ++j;
+    raw_size += (j - i) * varint_size(zigzag_encode(deltas[i]));
+    rle_size += varint_size(j - i) + varint_size(zigzag_encode(deltas[i]));
+    i = j;
+  }
+  const bool rle = rle_size < raw_size;
+  const std::uint64_t code = group < kGroupEscape ? group : kGroupEscape;
+  put_varint(out, (static_cast<std::uint64_t>(deltas.size()) << 4) |
+                      (rle ? 8u : 0u) | code);
+  if (code == kGroupEscape) put_varint(out, group);
+  for (std::size_t i = 0; i < deltas.size();) {
+    std::size_t j = i + 1;
+    while (j < deltas.size() && deltas[j] == deltas[i]) ++j;
+    if (rle) {
+      put_varint(out, j - i);
+      put_varint(out, zigzag_encode(deltas[i]));
+    } else {
+      for (std::size_t k = i; k < j; ++k) {
+        put_varint(out, zigzag_encode(deltas[i]));
+      }
+    }
+    i = j;
+  }
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+// Bounds-checked little-endian reader over serialized bytes.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      need(1);
+      const std::uint8_t byte = static_cast<unsigned char>(bytes_[pos_++]);
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    throw exareq::Error("compressed trace: varint longer than 64 bits");
+  }
+
+  std::string_view view(std::size_t count) {
+    need(count);
+    std::string_view result = bytes_.substr(pos_, count);
+    pos_ += count;
+    return result;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t count) const {
+    if (bytes_.size() - pos_ < count) {
+      throw exareq::Error("compressed trace: truncated input");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Decodes `access_count` accesses worth of runs, applying each delta to the
+// per-group cursor in `last` and handing every reconstructed access to
+// `emit(group, address)`. Throws exareq::Error on any structural damage.
+template <typename Emit>
+void walk_runs(Reader& reader, std::uint64_t access_count,
+               std::size_t group_count, std::vector<std::uint64_t>& last,
+               Emit&& emit) {
+  std::uint64_t decoded = 0;
+  while (decoded < access_count) {
+    const std::uint64_t header = reader.varint();
+    std::uint64_t group = header & 7;
+    const bool rle = (header & 8) != 0;
+    const std::uint64_t length = header >> 4;
+    if (group == kGroupEscape) group = reader.varint();
+    if (group >= group_count) {
+      throw exareq::Error("compressed trace: run references group " +
+                          std::to_string(group) + " of " +
+                          std::to_string(group_count));
+    }
+    if (length == 0 || length > access_count - decoded) {
+      throw exareq::Error("compressed trace: run length " +
+                          std::to_string(length) + " outside the " +
+                          std::to_string(access_count - decoded) +
+                          " accesses remaining");
+    }
+    const GroupId id = static_cast<GroupId>(group);
+    if (rle) {
+      std::uint64_t seen = 0;
+      while (seen < length) {
+        const std::uint64_t count = reader.varint();
+        if (count == 0 || count > length - seen) {
+          throw exareq::Error("compressed trace: constant-delta segment of " +
+                              std::to_string(count) + " overruns its run");
+        }
+        const std::int64_t delta = zigzag_decode(reader.varint());
+        for (std::uint64_t i = 0; i < count; ++i) {
+          last[group] += static_cast<std::uint64_t>(delta);
+          emit(id, last[group]);
+        }
+        seen += count;
+      }
+    } else {
+      for (std::uint64_t i = 0; i < length; ++i) {
+        last[group] += static_cast<std::uint64_t>(zigzag_decode(reader.varint()));
+        emit(id, last[group]);
+      }
+    }
+    decoded += length;
+  }
+}
+
+}  // namespace
+
+GroupId CompressedTrace::register_group(const std::string& name) {
+  for (std::size_t i = 0; i < group_names_.size(); ++i) {
+    if (group_names_[i] == name) return static_cast<GroupId>(i);
+  }
+  group_names_.push_back(name);
+  last_address_.push_back(0);
+  return static_cast<GroupId>(group_names_.size() - 1);
+}
+
+const std::string& CompressedTrace::group_name(GroupId group) const {
+  exareq::require(group < group_names_.size(),
+                  "CompressedTrace: unknown group id");
+  return group_names_[group];
+}
+
+void CompressedTrace::flush_run() {
+  if (run_deltas_.empty()) return;
+  encode_run(bytes_, run_group_, run_deltas_);
+  run_deltas_.clear();
+}
+
+void CompressedTrace::record(std::uint64_t address, GroupId group) {
+  exareq::require(group < group_names_.size(),
+                  "CompressedTrace: record() with unregistered group");
+  if (!run_deltas_.empty() &&
+      (group != run_group_ || run_deltas_.size() >= kMaxRunLength)) {
+    flush_run();
+  }
+  run_group_ = group;
+  run_deltas_.push_back(
+      static_cast<std::int64_t>(address - last_address_[group]));
+  last_address_[group] = address;
+  ++access_count_;
+}
+
+std::size_t CompressedTrace::compressed_bytes() const {
+  std::size_t total = bytes_.size();
+  if (!run_deltas_.empty()) {
+    std::vector<std::uint8_t> tail;
+    encode_run(tail, run_group_, run_deltas_);
+    total += tail.size();
+  }
+  return total;
+}
+
+void CompressedTrace::replay(TraceSink& sink) const {
+  for (const std::string& name : group_names_) {
+    sink.register_group(name);
+  }
+  std::vector<std::uint64_t> last(group_names_.size(), 0);
+  Reader reader(std::string_view(
+      reinterpret_cast<const char*>(bytes_.data()), bytes_.size()));
+  walk_runs(reader, access_count_ - run_deltas_.size(), group_names_.size(),
+            last, [&](GroupId group, std::uint64_t address) {
+              sink.record(address, group);
+            });
+  for (const std::int64_t delta : run_deltas_) {
+    last[run_group_] += static_cast<std::uint64_t>(delta);
+    sink.record(last[run_group_], run_group_);
+  }
+}
+
+std::string CompressedTrace::serialize() const {
+  std::vector<std::uint8_t> tail;
+  if (!run_deltas_.empty()) encode_run(tail, run_group_, run_deltas_);
+  std::string out;
+  out.reserve(32 + bytes_.size() + tail.size());
+  put_u32(out, kMagic);
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(group_names_.size()));
+  for (const std::string& name : group_names_) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+  }
+  put_u64(out, access_count_);
+  put_u64(out, bytes_.size() + tail.size());
+  out.append(reinterpret_cast<const char*>(bytes_.data()), bytes_.size());
+  out.append(reinterpret_cast<const char*>(tail.data()), tail.size());
+  put_u64(out, fnv1a64(out));
+  return out;
+}
+
+CompressedTrace CompressedTrace::deserialize(std::string_view bytes) {
+  if (bytes.size() < 8) {
+    throw exareq::Error("compressed trace: input shorter than its checksum");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  Reader checksum_reader(bytes.substr(bytes.size() - 8));
+  if (checksum_reader.u64() != fnv1a64(body)) {
+    throw exareq::Error("compressed trace: checksum mismatch");
+  }
+
+  Reader reader(body);
+  if (reader.u32() != kMagic) {
+    throw exareq::Error("compressed trace: bad magic");
+  }
+  const std::uint32_t version = reader.u32();
+  if (version != kFormatVersion) {
+    throw exareq::Error("compressed trace: unsupported version " +
+                        std::to_string(version));
+  }
+  CompressedTrace trace;
+  const std::uint32_t groups = reader.u32();
+  for (std::uint32_t i = 0; i < groups; ++i) {
+    const std::uint32_t len = reader.u32();
+    if (len > reader.remaining()) {
+      throw exareq::Error("compressed trace: truncated group name");
+    }
+    trace.register_group(std::string(reader.view(len)));
+  }
+  if (trace.group_names_.size() != groups) {
+    throw exareq::Error("compressed trace: duplicate group names");
+  }
+  trace.access_count_ = reader.u64();
+  const std::uint64_t payload_bytes = reader.u64();
+  if (payload_bytes != reader.remaining()) {
+    throw exareq::Error("compressed trace: payload length mismatch");
+  }
+  const std::string_view payload = reader.view(payload_bytes);
+  trace.bytes_.assign(payload.begin(), payload.end());
+
+  // Walk the payload once: every run must name a registered group, run
+  // lengths must sum to the access count, and the stream must end exactly
+  // at the payload boundary, so a successfully deserialized trace can
+  // always replay.
+  Reader stream(payload);
+  std::vector<std::uint64_t> last(trace.group_names_.size(), 0);
+  walk_runs(stream, trace.access_count_, trace.group_names_.size(), last,
+            [&](GroupId group, std::uint64_t address) {
+              trace.last_address_[group] = address;
+            });
+  if (stream.remaining() != 0) {
+    throw exareq::Error("compressed trace: trailing bytes after last access");
+  }
+  return trace;
+}
+
+}  // namespace exareq::memtrace

@@ -1,0 +1,95 @@
+// Delta+varint-compressed access traces.
+//
+// A materialized AccessTrace costs 16 bytes per access; a million-access
+// locality trace from a checkpointed sweep is 16 MB per grid point. Most
+// kernels walk arrays with small, regular strides and touch one array for
+// many consecutive accesses, so the stream is encoded as group runs. Each
+// run starts with a single header varint packing
+//
+//   (run length << 4) | (rle flag << 3) | group code
+//
+// (group code 7 escapes to a following group-id varint, for sinks with
+// more than six groups). The payload holds the per-group address deltas in
+// zigzag-varint form, either one varint per access or — when the rle flag
+// is set — (count, delta) pairs over the maximal constant-delta segments,
+// whichever is smaller per run. Strided kernels land near one byte per
+// access, an order of magnitude below the materialized trace, while the
+// encoder remains a drop-in TraceSink. Decoding replays the exact access
+// stream (addresses,
+// groups, program order), so every analysis that accepts a TraceSink — the
+// streaming LocalityAnalyzer in particular — sees identical input
+// (tests/memtrace/compressed_trace_test.cpp and the five-proxy round trip in
+// tests/apps/proxies_test.cpp check this against AccessTrace::replay()).
+//
+// serialize()/deserialize() add a checksummed container (magic, group
+// table, payload) so compressed traces can ride inside files; damage is
+// reported as exareq::Error, never undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memtrace/trace.hpp"
+
+namespace exareq::memtrace {
+
+/// Compressing TraceSink: stores the access stream as per-group address
+/// deltas in zigzag-varint form.
+class CompressedTrace final : public TraceSink {
+ public:
+  GroupId register_group(const std::string& name) override;
+
+  /// Name of a registered group; throws InvalidArgument for unknown ids.
+  const std::string& group_name(GroupId group) const;
+
+  std::size_t group_count() const { return group_names_.size(); }
+
+  /// Appends one access to the compressed stream; the group must have been
+  /// registered.
+  void record(std::uint64_t address, GroupId group) override;
+
+  std::size_t size() const { return access_count_; }
+  bool empty() const { return access_count_ == 0; }
+
+  /// Bytes of the encoded access stream (excluding group names), counting
+  /// the not-yet-flushed tail run at its on-the-wire size.
+  std::size_t compressed_bytes() const;
+
+  /// Bytes held by the encoded buffers (capacity accounting; the compressed
+  /// analogue of AccessTrace::memory_bytes()).
+  std::size_t memory_bytes() const {
+    return bytes_.capacity() + run_deltas_.capacity() * sizeof(std::int64_t);
+  }
+
+  /// Replays the stream into another sink: group registrations in id order,
+  /// then every access in program order with its original address.
+  void replay(TraceSink& sink) const;
+
+  /// Self-contained serialization: magic + version, group table, access
+  /// count, encoded payload, FNV-1a-64 checksum.
+  std::string serialize() const;
+
+  /// Parses a serialized trace; throws exareq::Error on any structural or
+  /// checksum damage (never crashes on arbitrary bytes).
+  static CompressedTrace deserialize(std::string_view bytes);
+
+ private:
+  // Open runs buffer raw delta values so the flush can pick the cheaper of
+  // the two payload encodings; the cap bounds that buffer for single-group
+  // streams (runs split transparently — adjacent same-group runs are valid).
+  static constexpr std::size_t kMaxRunLength = 65536;
+
+  // Encodes the open run into bytes_; no-op when empty.
+  void flush_run();
+
+  std::vector<std::string> group_names_;
+  std::vector<std::uint64_t> last_address_;  // per group, for delta coding
+  std::vector<std::uint8_t> bytes_;          // completed, encoded runs
+  GroupId run_group_ = 0;                    // group of the open run
+  std::vector<std::int64_t> run_deltas_;     // raw deltas of the open run
+  std::size_t access_count_ = 0;
+};
+
+}  // namespace exareq::memtrace

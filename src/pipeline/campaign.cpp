@@ -1,9 +1,13 @@
 #include "pipeline/campaign.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -212,39 +216,108 @@ CampaignData run_campaign(const apps::Application& app,
                   "run_campaign: empty campaign grid");
   const std::size_t p_count = config.process_counts.size();
   const std::size_t n_count = config.problem_sizes.size();
+  const std::size_t slot_count = n_count * p_count;
 
   obs::ScopedSpan campaign_span("run_campaign", "campaign");
-  campaign_span.arg("grid_points", static_cast<double>(p_count * n_count));
-  obs::MetricRegistry::instance().counter("campaign.grid_points")
-      .add(p_count * n_count);
+  campaign_span.arg("grid_points", static_cast<double>(slot_count));
+  auto& registry = obs::MetricRegistry::instance();
+  registry.counter("campaign.grid_points").add(slot_count);
 
   CampaignData data;
   data.app_name = app.name();
   // Every grid point writes its own preallocated slot (row-major: n outer,
   // p inner — the serial iteration order), so the campaign can run on any
   // number of threads and still produce bit-identical measurements.
-  data.measurements.resize(n_count * p_count);
+  data.measurements.resize(slot_count);
+
+  // Checkpointing: a resumed campaign loads the validated log prefix into
+  // the preallocated slots and only schedules the remainder; the writer
+  // appends each newly completed point as its checkpoint task runs.
+  std::vector<std::uint8_t> loaded(slot_count, 0);
+  std::unique_ptr<CheckpointWriter> writer;
+  if (config.checkpoint.enabled()) {
+    CheckpointManifest manifest;
+    manifest.app_name = data.app_name;
+    manifest.process_counts = config.process_counts;
+    manifest.problem_sizes = config.problem_sizes;
+    manifest.locality_enabled = config.locality.enabled;
+    manifest.sampler = config.locality.config.sampler;
+    manifest.min_samples = config.locality.config.min_samples;
+
+    std::uint64_t keep_bytes = 0;
+    std::optional<CheckpointManifest> on_disk;
+    if (config.checkpoint.resume) {
+      on_disk = read_manifest(config.checkpoint.directory);
+    }
+    if (on_disk.has_value()) {
+      std::string why;
+      if (!manifest.compatible_with(*on_disk, &why)) {
+        throw CheckpointError(
+            "checkpoint '" + config.checkpoint.directory +
+            "' belongs to a different campaign (mismatch: " + why + ")");
+      }
+      CheckpointLoadResult load =
+          load_records(config.checkpoint.directory, slot_count);
+      for (auto& [slot, measurement] : load.slots) {
+        data.measurements[slot] = std::move(measurement);
+        loaded[slot] = 1;
+      }
+      keep_bytes = load.valid_bytes;
+      registry.counter("campaign.checkpoint.points_resumed")
+          .add(load.slots.size());
+      registry.counter("campaign.checkpoint.dropped_tail_bytes")
+          .add(load.dropped_tail_bytes);
+      campaign_span.arg("resumed_points",
+                        static_cast<double>(load.slots.size()));
+    } else {
+      // Fresh start (or resume of an empty directory): persist the campaign
+      // identity before any record can reference it.
+      write_manifest_atomic(config.checkpoint.directory, manifest,
+                            config.checkpoint.fsync);
+    }
+    writer = std::make_unique<CheckpointWriter>(config.checkpoint, keep_bytes);
+
+    std::size_t remaining = 0;
+    for (const std::uint8_t done : loaded) remaining += done == 0 ? 1u : 0u;
+    registry.gauge("campaign.checkpoint.points_remaining")
+        .set(static_cast<double>(remaining));
+  }
 
   // Grid measurements never compute locality themselves; locality traces
   // depend on n only and run as one dedicated task per problem size.
   LocalityOptions no_locality = config.locality;
   no_locality.enabled = false;
 
+  // Task ids double as the scheduling priority (both run_serial and the
+  // pooled min-heap prefer smaller ids), so tasks are created in per-n
+  // blocks — measurements, then the locality trace, then the checkpoint
+  // appends of that n. A killed checkpointed campaign therefore leaves the
+  // finished problem sizes on disk instead of batching every append behind
+  // the whole grid's measurements.
+  constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
   TaskDag dag;
-  for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
-    for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
-      dag.add("measure p=" + std::to_string(config.process_counts[p_idx]) +
-                  " n=" + std::to_string(config.problem_sizes[n_idx]),
-              [&app, &config, &data, &no_locality, n_idx, p_idx, p_count] {
-                data.measurements[n_idx * p_count + p_idx] =
-                    measure_app(app, config.process_counts[p_idx],
-                                config.problem_sizes[n_idx], no_locality);
-              });
-    }
-  }
+  std::vector<std::size_t> measure_task(slot_count, kNoTask);
   std::vector<double> stack_distances(n_count, 0.0);
-  if (config.locality.enabled) {
-    for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
+  std::vector<std::size_t> locality_task(n_count, kNoTask);
+  for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
+    bool any_missing = false;
+    for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
+      const std::size_t slot = n_idx * p_count + p_idx;
+      if (loaded[slot] != 0) continue;
+      any_missing = true;
+      measure_task[slot] =
+          dag.add("measure p=" + std::to_string(config.process_counts[p_idx]) +
+                      " n=" + std::to_string(config.problem_sizes[n_idx]),
+                  [&app, &config, &data, &no_locality, slot, n_idx, p_idx] {
+                    data.measurements[slot] =
+                        measure_app(app, config.process_counts[p_idx],
+                                    config.problem_sizes[n_idx], no_locality);
+                  });
+    }
+    // A problem size whose grid points were all resumed already carries
+    // its stack distance inside the loaded records; re-tracing it would
+    // only recompute the same value.
+    if (config.locality.enabled && any_missing) {
       const std::size_t task = dag.add(
           "locality n=" + std::to_string(config.problem_sizes[n_idx]),
           [&app, &config, &data, &stack_distances, n_idx, p_count] {
@@ -258,7 +331,37 @@ CampaignData run_campaign(const apps::Application& app,
         stack_distances[n_idx] =
             analyzer.finish(loads_stores).weighted_median_stack_distance;
       });
-      dag.depend(task, n_idx * p_count);
+      locality_task[n_idx] = task;
+      // A resumed first grid point is already in its slot; otherwise the
+      // locality trace must wait for its measurement.
+      if (measure_task[n_idx * p_count] != kNoTask) {
+        dag.depend(task, measure_task[n_idx * p_count]);
+      }
+    }
+    if (writer == nullptr) continue;
+    // One checkpoint task per newly measured point: it stamps the final
+    // stack distance into the slot (the record must hold the value the CSV
+    // will show) and appends the record. Points completed while another
+    // grid point fails are still persisted — the DAG only skips dependents
+    // of the failing task, and the append happens before run_campaign
+    // rethrows.
+    for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
+      const std::size_t slot = n_idx * p_count + p_idx;
+      if (measure_task[slot] == kNoTask) continue;
+      const std::size_t task = dag.add(
+          "checkpoint p=" + std::to_string(config.process_counts[p_idx]) +
+              " n=" + std::to_string(config.problem_sizes[n_idx]),
+          [&config, &data, &stack_distances, &writer, slot, n_idx] {
+            if (config.locality.enabled) {
+              data.measurements[slot].stack_distance = stack_distances[n_idx];
+            }
+            writer->append(static_cast<std::uint32_t>(slot),
+                           data.measurements[slot]);
+          });
+      dag.depend(task, measure_task[slot]);
+      if (locality_task[n_idx] != kNoTask) {
+        dag.depend(task, locality_task[n_idx]);
+      }
     }
   }
 
@@ -273,8 +376,11 @@ CampaignData run_campaign(const apps::Application& app,
   if (config.locality.enabled) {
     for (std::size_t n_idx = 0; n_idx < n_count; ++n_idx) {
       for (std::size_t p_idx = 0; p_idx < p_count; ++p_idx) {
-        data.measurements[n_idx * p_count + p_idx].stack_distance =
-            stack_distances[n_idx];
+        const std::size_t slot = n_idx * p_count + p_idx;
+        // Resumed slots keep the stack distance their record carried; for a
+        // fully resumed n no locality task ran and stack_distances[n] is 0.
+        if (loaded[slot] != 0) continue;
+        data.measurements[slot].stack_distance = stack_distances[n_idx];
       }
     }
   }

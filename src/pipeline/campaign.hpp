@@ -9,6 +9,7 @@
 
 #include "apps/application.hpp"
 #include "model/modelgen.hpp"
+#include "pipeline/checkpoint.hpp"
 #include "pipeline/measure.hpp"
 #include "support/csv.hpp"
 
@@ -41,6 +42,12 @@ struct CampaignConfig {
   /// is bit-identical at any thread count. 0 means hardware concurrency,
   /// 1 runs strictly serial on the calling thread.
   std::size_t threads = 0;
+  /// Crash-safe persistence: with a directory set, every completed grid
+  /// point is appended to the checkpoint log as it finishes, and with
+  /// `resume` a restarted campaign loads the log, skips completed points,
+  /// and schedules only the remainder — the resulting CSV is byte-identical
+  /// to an uninterrupted run (see pipeline/checkpoint.hpp).
+  CheckpointOptions checkpoint;
 };
 
 /// All measurements of one application over the campaign grid.

@@ -1,0 +1,551 @@
+#include "pipeline/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace exareq::pipeline {
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x43525845;  // "EXRC" little-endian
+constexpr std::size_t kHeaderBytes = 20;            // magic, slot, len, checksum
+// A record payload is a handful of doubles plus channel names; anything
+// beyond this is damage, not data (and must not drive a huge allocation).
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 26;
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Bounds-checked little-endian reader over a payload; overruns throw
+/// CheckpointError, which the scanner converts into a dropped tail.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+  std::uint64_t u64() { return raw(8); }
+  double f64() { return std::bit_cast<double>(raw(8)); }
+
+  std::string str(std::size_t length) {
+    require_remaining(length);
+    std::string value(bytes_.substr(pos_, length));
+    pos_ += length;
+    return value;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::uint64_t raw(std::size_t width) {
+    require_remaining(width);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += width;
+    return value;
+  }
+
+  void require_remaining(std::size_t count) {
+    if (bytes_.size() - pos_ < count) {
+      throw CheckpointError("checkpoint record payload truncated");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_payload(const AppMeasurement& m) {
+  std::string payload;
+  put_u32(payload, static_cast<std::uint32_t>(m.processes));
+  put_u64(payload, static_cast<std::uint64_t>(m.problem_size));
+  put_f64(payload, m.bytes_used);
+  put_f64(payload, m.flops);
+  put_f64(payload, m.loads_stores);
+  put_f64(payload, m.bytes_sent_received);
+  put_f64(payload, m.stack_distance);
+  put_u32(payload, static_cast<std::uint32_t>(m.channels.size()));
+  for (const auto& [name, channel] : m.channels) {
+    put_u32(payload, static_cast<std::uint32_t>(name.size()));
+    payload += name;
+    put_f64(payload, channel.bytes);
+    const unsigned flags = (channel.uses_allreduce ? 1u : 0u) |
+                           (channel.uses_bcast ? 2u : 0u) |
+                           (channel.uses_alltoall ? 4u : 0u);
+    payload.push_back(static_cast<char>(flags));
+  }
+  return payload;
+}
+
+AppMeasurement decode_payload(std::string_view payload) {
+  Reader reader(payload);
+  AppMeasurement m;
+  m.processes = static_cast<int>(reader.u32());
+  m.problem_size = static_cast<std::int64_t>(reader.u64());
+  m.bytes_used = reader.f64();
+  m.flops = reader.f64();
+  m.loads_stores = reader.f64();
+  m.bytes_sent_received = reader.f64();
+  m.stack_distance = reader.f64();
+  const std::uint32_t channels = reader.u32();
+  for (std::uint32_t i = 0; i < channels; ++i) {
+    const std::uint32_t name_length = reader.u32();
+    if (name_length > payload.size()) {
+      throw CheckpointError("checkpoint record channel name overruns payload");
+    }
+    std::string name = reader.str(name_length);
+    ChannelMeasurement channel;
+    channel.bytes = reader.f64();
+    const auto flags = static_cast<unsigned char>(reader.str(1)[0]);
+    if (flags > 7) {
+      throw CheckpointError("checkpoint record has unknown channel flags");
+    }
+    channel.uses_allreduce = (flags & 1u) != 0;
+    channel.uses_bcast = (flags & 2u) != 0;
+    channel.uses_alltoall = (flags & 4u) != 0;
+    m.channels.insert_or_assign(std::move(name), channel);
+  }
+  if (!reader.done()) {
+    throw CheckpointError("checkpoint record has trailing payload bytes");
+  }
+  return m;
+}
+
+std::string errno_message(const std::string& action, const std::string& path) {
+  return "checkpoint: " + action + " '" + path +
+         "' failed: " + std::strerror(errno);
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) throw CheckpointError(errno_message("fsync", path));
+}
+
+/// Durability of a rename needs the *directory* flushed, not just the file.
+void fsync_directory(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw CheckpointError(errno_message("open dir", directory));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw CheckpointError(errno_message("fsync dir", directory));
+}
+
+// --- manifest text helpers -------------------------------------------------
+
+template <typename T>
+T parse_number(std::string_view text, const std::string& field) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw CheckpointError("checkpoint manifest: field '" + field +
+                          "' is not a valid number: '" + std::string(text) +
+                          "'");
+  }
+  return value;
+}
+
+/// The value of the "key value" line `prefix`; structural mismatch throws.
+std::string_view expect_field(std::string_view line, const std::string& key) {
+  if (line.size() <= key.size() + 1 || line.substr(0, key.size()) != key ||
+      line[key.size()] != ' ') {
+    throw CheckpointError("checkpoint manifest: expected '" + key +
+                          " ...', got '" + std::string(line) + "'");
+  }
+  return line.substr(key.size() + 1);
+}
+
+template <typename T>
+std::vector<T> parse_number_list(std::string_view text,
+                                 const std::string& field) {
+  std::vector<T> values;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    values.push_back(
+        parse_number<T>(text.substr(start, comma - start), field));
+    start = comma + 1;
+  }
+  if (values.empty()) {
+    throw CheckpointError("checkpoint manifest: field '" + field +
+                          "' is empty");
+  }
+  return values;
+}
+
+template <typename T>
+std::string join_numbers(const std::vector<T>& values) {
+  std::string text;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) text += ',';
+    text += std::to_string(values[i]);
+  }
+  return text;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string text(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    text[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string checkpoint_manifest_path(const std::string& directory) {
+  return directory + "/manifest";
+}
+
+std::string checkpoint_log_path(const std::string& directory) {
+  return directory + "/records.log";
+}
+
+std::string CheckpointManifest::serialize() const {
+  std::ostringstream body;
+  body << "exareq-checkpoint v" << version << "\n"
+       << "app " << app_name << "\n"
+       << "processes " << join_numbers(process_counts) << "\n"
+       << "sizes " << join_numbers(problem_sizes) << "\n"
+       << "locality " << (locality_enabled ? 1 : 0) << "\n"
+       << "sampler " << sampler.burst_length << " " << sampler.period << " "
+       << sampler.offset << "\n"
+       << "min_samples " << min_samples << "\n";
+  const std::string text = body.str();
+  return text + "checksum " + hex64(fnv1a64(text)) + "\n";
+}
+
+CheckpointManifest CheckpointManifest::parse(const std::string& text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  const std::string_view view(text);
+  while (start < view.size()) {
+    std::size_t newline = view.find('\n', start);
+    if (newline == std::string_view::npos) {
+      throw CheckpointError(
+          "checkpoint manifest: missing trailing newline (truncated?)");
+    }
+    lines.push_back(view.substr(start, newline - start));
+    start = newline + 1;
+  }
+  if (lines.size() != 8) {
+    throw CheckpointError("checkpoint manifest: expected 8 lines, got " +
+                          std::to_string(lines.size()));
+  }
+
+  // Verify the self-checksum first: any bit flip above it is caught here,
+  // before field parsing can be confused by it.
+  const std::string_view checksum_text = expect_field(lines[7], "checksum");
+  const std::size_t checksum_line_start = text.size() - lines[7].size() - 1;
+  const std::uint64_t expected =
+      fnv1a64(std::string_view(text).substr(0, checksum_line_start));
+  if (checksum_text.size() != 16 ||
+      hex64(expected) != std::string(checksum_text)) {
+    throw CheckpointError("checkpoint manifest: checksum mismatch");
+  }
+
+  const std::string_view header = lines[0];
+  const std::string_view version_prefix = "exareq-checkpoint v";
+  if (header.substr(0, version_prefix.size()) != version_prefix) {
+    throw CheckpointError("checkpoint manifest: bad header line '" +
+                          std::string(header) + "'");
+  }
+  CheckpointManifest manifest;
+  manifest.version =
+      parse_number<int>(header.substr(version_prefix.size()), "version");
+  if (manifest.version != kVersion) {
+    throw CheckpointError("checkpoint manifest: unsupported format version " +
+                          std::to_string(manifest.version) + " (this build " +
+                          "reads v" + std::to_string(kVersion) + ")");
+  }
+  manifest.app_name = std::string(expect_field(lines[1], "app"));
+  manifest.process_counts =
+      parse_number_list<int>(expect_field(lines[2], "processes"), "processes");
+  manifest.problem_sizes = parse_number_list<std::int64_t>(
+      expect_field(lines[3], "sizes"), "sizes");
+  manifest.locality_enabled =
+      parse_number<int>(expect_field(lines[4], "locality"), "locality") != 0;
+  const std::string_view sampler_text = expect_field(lines[5], "sampler");
+  const std::vector<std::uint64_t> sampler_fields = [&] {
+    std::vector<std::uint64_t> fields;
+    std::size_t field_start = 0;
+    while (field_start <= sampler_text.size()) {
+      std::size_t space = sampler_text.find(' ', field_start);
+      if (space == std::string_view::npos) space = sampler_text.size();
+      fields.push_back(parse_number<std::uint64_t>(
+          sampler_text.substr(field_start, space - field_start), "sampler"));
+      field_start = space + 1;
+    }
+    return fields;
+  }();
+  if (sampler_fields.size() != 3) {
+    throw CheckpointError("checkpoint manifest: sampler needs 3 fields");
+  }
+  manifest.sampler = {sampler_fields[0], sampler_fields[1], sampler_fields[2]};
+  if (manifest.sampler.burst_length < 1 ||
+      manifest.sampler.period < manifest.sampler.burst_length) {
+    throw CheckpointError("checkpoint manifest: invalid sampler configuration");
+  }
+  manifest.min_samples = parse_number<std::size_t>(
+      expect_field(lines[6], "min_samples"), "min_samples");
+  return manifest;
+}
+
+bool CheckpointManifest::compatible_with(const CheckpointManifest& other,
+                                         std::string* why) const {
+  const auto mismatch = [why](const std::string& field) {
+    if (why != nullptr) *why = field;
+    return false;
+  };
+  if (version != other.version) return mismatch("format version");
+  if (app_name != other.app_name) return mismatch("application");
+  if (process_counts != other.process_counts) return mismatch("process grid");
+  if (problem_sizes != other.problem_sizes) {
+    return mismatch("problem-size grid");
+  }
+  if (locality_enabled != other.locality_enabled) {
+    return mismatch("locality enabled");
+  }
+  if (sampler.burst_length != other.sampler.burst_length ||
+      sampler.period != other.sampler.period ||
+      sampler.offset != other.sampler.offset) {
+    return mismatch("locality sampler");
+  }
+  if (min_samples != other.min_samples) return mismatch("min_samples");
+  return true;
+}
+
+void write_manifest_atomic(const std::string& directory,
+                           const CheckpointManifest& manifest, bool fsync) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    throw CheckpointError("checkpoint: cannot create directory '" + directory +
+                          "': " + ec.message());
+  }
+  const std::string path = checkpoint_manifest_path(directory);
+  const std::string temp = path + ".tmp";
+  const std::string text = manifest.serialize();
+
+  const int fd = ::open(temp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw CheckpointError(errno_message("open", temp));
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t count =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (count < 0) {
+      ::close(fd);
+      throw CheckpointError(errno_message("write", temp));
+    }
+    written += static_cast<std::size_t>(count);
+  }
+  if (fsync) {
+    try {
+      fsync_or_throw(fd, temp);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+  }
+  ::close(fd);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    throw CheckpointError(errno_message("rename", path));
+  }
+  if (fsync) fsync_directory(directory);
+  obs::MetricRegistry::instance()
+      .counter("campaign.checkpoint.manifest_writes")
+      .add(1);
+}
+
+std::optional<CheckpointManifest> read_manifest(const std::string& directory) {
+  std::ifstream file(checkpoint_manifest_path(directory), std::ios::binary);
+  if (!file.good()) return std::nullopt;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return CheckpointManifest::parse(content.str());
+}
+
+std::string encode_record(std::uint32_t slot, const AppMeasurement& m) {
+  const std::string payload = encode_payload(m);
+  std::string record;
+  record.reserve(kHeaderBytes + payload.size());
+  put_u32(record, kRecordMagic);
+  put_u32(record, slot);
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  // The checksum covers slot + length + payload, so a record can neither be
+  // re-addressed nor re-sized without being detected.
+  std::string checked;
+  checked.reserve(8 + payload.size());
+  put_u32(checked, slot);
+  put_u32(checked, static_cast<std::uint32_t>(payload.size()));
+  checked += payload;
+  put_u64(record, fnv1a64(checked));
+  record += payload;
+  return record;
+}
+
+CheckpointLoadResult scan_records(std::string_view bytes,
+                                  std::size_t slot_count) {
+  CheckpointLoadResult result;
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= kHeaderBytes) {
+    Reader header(bytes.substr(pos, kHeaderBytes));
+    const std::uint32_t magic = header.u32();
+    const std::uint32_t slot = header.u32();
+    const std::uint32_t payload_length = header.u32();
+    const std::uint64_t checksum = header.u64();
+    if (magic != kRecordMagic) break;
+    if (payload_length > kMaxPayloadBytes ||
+        payload_length > bytes.size() - pos - kHeaderBytes) {
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kHeaderBytes, payload_length);
+    std::string checked;
+    checked.reserve(8 + payload.size());
+    put_u32(checked, slot);
+    put_u32(checked, payload_length);
+    checked += payload;
+    if (fnv1a64(checked) != checksum) break;
+    if (slot >= slot_count) break;
+    AppMeasurement measurement;
+    try {
+      measurement = decode_payload(payload);
+    } catch (const CheckpointError&) {
+      break;
+    }
+    if (!result.slots.insert_or_assign(slot, std::move(measurement)).second) {
+      ++result.duplicate_records;
+    }
+    ++result.valid_records;
+    pos += kHeaderBytes + payload_length;
+  }
+  result.valid_bytes = pos;
+  result.dropped_tail_bytes = bytes.size() - pos;
+  return result;
+}
+
+CheckpointLoadResult load_records(const std::string& directory,
+                                  std::size_t slot_count) {
+  std::ifstream file(checkpoint_log_path(directory), std::ios::binary);
+  if (!file.good()) return CheckpointLoadResult{};
+  std::ostringstream content;
+  content << file.rdbuf();
+  return scan_records(content.str(), slot_count);
+}
+
+CheckpointWriter::CheckpointWriter(const CheckpointOptions& options,
+                                   std::uint64_t keep_bytes)
+    : options_(options) {
+  const std::string path = checkpoint_log_path(options_.directory);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd_ < 0) throw CheckpointError(errno_message("open", path));
+  // A damaged tail (or a fresh start: keep_bytes == 0) is cut off before
+  // the first append — records written after unreachable garbage would be
+  // unreachable themselves, since the loader stops at the damage.
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw CheckpointError(errno_message("truncate", path));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw CheckpointError(errno_message("seek", path));
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckpointWriter::append(std::uint32_t slot, const AppMeasurement& m) {
+  const std::string record = encode_record(slot, m);
+  std::size_t records_so_far = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_) {
+      throw CheckpointError(
+          "checkpoint writer aborted by a failed after_record hook");
+    }
+    const std::string path = checkpoint_log_path(options_.directory);
+    std::size_t written = 0;
+    while (written < record.size()) {
+      const ssize_t count =
+          ::write(fd_, record.data() + written, record.size() - written);
+      if (count < 0) throw CheckpointError(errno_message("append", path));
+      written += static_cast<std::size_t>(count);
+    }
+    if (options_.fsync) fsync_or_throw(fd_, path);
+    ++records_;
+    bytes_ += record.size();
+    records_so_far = records_;
+  }
+  auto& registry = obs::MetricRegistry::instance();
+  registry.counter("campaign.checkpoint.records_written").add(1);
+  registry.counter("campaign.checkpoint.bytes_written").add(record.size());
+  // The hook runs outside the lock: it may throw (failure injection) or
+  // take arbitrarily long without serializing other appends. A throwing
+  // hook kills the writer — later appends fail instead of writing, so the
+  // log ends exactly at the simulated crash point even though independent
+  // DAG tasks keep draining.
+  if (options_.after_record) {
+    try {
+      options_.after_record(records_so_far);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      dead_ = true;
+      throw;
+    }
+  }
+}
+
+std::size_t CheckpointWriter::records_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::uint64_t CheckpointWriter::bytes_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace exareq::pipeline

@@ -1,0 +1,173 @@
+// Crash-safe persistence of measurement campaigns.
+//
+// A production sweep is thousands of grid points across restarts; a crash
+// at point 900/1000 must not lose the first 899. The checkpoint layout is
+// one directory holding two files:
+//
+//   manifest     — versioned, self-checksummed text file describing the
+//                  campaign (app, grid axes, locality configuration). It is
+//                  written via temp-file + fsync + atomic rename, so readers
+//                  only ever observe a complete manifest.
+//   records.log  — append-only binary log; one record per completed grid
+//                  point, each carrying its own FNV-1a-64 checksum. Records
+//                  are appended (and optionally fsync'd) as points finish,
+//                  in completion order — the slot index inside the record,
+//                  not the log position, identifies the grid point.
+//
+// Recovery semantics: the loader validates records front to back and stops
+// at the first damaged one (bad magic, short header, truncated payload,
+// checksum mismatch, out-of-range slot). Everything before the damage loads;
+// the damaged tail is dropped and those points are simply re-measured — a
+// grid point is never treated as completed unless its record checksums
+// clean, so corruption can cost work but never correctness. A resumed
+// campaign truncates the log back to the valid prefix before appending.
+//
+// Doubles ride in the records as IEEE-754 bit patterns, so a resumed
+// campaign's CSV is byte-identical to an uninterrupted run regardless of
+// where or how often the campaign was killed (see
+// tests/property/resume_oracle_test.cpp for the differential oracle).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memtrace/sampling.hpp"
+#include "pipeline/measure.hpp"
+#include "support/error.hpp"
+
+namespace exareq::pipeline {
+
+/// Thrown on checkpoint-format violations (corrupt manifest, campaign
+/// mismatch on resume) and on checkpoint I/O failures.
+class CheckpointError : public exareq::Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Campaign checkpointing knobs (CampaignConfig::checkpoint).
+struct CheckpointOptions {
+  /// Checkpoint directory; empty disables checkpointing entirely.
+  std::string directory;
+  /// Load an existing checkpoint and measure only the missing grid points.
+  /// Without `resume`, an existing log is truncated and the campaign starts
+  /// over. Resuming an empty or absent directory is a fresh start.
+  bool resume = false;
+  /// fsync the log after every appended record (and the manifest on every
+  /// write). Off trades durability of the last few points for speed.
+  bool fsync = true;
+  /// Failure-injection hook for tests: called after each record append with
+  /// the number of records this run has written. A throwing hook aborts the
+  /// campaign mid-flight exactly like a crash between two appends.
+  std::function<void(std::size_t)> after_record;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
+/// The campaign identity a checkpoint belongs to. Every field influences
+/// measurement results, so a resume with any mismatch is rejected instead of
+/// silently mixing incompatible measurements.
+struct CheckpointManifest {
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  std::string app_name;
+  std::vector<int> process_counts;
+  std::vector<std::int64_t> problem_sizes;
+  bool locality_enabled = true;
+  memtrace::SamplerConfig sampler{};
+  std::size_t min_samples = 100;
+
+  std::size_t slot_count() const {
+    return process_counts.size() * problem_sizes.size();
+  }
+
+  /// Text serialization, ending in a checksum line over everything above it.
+  std::string serialize() const;
+
+  /// Parses and verifies a serialized manifest; throws CheckpointError on
+  /// any structural or checksum problem (never crashes on arbitrary bytes).
+  static CheckpointManifest parse(const std::string& text);
+
+  /// True when `other` describes the same campaign. On mismatch, `why`
+  /// (if non-null) receives the first differing field.
+  bool compatible_with(const CheckpointManifest& other,
+                       std::string* why = nullptr) const;
+};
+
+std::string checkpoint_manifest_path(const std::string& directory);
+std::string checkpoint_log_path(const std::string& directory);
+
+/// Writes the manifest durably: temp file, fsync, rename, directory fsync.
+/// Creates the directory first if needed. Throws CheckpointError on I/O
+/// failure.
+void write_manifest_atomic(const std::string& directory,
+                           const CheckpointManifest& manifest,
+                           bool fsync = true);
+
+/// Reads and verifies the manifest; nullopt when the directory or file does
+/// not exist, CheckpointError when the file exists but is damaged.
+std::optional<CheckpointManifest> read_manifest(const std::string& directory);
+
+/// One grid point's record as appended to the log (header + checksummed
+/// payload). Exposed for tests and the fuzz driver.
+std::string encode_record(std::uint32_t slot, const AppMeasurement& m);
+
+/// Result of scanning a record log.
+struct CheckpointLoadResult {
+  /// Validated measurements by slot index (duplicates: the last one wins;
+  /// records are deterministic, so duplicates carry identical payloads).
+  std::map<std::uint32_t, AppMeasurement> slots;
+  std::size_t valid_records = 0;
+  std::size_t duplicate_records = 0;
+  /// Bytes of the validated prefix; a resumed writer truncates to this.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes dropped behind the first damaged record (0 for a clean log).
+  std::uint64_t dropped_tail_bytes = 0;
+};
+
+/// Validates `bytes` front to back, stopping at the first damaged record.
+/// Never throws on arbitrary input — damage only shortens the result.
+CheckpointLoadResult scan_records(std::string_view bytes,
+                                  std::size_t slot_count);
+
+/// Loads and scans the record log; a missing log is an empty result.
+CheckpointLoadResult load_records(const std::string& directory,
+                                  std::size_t slot_count);
+
+/// Thread-safe append-only writer over the record log. Opens (creating if
+/// necessary) the log and truncates it to `keep_bytes` — the validated
+/// prefix of a resumed run, or 0 for a fresh campaign.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const CheckpointOptions& options, std::uint64_t keep_bytes);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Appends one record (serialize, write, optionally fsync) under the
+  /// writer lock, then invokes the after_record hook, whose exceptions
+  /// propagate (the record itself is already durable). Once a hook has
+  /// thrown the writer is dead: every later append throws without writing,
+  /// so a simulated crash truncates the log exactly at the kill point.
+  void append(std::uint32_t slot, const AppMeasurement& m);
+
+  std::size_t records_written() const;
+  std::uint64_t bytes_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  CheckpointOptions options_;
+  int fd_ = -1;
+  bool dead_ = false;
+  std::size_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace exareq::pipeline

@@ -36,6 +36,49 @@ bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b) {
   return it_a == a.channels.end() && it_b != b.channels.end();
 }
 
+LocalityOptions locality_preset(SamplingPreset preset) {
+  LocalityOptions options;
+  switch (preset) {
+    case SamplingPreset::kExact:
+      options.config.sampler = memtrace::SamplerConfig::exact();
+      break;
+    case SamplingPreset::kBalanced:
+      options.config.sampler = {64, 512, 0};
+      break;
+    case SamplingPreset::kSparse:
+      options.config.sampler = {64, 2048, 0};
+      break;
+    case SamplingPreset::kMinimal:
+      options.config.sampler = {64, 8192, 0};
+      break;
+  }
+  return options;
+}
+
+std::string_view sampling_preset_name(SamplingPreset preset) {
+  switch (preset) {
+    case SamplingPreset::kExact:
+      return "exact";
+    case SamplingPreset::kBalanced:
+      return "balanced";
+    case SamplingPreset::kSparse:
+      return "sparse";
+    case SamplingPreset::kMinimal:
+      return "minimal";
+  }
+  return "?";
+}
+
+std::optional<SamplingPreset> sampling_preset_from_name(
+    std::string_view name) {
+  for (const SamplingPreset preset :
+       {SamplingPreset::kExact, SamplingPreset::kBalanced,
+        SamplingPreset::kSparse, SamplingPreset::kMinimal}) {
+    if (name == sampling_preset_name(preset)) return preset;
+  }
+  return std::nullopt;
+}
+
 AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
                            const LocalityOptions& locality) {
   exareq::require(p >= 1, "measure_app: need at least one process");

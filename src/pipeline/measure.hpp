@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "apps/application.hpp"
 #include "memtrace/locality.hpp"
@@ -48,11 +50,32 @@ struct AppMeasurement {
 /// fit on the concatenated data regardless of ingest order.
 bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b);
 
+/// Duty-cycled sampling presets for the locality tracer (Threadspotter's
+/// burst strategy, paper Sec. II-B). Sparser presets trade stack-distance
+/// sample density for trace-time and checkpoint-footprint reduction on the
+/// big grids; distances stay exact, sampling only thins which accesses
+/// contribute to the reported statistics.
+enum class SamplingPreset {
+  kExact,     ///< every access documented ({1, 1, 0})
+  kBalanced,  ///< the long-standing default ({64, 512, 0}, 12.5% duty)
+  kSparse,    ///< {64, 2048, 0}, ~3% duty — large production sweeps
+  kMinimal,   ///< {64, 8192, 0}, <1% duty — footprint-bound sweeps
+};
+
 /// Options for the locality part of a measurement.
 struct LocalityOptions {
   bool enabled = true;
   memtrace::LocalityConfig config = {memtrace::SamplerConfig{64, 512, 0}, 100};
 };
+
+/// LocalityOptions preconfigured with a preset's sampler.
+LocalityOptions locality_preset(SamplingPreset preset);
+
+/// CLI name of a preset ("exact", "balanced", "sparse", "minimal").
+std::string_view sampling_preset_name(SamplingPreset preset);
+
+/// Inverse of sampling_preset_name; nullopt for unknown names.
+std::optional<SamplingPreset> sampling_preset_from_name(std::string_view name);
 
 /// Runs the application on `p` simulated ranks with per-process problem
 /// size `n` and collects all requirement metrics. Throws on invalid

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -73,6 +74,69 @@ TEST(CliTest, FlagWithoutValueFails) {
   const CliRun result = run({"measure", "Kripke", "--out"});
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find("needs a value"), std::string::npos);
+}
+
+TEST(CliTest, MeasureCheckpointAndResumeProduceIdenticalCsv) {
+  const std::string dir = ::testing::TempDir() + "exareq_cli_ckpt";
+  std::filesystem::remove_all(dir);
+  const CliRun clean = run(with_grid({"measure", "Kripke"}));
+  ASSERT_EQ(clean.exit_code, 0);
+
+  const CliRun checkpointed =
+      run(with_grid({"measure", "Kripke", "--checkpoint", dir}));
+  EXPECT_EQ(checkpointed.exit_code, 0);
+  EXPECT_EQ(checkpointed.out, clean.out);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/manifest"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/records.log"));
+
+  const CliRun resumed =
+      run(with_grid({"measure", "Kripke", "--checkpoint", dir, "--resume"}));
+  EXPECT_EQ(resumed.exit_code, 0);
+  EXPECT_EQ(resumed.out, clean.out);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, ResumeWithoutCheckpointFails) {
+  const CliRun result = run(with_grid({"measure", "Kripke", "--resume"}));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--checkpoint"), std::string::npos);
+}
+
+TEST(CliTest, ResumeRejectsMismatchedGrid) {
+  const std::string dir = ::testing::TempDir() + "exareq_cli_ckpt_mismatch";
+  std::filesystem::remove_all(dir);
+  const CliRun first =
+      run(with_grid({"measure", "Kripke", "--checkpoint", dir}));
+  ASSERT_EQ(first.exit_code, 0);
+  const CliRun mismatched =
+      run({"measure", "Kripke", "--checkpoint", dir, "--resume",
+           "--processes", "2,4", "--sizes", "32,64"});
+  EXPECT_EQ(mismatched.exit_code, 1);
+  EXPECT_NE(mismatched.err.find("different campaign"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliTest, MeasureSamplingPresetChangesLocality) {
+  // Sparser sampling thins the distance statistics, so the stack-distance
+  // column may change — but the command must succeed for every preset and
+  // reject unknown names.
+  for (const char* preset : {"exact", "balanced", "sparse", "minimal"}) {
+    const CliRun result =
+        run(with_grid({"measure", "Kripke", "--sampling", preset}));
+    EXPECT_EQ(result.exit_code, 0) << preset;
+  }
+  const CliRun bad =
+      run(with_grid({"measure", "Kripke", "--sampling", "turbo"}));
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.err.find("--sampling"), std::string::npos);
+}
+
+TEST(CliTest, LocalityAcceptsSamplingPreset) {
+  const CliRun result =
+      run({"locality", "MILC", "--size", "128", "--sampling", "exact"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("Weighted median stack distance"),
+            std::string::npos);
 }
 
 TEST(CliTest, MeasureWritesCsvToStdout) {

@@ -1,0 +1,134 @@
+// Delta+varint compressed traces: exact round trips against the
+// materializing AccessTrace, compression on regular strides, and the
+// parse-or-clean-error contract of the serialized container.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memtrace/compressed_trace.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/trace.hpp"
+#include "support/error.hpp"
+
+namespace exareq::memtrace {
+namespace {
+
+/// Records the same synthetic stream into both sink types.
+template <typename Sink>
+void emit_stream(Sink& sink) {
+  const GroupId a = sink.register_group("A");
+  const GroupId b = sink.register_group("B");
+  const GroupId c = sink.register_group("C");
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    sink.record(0x1000 + 8 * i, a);                  // unit stride
+    sink.record(0x80000 + 64 * (i % 7), b);          // small working set
+    if (i % 3 == 0) sink.record(0xF0000000ULL - i * 4096, c);  // descending
+  }
+}
+
+void expect_same_trace(const AccessTrace& x, const AccessTrace& y) {
+  ASSERT_EQ(x.group_count(), y.group_count());
+  for (GroupId g = 0; g < x.group_count(); ++g) {
+    EXPECT_EQ(x.group_name(g), y.group_name(g));
+  }
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.accesses()[i].address, y.accesses()[i].address) << i;
+    EXPECT_EQ(x.accesses()[i].group, y.accesses()[i].group) << i;
+  }
+}
+
+TEST(CompressedTraceTest, ReplayMatchesMaterializedTrace) {
+  AccessTrace reference;
+  CompressedTrace compressed;
+  emit_stream(reference);
+  emit_stream(compressed);
+  EXPECT_EQ(compressed.size(), reference.size());
+
+  AccessTrace replayed;
+  compressed.replay(replayed);
+  expect_same_trace(replayed, reference);
+}
+
+TEST(CompressedTraceTest, StridedStreamCompressesWell) {
+  AccessTrace reference;
+  CompressedTrace compressed;
+  emit_stream(reference);
+  emit_stream(compressed);
+  // The acceptance bar for the checkpointed sweeps is >= 2x against the
+  // 16-byte-per-access materialized form; regular strides do far better.
+  EXPECT_LT(compressed.compressed_bytes() * 2,
+            reference.size() * sizeof(Access));
+}
+
+TEST(CompressedTraceTest, LocalityAnalysisIsIdenticalThroughCompression) {
+  // The production consumer: a LocalityAnalyzer fed through the compressed
+  // trace must see the identical stream, hence identical statistics.
+  AccessTrace reference;
+  CompressedTrace compressed;
+  emit_stream(reference);
+  emit_stream(compressed);
+
+  const LocalityConfig config{SamplerConfig{64, 512, 0}, 10};
+  LocalityAnalyzer direct(config);
+  reference.replay(direct);
+  LocalityAnalyzer via_compressed(config);
+  compressed.replay(via_compressed);
+  const double total = static_cast<double>(reference.size());
+  EXPECT_EQ(direct.finish(total).weighted_median_stack_distance,
+            via_compressed.finish(total).weighted_median_stack_distance);
+}
+
+TEST(CompressedTraceTest, SerializeRoundTrip) {
+  CompressedTrace original;
+  emit_stream(original);
+  const std::string bytes = original.serialize();
+  const CompressedTrace restored = CompressedTrace::deserialize(bytes);
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.group_count(), original.group_count());
+  EXPECT_EQ(restored.serialize(), bytes);
+
+  AccessTrace a;
+  AccessTrace b;
+  original.replay(a);
+  restored.replay(b);
+  expect_same_trace(a, b);
+}
+
+TEST(CompressedTraceTest, EmptyTraceRoundTrips) {
+  CompressedTrace empty;
+  EXPECT_TRUE(empty.empty());
+  const CompressedTrace restored = CompressedTrace::deserialize(
+      empty.serialize());
+  EXPECT_TRUE(restored.empty());
+  EXPECT_EQ(restored.group_count(), 0u);
+}
+
+TEST(CompressedTraceTest, DeserializeRejectsDamage) {
+  CompressedTrace original;
+  emit_stream(original);
+  const std::string clean = original.serialize();
+  for (std::size_t i = 0; i < clean.size(); i += 11) {
+    std::string damaged = clean;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x5A);
+    EXPECT_THROW(CompressedTrace::deserialize(damaged), exareq::Error)
+        << "byte " << i;
+  }
+  EXPECT_THROW(CompressedTrace::deserialize(""), exareq::Error);
+  EXPECT_THROW(CompressedTrace::deserialize(clean.substr(0, clean.size() / 2)),
+               exareq::Error);
+}
+
+TEST(CompressedTraceTest, RecordRejectsUnregisteredGroup) {
+  CompressedTrace trace;
+  EXPECT_THROW(trace.record(0x1000, 0), exareq::InvalidArgument);
+  trace.register_group("A");
+  trace.record(0x1000, 0);
+  EXPECT_THROW(trace.record(0x1000, 1), exareq::InvalidArgument);
+  EXPECT_THROW(trace.group_name(1), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::memtrace

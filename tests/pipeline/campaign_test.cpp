@@ -132,6 +132,90 @@ TEST(CampaignTest, CsvRoundTripDoesNotMaterializePhantomChannels) {
   EXPECT_DOUBLE_EQ(twice.measurements[0].channels.at("halo").bytes, 3e6);
 }
 
+TEST(CampaignTest, FromCsvParsesResumedThenAppendedFile) {
+  // The checkpointed workflow leaves files that grow across restarts: a
+  // partial campaign's CSV with the rows of the resumed remainder appended
+  // under the same header. from_csv must parse the appended form exactly as
+  // it parses a single-shot export.
+  const auto& app = apps::application(apps::AppId::kMilc);
+  const CampaignData full = run_campaign(app, small_grid());
+  const std::string whole = full.to_csv().to_string();
+
+  // Split the document at a row boundary: header + first rows, then the
+  // "appended after resume" remainder.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : whole) {
+    line += c;
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  ASSERT_GT(lines.size(), 4u);
+  std::string appended;
+  for (std::size_t i = 0; i < lines.size(); ++i) appended += lines[i];
+  ASSERT_EQ(appended, whole);
+  std::string partial = lines[0];
+  for (std::size_t i = 1; i < lines.size() - 2; ++i) partial += lines[i];
+  std::string resumed_file = partial;
+  for (std::size_t i = lines.size() - 2; i < lines.size(); ++i) {
+    resumed_file += lines[i];
+  }
+
+  const CampaignData restored = CampaignData::from_csv(
+      exareq::CsvDocument::parse_string(resumed_file), full.app_name);
+  ASSERT_EQ(restored.measurements.size(), full.measurements.size());
+  EXPECT_EQ(restored.to_csv().to_string(), whole);
+}
+
+TEST(CampaignTest, ChannelDataBackfillsChannelAppearingPostResume) {
+  // A call path that first shows up in a grid point measured after a resume
+  // is absent from every earlier configuration; channel_data must cover the
+  // full grid anyway, backfilling the earlier points with 0 bytes.
+  CampaignData data;
+  data.app_name = "Synthetic";
+  for (int p : {2, 4}) {
+    for (std::int64_t n : {32, 64}) {
+      AppMeasurement m;
+      m.processes = p;
+      m.problem_size = n;
+      m.bytes_sent_received = 1e6;
+      m.channels["always"] = ChannelMeasurement{1e6, false, false, false};
+      // "late" only exists in the final (post-resume) grid point.
+      if (p == 4 && n == 64) {
+        m.channels["late"] = ChannelMeasurement{5e5, true, false, false};
+      }
+      data.measurements.push_back(m);
+    }
+  }
+
+  const auto names = data.channel_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "always");
+  EXPECT_EQ(names[1], "late");
+
+  const auto late = data.channel_data("late");
+  ASSERT_EQ(late.size(), 4u);  // full grid, not just where it appeared
+  double total = 0.0;
+  for (std::size_t i = 0; i < late.size(); ++i) {
+    const auto& coord = late.coordinate(i);
+    const bool is_late_point = coord[0] == 4.0 && coord[1] == 64.0;
+    EXPECT_EQ(late.value(i), is_late_point ? 5e5 : 0.0);
+    total += late.value(i);
+  }
+  EXPECT_EQ(total, 5e5);
+  EXPECT_TRUE(data.channel_traits("late").uses_allreduce);
+
+  // And the round trip keeps the late channel anchored to its grid point.
+  const CampaignData restored =
+      CampaignData::from_csv(data.to_csv(), data.app_name);
+  EXPECT_EQ(restored.to_csv().to_string(), data.to_csv().to_string());
+  EXPECT_EQ(restored.measurements[3].channels.count("late"), 1u);
+  EXPECT_TRUE(restored.measurements[0].channels.count("late") == 0);
+}
+
 TEST(CampaignTest, MetricLabelsMatchTableI) {
   EXPECT_EQ(metric_label(Metric::kBytesUsed), "#Bytes used");
   EXPECT_EQ(metric_label(Metric::kFlops), "#FLOP");
