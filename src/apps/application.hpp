@@ -23,8 +23,20 @@
 
 namespace exareq::apps {
 
-/// The five applications of the paper's case study (Sec. III).
-enum class AppId { kKripke, kLulesh, kMilc, kRelearn, kIcoFoam };
+/// The five applications of the paper's case study (Sec. III) plus the
+/// four suite-v2 proxies with deliberately different requirement
+/// signatures (stencil, graph, ML training, I/O-bound checkpointing).
+enum class AppId {
+  kKripke,
+  kLulesh,
+  kMilc,
+  kRelearn,
+  kIcoFoam,
+  kStencil3D,
+  kGraphBfs,
+  kMiniDnn,
+  kCheckpointIo,
+};
 
 /// Abstract application proxy.
 class Application {
@@ -42,6 +54,10 @@ class Application {
 
   /// Smallest admissible per-process problem size.
   virtual std::int64_t min_problem_size() const { return 16; }
+
+  /// True when the proxy exercises the simulated parallel file system
+  /// (instr I/O counters) and thus feeds the io_bytes requirement channel.
+  virtual bool performs_file_io() const { return false; }
 
   /// Executes one rank of the application with per-process problem size n.
   /// Computation is counted through `instr`, communication through `comm`.

@@ -1,0 +1,50 @@
+// MiniDNN proxy — data-parallel training loop of a dense neural network
+// (the ML-training workload class of modern exascale procurements, cf. the
+// JUPITER benchmark suite's learning workloads).
+//
+// n is the number of model parameters (weights) per process.
+//
+// Requirement mechanisms reproduced (suite extension, Table II style):
+//   #Bytes used       ~ n              weights, gradient accumulator, and
+//                                      activation workspace
+//   #FLOP             ~ n^1.5          dense layer GEMMs: a model of n
+//                                      weights factors into sqrt(n) x
+//                                      sqrt(n) layers whose multiply
+//                                      costs n^1.5 — p-independent
+//                                      (data parallelism), and with the
+//                                      high arithmetic intensity (~64
+//                                      flop/access) of blocked GEMM
+//   #Bytes sent/recv  ~ sqrt(n) *      gradient bucket alltoall per step:
+//                       Alltoall(p)    reduce-scatter-style exchange of
+//                                      per-peer buckets of ~sqrt(n)
+//                                      doubles — the alltoall-dominated
+//                                      communication of distributed
+//                                      training — plus a constant loss
+//                                      allreduce per step
+//   #Loads & stores   ~ n^1.5          the tiled GEMM streams operand
+//                                      tiles; blocking amortizes but does
+//                                      not change the n^1.5 shape
+//   Stack distance    Constant         GEMM tiles are sized to the cache:
+//                                      the reuse window is the tile,
+//                                      independent of the model size
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class MiniDnnProxy final : public Application {
+ public:
+  std::string name() const override { return "MiniDNN"; }
+  std::string description() const override {
+    return "data-parallel dense-network training loop with gradient alltoall";
+  }
+  std::string problem_size_meaning() const override {
+    return "model parameters (weights) per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  void trace_locality(std::int64_t n, memtrace::TraceSink& sink) const override;
+};
+
+}  // namespace exareq::apps

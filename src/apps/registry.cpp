@@ -2,11 +2,15 @@
 #include <cctype>
 
 #include "apps/application.hpp"
+#include "apps/checkpointio.hpp"
+#include "apps/graphbfs.hpp"
 #include "apps/icofoam.hpp"
 #include "apps/kripke.hpp"
 #include "apps/lulesh.hpp"
 #include "apps/milc.hpp"
+#include "apps/minidnn.hpp"
 #include "apps/relearn.hpp"
+#include "apps/stencil3d.hpp"
 #include "support/error.hpp"
 
 namespace exareq::apps {
@@ -17,6 +21,10 @@ const Application& application(AppId id) {
   static const MilcProxy milc;
   static const RelearnProxy relearn;
   static const IcoFoamProxy icofoam;
+  static const Stencil3DProxy stencil3d;
+  static const GraphBfsProxy graphbfs;
+  static const MiniDnnProxy minidnn;
+  static const CheckpointIoProxy checkpointio;
   switch (id) {
     case AppId::kKripke:
       return kripke;
@@ -28,13 +36,22 @@ const Application& application(AppId id) {
       return relearn;
     case AppId::kIcoFoam:
       return icofoam;
+    case AppId::kStencil3D:
+      return stencil3d;
+    case AppId::kGraphBfs:
+      return graphbfs;
+    case AppId::kMiniDnn:
+      return minidnn;
+    case AppId::kCheckpointIo:
+      return checkpointio;
   }
   throw exareq::InvalidArgument("application: unknown AppId");
 }
 
 std::vector<AppId> all_app_ids() {
-  return {AppId::kKripke, AppId::kLulesh, AppId::kMilc, AppId::kRelearn,
-          AppId::kIcoFoam};
+  return {AppId::kKripke,    AppId::kLulesh,   AppId::kMilc,
+          AppId::kRelearn,   AppId::kIcoFoam,  AppId::kStencil3D,
+          AppId::kGraphBfs,  AppId::kMiniDnn,  AppId::kCheckpointIo};
 }
 
 std::string app_name(AppId id) { return application(id).name(); }
@@ -51,8 +68,14 @@ AppId app_id_from_name(const std::string& name) {
                    });
     if (candidate == lowered) return id;
   }
+  // List the valid names so a typo is a one-round-trip fix.
+  std::string valid;
+  for (AppId id : all_app_ids()) {
+    if (!valid.empty()) valid += ", ";
+    valid += app_name(id);
+  }
   throw exareq::InvalidArgument("app_id_from_name: unknown application '" +
-                                name + "'");
+                                name + "' (valid names: " + valid + ")");
 }
 
 }  // namespace exareq::apps

@@ -1,0 +1,45 @@
+// Stencil3D proxy — 3D Jacobi-style halo-exchange stencil on a structured
+// cubic grid (the classic surface-to-volume proxy pattern, cf. JUPITER
+// benchmark-suite stencil kernels).
+//
+// n is the simulated volume (grid cells) per process.
+//
+// Requirement mechanisms reproduced (suite extension, Table II style):
+//   #Bytes used       ~ n           double-buffered cell arrays plus the
+//                                   stencil coefficient table
+//   #FLOP             ~ n           a fixed number of 7-point relaxation
+//                                   sweeps, each ~8 flops per cell;
+//                                   independent of p (perfect domain
+//                                   decomposition)
+//   #Bytes sent/recv  ~ n^(2/3)     face halos: a cubic subdomain of volume
+//                       + log p     n has surface area ~ n^(2/3)
+//                                   (surface-to-volume law), plus one small
+//                                   convergence allreduce per sweep
+//   #Loads & stores   ~ n           each sweep streams every cell and its
+//                                   six neighbours once
+//   Stack distance    ~ n^(2/3)     a cell's z-neighbour is revisited after
+//                                   one full plane of ~n^(2/3) cells
+//
+// No requirement couples p and n multiplicatively — the "benign" pattern
+// the paper contrasts with LULESH.
+#pragma once
+
+#include "apps/application.hpp"
+
+namespace exareq::apps {
+
+class Stencil3DProxy final : public Application {
+ public:
+  std::string name() const override { return "Stencil3D"; }
+  std::string description() const override {
+    return "3D halo-exchange Jacobi stencil on a structured grid";
+  }
+  std::string problem_size_meaning() const override {
+    return "grid cells per process";
+  }
+  void run_rank(simmpi::Communicator& comm, instr::ProcessInstrumentation& instr,
+                std::int64_t n) const override;
+  void trace_locality(std::int64_t n, memtrace::TraceSink& sink) const override;
+};
+
+}  // namespace exareq::apps

@@ -175,11 +175,13 @@ pipeline::CampaignData obtain_campaign(const apps::Application& app,
 }
 
 int cmd_list(std::ostream& out) {
-  TextTable table({"App", "Problem size meaning", "Description"});
-  table.set_alignment({Align::kLeft, Align::kLeft, Align::kLeft});
+  TextTable table({"App", "Problem size meaning", "File I/O", "Description"});
+  table.set_alignment(
+      {Align::kLeft, Align::kLeft, Align::kLeft, Align::kLeft});
   for (apps::AppId id : apps::all_app_ids()) {
     const apps::Application& app = apps::application(id);
-    table.add_row({app.name(), app.problem_size_meaning(), app.description()});
+    table.add_row({app.name(), app.problem_size_meaning(),
+                   app.performs_file_io() ? "yes" : "-", app.description()});
   }
   out << table.render();
   return 0;
@@ -575,6 +577,10 @@ std::string usage() {
          "  query   (--socket PATH | --tcp PORT [--host H])\n"
          "           (--request 'eval LULESH flops 64 1024' | --requests FILE)\n"
          "           [--binary]\n"
+         "Nine proxy applications are bundled (see `list` and docs/APPS.md);\n"
+         "eval metrics: footprint, flops, comm_bytes, loads_stores,\n"
+         "stack_distance, io_bytes, energy_proxy (the last two require a\n"
+         "suite-v2 bundle; apps without file I/O model io_bytes as 0).\n"
          "Every command except `list` also accepts:\n"
          "  --trace FILE     record spans and write a Chrome trace_event JSON\n"
          "                   file (load in chrome://tracing or Perfetto)\n"

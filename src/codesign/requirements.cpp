@@ -5,11 +5,23 @@
 namespace exareq::codesign {
 namespace {
 
+/// "(p, n)" / "(n)" / "()" — the layout a model actually has, for error
+/// messages that name the offender instead of just the expectation.
+std::string layout_of(const model::Model& m) {
+  std::string layout = "(";
+  for (std::size_t i = 0; i < m.parameter_names().size(); ++i) {
+    if (i > 0) layout += ", ";
+    layout += m.parameter_names()[i];
+  }
+  return layout + ")";
+}
+
 void check_two_parameter(const model::Model& m, const char* what) {
   exareq::require(m.parameter_names().size() == 2 &&
                       m.parameter_names()[0] == "p" && m.parameter_names()[1] == "n",
                   std::string("AppRequirements: ") + what +
-                      " must be a model over (p, n)");
+                      " must be a model over (p, n), but this model is over " +
+                      layout_of(m));
 }
 
 }  // namespace
@@ -21,7 +33,13 @@ void AppRequirements::validate() const {
   check_two_parameter(comm_bytes, "comm_bytes");
   check_two_parameter(loads_stores, "loads_stores");
   exareq::require(stack_distance.parameter_names().size() == 1,
-                  "AppRequirements: stack_distance must be a model over (n)");
+                  "AppRequirements: stack_distance must be a model over (n), "
+                  "but this model is over " +
+                      layout_of(stack_distance));
+  if (io_bytes.has_value()) check_two_parameter(*io_bytes, "io_bytes");
+  if (energy_proxy.has_value()) {
+    check_two_parameter(*energy_proxy, "energy_proxy");
+  }
 }
 
 FilledSystem fill_memory(const AppRequirements& app, const SystemSkeleton& system,

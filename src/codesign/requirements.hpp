@@ -9,6 +9,7 @@
 // AppRequirements> on exactly this contract.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "model/inversion.hpp"
@@ -18,6 +19,8 @@ namespace exareq::codesign {
 
 /// Requirement models of one application. All two-parameter models use the
 /// parameter order (p, n); the stack-distance model is a function of n.
+/// The io_bytes and energy_proxy channels are optional: bundles fitted
+/// before suite v2 (model bundle format v1) simply do not carry them.
 struct AppRequirements {
   std::string name;
   model::Model footprint;       ///< bytes used per process, r(p, n)
@@ -25,8 +28,11 @@ struct AppRequirements {
   model::Model comm_bytes;      ///< bytes sent + received, r(p, n)
   model::Model loads_stores;    ///< memory accesses, r(p, n)
   model::Model stack_distance;  ///< locality, r(n)
+  std::optional<model::Model> io_bytes;      ///< file-system bytes, r(p, n)
+  std::optional<model::Model> energy_proxy;  ///< derived energy [J], r(p, n)
 
-  /// Throws InvalidArgument unless the parameter layouts are as documented.
+  /// Throws InvalidArgument unless the parameter layouts are as documented
+  /// (absent optional channels are valid).
   void validate() const;
 };
 

@@ -17,6 +17,28 @@ std::vector<StrawmanSystem> paper_strawmen() {
   return systems;
 }
 
+std::vector<StrawmanSystem> accelerator_strawmen() {
+  // GPU-style exaflop candidates: one MPI process per device, so each
+  // process sees enormous flop/s but only its device's HBM.
+  std::vector<StrawmanSystem> systems(2);
+  systems[0] = {"Accelerated fat", 5e3, 2e4, 4.0, 8e10, 5e13};
+  systems[1] = {"Accelerated lean", 1.25e4, 1e5, 8.0, 1.6e10, 1e13};
+  return systems;
+}
+
+SatisfactionRates derived_rates(const StrawmanSystem& system,
+                                double total_io_bytes_per_second) {
+  SatisfactionRates rates;
+  rates.flops_per_second = system.flops_per_processor;
+  rates.network_bytes_per_second = system.flops_per_processor * 0.001;
+  rates.memory_bytes_per_second = system.flops_per_processor * 0.5;
+  rates.io_bytes_per_second =
+      total_io_bytes_per_second > 0.0
+          ? total_io_bytes_per_second / system.processors
+          : 0.0;
+  return rates;
+}
+
 StrawmanOutcome evaluate_strawman(const AppRequirements& app,
                                   const StrawmanSystem& system) {
   app.validate();
@@ -91,6 +113,12 @@ std::optional<RefinedTimeBound> refined_wall_time_bound(
       app.comm_bytes.evaluate2(p, n) / rates.network_bytes_per_second;
   bound.memory_seconds = app.loads_stores.evaluate2(p, n) *
                          rates.bytes_per_access / rates.memory_bytes_per_second;
+  if (rates.io_bytes_per_second > 0.0 && app.io_bytes.has_value()) {
+    // A no-I/O app's model is fitted to all-zero data and can evaluate to
+    // a (negative) rounding residue; time components are never negative.
+    bound.io_seconds = std::max(
+        0.0, app.io_bytes->evaluate2(p, n) / rates.io_bytes_per_second);
+  }
   bound.bound_seconds = bound.compute_seconds;
   bound.bottleneck = "computation";
   if (bound.network_seconds > bound.bound_seconds) {
@@ -100,6 +128,10 @@ std::optional<RefinedTimeBound> refined_wall_time_bound(
   if (bound.memory_seconds > bound.bound_seconds) {
     bound.bound_seconds = bound.memory_seconds;
     bound.bottleneck = "memory access";
+  }
+  if (bound.io_seconds > bound.bound_seconds) {
+    bound.bound_seconds = bound.io_seconds;
+    bound.bottleneck = "file I/O";
   }
   return bound;
 }

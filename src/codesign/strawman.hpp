@@ -35,6 +35,17 @@ struct StrawmanSystem {
 /// 10 PB of total memory divided equally among the processors.
 std::vector<StrawmanSystem> paper_strawmen();
 
+/// Accelerator straw-men for the suite-v2 design study: GPU-style systems
+/// whose processors are few, fat devices instead of many thin cores. Both
+/// reach 1 exaflop/s like the paper's candidates, but with orders of
+/// magnitude more flop/s — and less memory — per process:
+///   Accelerated fat:  2e4 devices * 5e13 flop/s, 8e10 B each (HBM-sized;
+///                     ~0.4% the byte:flop ratio of the Vector machine)
+///   Accelerated lean: 1e5 devices * 1e13 flop/s, 1.6e10 B each (a leaner
+///                     device with one eighth the fat system's memory:
+///                     footprint-heavy apps stop fitting first here)
+std::vector<StrawmanSystem> accelerator_strawmen();
+
 /// Outcome of mapping one application onto one straw-man system.
 struct StrawmanOutcome {
   std::string system_name;
@@ -75,18 +86,33 @@ struct SatisfactionRates {
   double memory_bytes_per_second = 0.0;
   /// Bytes moved per load/store the memory system must serve (word size).
   double bytes_per_access = 8.0;
+  /// Parallel-file-system bandwidth per processor; 0 (the default) leaves
+  /// I/O out of the bound, matching bundles without an io_bytes model.
+  double io_bytes_per_second = 0.0;
 };
+
+/// Rates for a processor of `system` derived from byte-to-flop ratios:
+/// network 0.001 B:F, memory 0.5 B:F — the figures the design-study
+/// benches have always used — plus a per-processor share of an aggregate
+/// file-system bandwidth (`total_io_bytes_per_second`, 0 to disable).
+/// Unlike compute and memory, I/O bandwidth does not scale with the
+/// processor count: the file system is a fixed shared resource, which is
+/// exactly what makes checkpoint-style apps I/O-bound on big machines.
+SatisfactionRates derived_rates(const StrawmanSystem& system,
+                                double total_io_bytes_per_second = 0.0);
 
 /// Per-requirement time components of the refined bound.
 struct RefinedTimeBound {
   double compute_seconds = 0.0;
   double network_seconds = 0.0;
   double memory_seconds = 0.0;
+  /// 0 unless the app has an io_bytes model and the rates enable I/O.
+  double io_seconds = 0.0;
   /// max of the components — requirements are served concurrently at best
   /// (a roofline-style bound).
   double bound_seconds = 0.0;
-  /// Which requirement dominates: "computation", "communication", or
-  /// "memory access".
+  /// Which requirement dominates: "computation", "communication",
+  /// "memory access", or "file I/O".
   std::string bottleneck;
 };
 

@@ -181,6 +181,9 @@ std::string serialize_bundle(const ModelBundle& bundle) {
 
 ModelBundle parse_bundle(const std::string& text) {
   ModelBundle bundle;
+  // Files written before the format field existed carry no `# format` line
+  // and are the original layout — format 1, not whatever this build writes.
+  bundle.format_version = 1;
   std::istringstream is(text);
   std::string line;
   std::string pending_label;

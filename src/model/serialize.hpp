@@ -44,7 +44,10 @@ struct ModelBundle {
   /// Bundle-file format revision. Bump kCurrentFormatVersion when the
   /// layout changes incompatibly; the loader refuses newer files instead
   /// of misreading them (hot-swap persistence may outlive the writer).
-  static constexpr int kCurrentFormatVersion = 1;
+  /// History: 1 = original five-label layout; 2 = suite v2, which may add
+  /// the optional io_bytes/energy_proxy labels (v1 files still load, with
+  /// those channels absent).
+  static constexpr int kCurrentFormatVersion = 2;
 
   std::string name;
   std::vector<std::pair<std::string, Model>> models;

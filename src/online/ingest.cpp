@@ -52,6 +52,8 @@ std::vector<pipeline::AppMeasurement> parse_ingest_payload(
     require_non_negative(m.loads_stores, row, "loads_stores");
     require_non_negative(m.bytes_sent_received, row, "bytes_sent_received");
     require_non_negative(m.stack_distance, row, "stack_distance");
+    require_non_negative(m.io_bytes, row, "io_bytes");
+    require_non_negative(m.energy_proxy, row, "energy_proxy");
     for (const auto& [name, channel] : m.channels) {
       require_non_negative(channel.bytes, row,
                            ("channel '" + name + "' bytes").c_str());

@@ -19,8 +19,9 @@
 namespace exareq::pipeline {
 
 std::vector<Metric> all_metrics() {
-  return {Metric::kBytesUsed, Metric::kFlops, Metric::kBytesSentReceived,
-          Metric::kLoadsStores, Metric::kStackDistance};
+  return {Metric::kBytesUsed,    Metric::kFlops,   Metric::kBytesSentReceived,
+          Metric::kLoadsStores,  Metric::kStackDistance,
+          Metric::kIoBytes,      Metric::kEnergyProxy};
 }
 
 std::string metric_label(Metric metric) {
@@ -35,6 +36,10 @@ std::string metric_label(Metric metric) {
       return "#Loads & stores";
     case Metric::kStackDistance:
       return "Stack distance";
+    case Metric::kIoBytes:
+      return "#Bytes file I/O";
+    case Metric::kEnergyProxy:
+      return "Energy proxy [J]";
   }
   return "?";
 }
@@ -53,8 +58,22 @@ double metric_value(const AppMeasurement& m, Metric metric) {
       return m.loads_stores;
     case Metric::kStackDistance:
       return m.stack_distance;
+    case Metric::kIoBytes:
+      return m.io_bytes;
+    case Metric::kEnergyProxy:
+      return m.energy_proxy;
   }
   return 0.0;
+}
+
+/// Header lookup that tolerates absence — pre-suite-v2 campaign CSVs have
+/// no io_bytes/energy_proxy columns and must keep loading.
+std::optional<std::size_t> optional_column(const exareq::CsvDocument& doc,
+                                           const std::string& title) {
+  for (std::size_t c = 0; c < doc.header().size(); ++c) {
+    if (doc.header()[c] == title) return c;
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -123,7 +142,9 @@ exareq::CsvDocument CampaignData::to_csv() const {
                                   "flops",
                                   "loads_stores",
                                   "bytes_sent_received",
-                                  "stack_distance"};
+                                  "stack_distance",
+                                  "io_bytes",
+                                  "energy_proxy"};
   const std::vector<std::string> channels = channel_names();
   for (const std::string& name : channels) {
     const ChannelMeasurement traits = channel_traits(name);
@@ -141,7 +162,9 @@ exareq::CsvDocument CampaignData::to_csv() const {
                                  exareq::format_sci(m.flops, 17),
                                  exareq::format_sci(m.loads_stores, 17),
                                  exareq::format_sci(m.bytes_sent_received, 17),
-                                 exareq::format_sci(m.stack_distance, 17)};
+                                 exareq::format_sci(m.stack_distance, 17),
+                                 exareq::format_sci(m.io_bytes, 17),
+                                 exareq::format_sci(m.energy_proxy, 17)};
     for (const std::string& name : channels) {
       const auto it = m.channels.find(name);
       row.push_back(
@@ -163,6 +186,9 @@ CampaignData CampaignData::from_csv(const exareq::CsvDocument& doc,
   const std::size_t ls_col = doc.column_index("loads_stores");
   const std::size_t comm_col = doc.column_index("bytes_sent_received");
   const std::size_t sd_col = doc.column_index("stack_distance");
+  const std::optional<std::size_t> io_col = optional_column(doc, "io_bytes");
+  const std::optional<std::size_t> energy_col =
+      optional_column(doc, "energy_proxy");
   struct ChannelColumn {
     std::size_t column;
     std::string name;
@@ -194,6 +220,16 @@ CampaignData CampaignData::from_csv(const exareq::CsvDocument& doc,
     m.loads_stores = doc.number_at(row, ls_col);
     m.bytes_sent_received = doc.number_at(row, comm_col);
     m.stack_distance = doc.number_at(row, sd_col);
+    // Legacy rows (pre-suite-v2) carry no I/O column — none of the original
+    // apps perform file I/O, so 0 is the measurement those rows would have
+    // recorded — and the energy proxy, a pure function of the other
+    // metrics, is recomputed rather than defaulted.
+    m.io_bytes = io_col.has_value() ? doc.number_at(row, *io_col) : 0.0;
+    m.energy_proxy = energy_col.has_value()
+                         ? doc.number_at(row, *energy_col)
+                         : derived_energy_proxy(m.flops, m.loads_stores,
+                                                m.bytes_sent_received,
+                                                m.io_bytes);
     for (const ChannelColumn& column : channel_columns) {
       const double bytes = doc.number_at(row, column.column);
       // Zero-byte cells are fill-ins `to_csv` writes for configurations
@@ -399,6 +435,10 @@ const model::FitResult& RequirementModels::result(Metric metric) const {
       return loads_stores;
     case Metric::kStackDistance:
       return stack_distance;
+    case Metric::kIoBytes:
+      return io_bytes;
+    case Metric::kEnergyProxy:
+      return energy_proxy;
   }
   throw exareq::InvalidArgument("RequirementModels::result: unknown metric");
 }
@@ -441,6 +481,14 @@ RequirementModels model_requirements(const CampaignData& data,
   fits.push_back([&] {
     models.stack_distance =
         generator.generate(data.metric_data(Metric::kStackDistance), plain);
+  });
+  fits.push_back([&] {
+    models.io_bytes =
+        generator.generate(data.metric_data(Metric::kIoBytes), plain);
+  });
+  fits.push_back([&] {
+    models.energy_proxy =
+        generator.generate(data.metric_data(Metric::kEnergyProxy), plain);
   });
   for (std::size_t i = 0; i < channel_names.size(); ++i) {
     fits.push_back([&, i] {

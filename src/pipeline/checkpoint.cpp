@@ -99,6 +99,8 @@ std::string encode_payload(const AppMeasurement& m) {
   put_f64(payload, m.loads_stores);
   put_f64(payload, m.bytes_sent_received);
   put_f64(payload, m.stack_distance);
+  put_f64(payload, m.io_bytes);
+  put_f64(payload, m.energy_proxy);
   put_u32(payload, static_cast<std::uint32_t>(m.channels.size()));
   for (const auto& [name, channel] : m.channels) {
     put_u32(payload, static_cast<std::uint32_t>(name.size()));
@@ -122,6 +124,8 @@ AppMeasurement decode_payload(std::string_view payload) {
   m.loads_stores = reader.f64();
   m.bytes_sent_received = reader.f64();
   m.stack_distance = reader.f64();
+  m.io_bytes = reader.f64();
+  m.energy_proxy = reader.f64();
   const std::uint32_t channels = reader.u32();
   for (std::uint32_t i = 0; i < channels; ++i) {
     const std::uint32_t name_length = reader.u32();

@@ -73,7 +73,10 @@ struct CheckpointOptions {
 /// measurement results, so a resume with any mismatch is rejected instead of
 /// silently mixing incompatible measurements.
 struct CheckpointManifest {
-  static constexpr int kVersion = 1;
+  // v2: record payloads gained the io_bytes and energy_proxy fields. The
+  // version lives in the manifest, so a v1 checkpoint directory is rejected
+  // as a whole on resume instead of tripping over reshaped records.
+  static constexpr int kVersion = 2;
 
   int version = kVersion;
   std::string app_name;

@@ -11,6 +11,8 @@ codesign::AppRequirements to_requirements(const RequirementModels& models) {
   requirements.flops = models.flops.model;
   requirements.loads_stores = models.loads_stores.model;
   requirements.stack_distance = models.stack_distance.model;
+  requirements.io_bytes = models.io_bytes.model;
+  requirements.energy_proxy = models.energy_proxy.model;
   if (models.comm_channels.empty()) {
     requirements.comm_bytes = models.bytes_sent_received.model;
   } else {

@@ -21,6 +21,10 @@ bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b) {
   if (a.stack_distance != b.stack_distance) {
     return a.stack_distance < b.stack_distance;
   }
+  if (a.io_bytes != b.io_bytes) return a.io_bytes < b.io_bytes;
+  if (a.energy_proxy != b.energy_proxy) {
+    return a.energy_proxy < b.energy_proxy;
+  }
   auto it_a = a.channels.begin();
   auto it_b = b.channels.begin();
   for (; it_a != a.channels.end() && it_b != b.channels.end();
@@ -34,6 +38,16 @@ bool measurement_row_less(const AppMeasurement& a, const AppMeasurement& b) {
     if (ca.uses_alltoall != cb.uses_alltoall) return cb.uses_alltoall;
   }
   return it_a == a.channels.end() && it_b != b.channels.end();
+}
+
+double derived_energy_proxy(double flops, double loads_stores,
+                            double bytes_sent_received, double io_bytes) {
+  constexpr double kJoulesPerFlop = 1e-11;
+  constexpr double kJoulesPerAccess = 2e-10;
+  constexpr double kJoulesPerCommByte = 5e-10;
+  constexpr double kJoulesPerIoByte = 1e-9;
+  return kJoulesPerFlop * flops + kJoulesPerAccess * loads_stores +
+         kJoulesPerCommByte * bytes_sent_received + kJoulesPerIoByte * io_bytes;
 }
 
 LocalityOptions locality_preset(SamplingPreset preset) {
@@ -110,9 +124,14 @@ AppMeasurement measure_app(const apps::Application& app, int p, std::int64_t n,
     measurement.loads_stores =
         std::max(measurement.loads_stores,
                  static_cast<double>(report.ops.loads_stores()));
+    measurement.io_bytes = std::max(
+        measurement.io_bytes, static_cast<double>(report.io.bytes_total()));
   }
   measurement.bytes_sent_received =
       static_cast<double>(run_result.max_bytes_per_rank());
+  measurement.energy_proxy = derived_energy_proxy(
+      measurement.flops, measurement.loads_stores,
+      measurement.bytes_sent_received, measurement.io_bytes);
   for (const simmpi::CommStats& stats : run_result.stats) {
     for (const auto& [name, channel] : stats.channels) {
       ChannelMeasurement& entry = measurement.channels[name];

@@ -39,9 +39,22 @@ struct AppMeasurement {
   double loads_stores = 0.0;          ///< busiest rank
   double bytes_sent_received = 0.0;   ///< busiest rank
   double stack_distance = 0.0;        ///< weighted median (0 if not measured)
+  double io_bytes = 0.0;              ///< file-system bytes, busiest rank
+  double energy_proxy = 0.0;          ///< derived energy estimate [J]
   /// Per-call-path communication (channel name -> bytes + collective use).
   std::map<std::string, ChannelMeasurement> channels;
 };
+
+/// Deterministic first-order energy model over the counted activity of the
+/// busiest rank. The per-unit costs are order-of-magnitude figures for a
+/// contemporary HPC node (double-precision FLOP ~10 pJ, cache/memory access
+/// of a double ~0.2 nJ, network byte ~0.5 nJ, file-system byte ~1 nJ); the
+/// absolute scale is a fiction, but the *growth* of the combination in
+/// (p, n) is exactly what requirement modeling needs — and because the
+/// proxy is a pure function of the other metrics it can be recomputed for
+/// legacy measurement rows that predate the channel.
+double derived_energy_proxy(double flops, double loads_stores,
+                            double bytes_sent_received, double io_bytes);
 
 /// Strict-weak ordering over the full measurement tuple — (p, n), every
 /// metric, then the channel map. Sorting a batch of rows with it yields one

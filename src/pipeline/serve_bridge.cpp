@@ -46,6 +46,12 @@ model::ModelBundle to_model_bundle(const RequirementModels& models) {
                    {"comm_bytes", requirements.comm_bytes},
                    {"loads_stores", requirements.loads_stores},
                    {"stack_distance", requirements.stack_distance}};
+  if (requirements.io_bytes.has_value()) {
+    bundle.models.emplace_back("io_bytes", *requirements.io_bytes);
+  }
+  if (requirements.energy_proxy.has_value()) {
+    bundle.models.emplace_back("energy_proxy", *requirements.energy_proxy);
+  }
   return bundle;
 }
 

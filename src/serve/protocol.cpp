@@ -48,7 +48,8 @@ void expect_arity(const std::vector<std::string>& tokens, std::size_t arity,
 
 const std::vector<std::string>& metric_names() {
   static const std::vector<std::string> names = {
-      "footprint", "flops", "comm_bytes", "loads_stores", "stack_distance"};
+      "footprint",      "flops",    "comm_bytes",  "loads_stores",
+      "stack_distance", "io_bytes", "energy_proxy"};
   return names;
 }
 
@@ -61,7 +62,8 @@ void validate_request(const Request& request) {
       exareq::require(
           std::find(names.begin(), names.end(), request.metric) != names.end(),
           "unknown metric '" + request.metric +
-              "' (expected footprint|flops|comm_bytes|loads_stores|stack_distance)");
+              "' (expected footprint|flops|comm_bytes|loads_stores|"
+              "stack_distance|io_bytes|energy_proxy)");
       exareq::require(request.p >= 1.0 && request.n >= 1.0,
                       "eval coordinates must be >= 1");
       break;

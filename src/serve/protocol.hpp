@@ -58,7 +58,7 @@ struct Request {
   RequestKind kind = RequestKind::kStatus;
   std::string app;      ///< all kinds except status
   std::string payload;  ///< ingest: ';'-joined campaign CSV records
-  std::string metric;  ///< eval: footprint|flops|comm_bytes|loads_stores|stack_distance
+  std::string metric;  ///< eval: one of metric_names() (footprint, flops, ...)
   double p = 0.0;      ///< eval: process count
   double n = 0.0;      ///< eval: problem size per process
   double processes = 0.0;           ///< invert/upgrade: system skeleton

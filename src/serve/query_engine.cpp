@@ -19,6 +19,16 @@ const model::Model& metric_model(const codesign::AppRequirements& app,
   if (metric == "comm_bytes") return app.comm_bytes;
   if (metric == "loads_stores") return app.loads_stores;
   if (metric == "stack_distance") return app.stack_distance;
+  if (metric == "io_bytes" || metric == "energy_proxy") {
+    const std::optional<model::Model>& channel =
+        metric == "io_bytes" ? app.io_bytes : app.energy_proxy;
+    if (!channel.has_value()) {
+      throw exareq::InvalidArgument(
+          "app '" + app.name + "' has no '" + metric +
+          "' model (bundle predates the suite-v2 channels; refit to add it)");
+    }
+    return *channel;
+  }
   throw exareq::InvalidArgument("unknown metric '" + metric + "'");
 }
 

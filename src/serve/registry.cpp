@@ -110,6 +110,10 @@ std::string ModelRegistry::load_file(const std::string& path) {
     } else if (label == "stack_distance") {
       requirements.stack_distance = m;
       have_stack = true;
+    } else if (label == "io_bytes") {
+      requirements.io_bytes = m;
+    } else if (label == "energy_proxy") {
+      requirements.energy_proxy = m;
     } else {
       throw exareq::InvalidArgument("model file '" + path +
                                     "' has unknown model label '" + label + "'");

@@ -78,8 +78,9 @@ class ModelRegistry {
   /// Stores (or replaces) a validated bundle under its name.
   void insert(codesign::AppRequirements models);
 
-  /// Loads one serialized bundle file (labels footprint/flops/comm_bytes/
-  /// loads_stores/stack_distance); returns the application name. Throws
+  /// Loads one serialized bundle file (required labels footprint/flops/
+  /// comm_bytes/loads_stores/stack_distance, optional io_bytes/
+  /// energy_proxy); returns the application name. Throws
   /// InvalidArgument on unreadable or malformed files.
   std::string load_file(const std::string& path);
 

@@ -1,4 +1,4 @@
-// Behavioural tests of the five application proxies: every proxy must run,
+// Behavioural tests of the nine application proxies: every proxy must run,
 // produce strictly positive requirements, be deterministic, and grow each
 // requirement in the direction the paper's Table II prescribes.
 #include <gtest/gtest.h>
@@ -23,7 +23,9 @@ std::string app_param_name(const ::testing::TestParamInfo<AppId>& info) {
 INSTANTIATE_TEST_SUITE_P(AllApps, ProxyTest,
                          ::testing::Values(AppId::kKripke, AppId::kLulesh,
                                            AppId::kMilc, AppId::kRelearn,
-                                           AppId::kIcoFoam),
+                                           AppId::kIcoFoam, AppId::kStencil3D,
+                                           AppId::kGraphBfs, AppId::kMiniDnn,
+                                           AppId::kCheckpointIo),
                          app_param_name);
 
 TEST_P(ProxyTest, RunsAndProducesPositiveRequirements) {
@@ -210,18 +212,43 @@ TEST(IcoFoamShapeTest, ComputationCouplesNAndP) {
 
 TEST(RegistryTest, AllAppsListedAndNamed) {
   const auto ids = all_app_ids();
-  ASSERT_EQ(ids.size(), 5u);
+  ASSERT_EQ(ids.size(), 9u);
   EXPECT_EQ(app_name(AppId::kKripke), "Kripke");
   EXPECT_EQ(app_name(AppId::kLulesh), "LULESH");
   EXPECT_EQ(app_name(AppId::kMilc), "MILC");
   EXPECT_EQ(app_name(AppId::kRelearn), "Relearn");
   EXPECT_EQ(app_name(AppId::kIcoFoam), "icoFoam");
+  EXPECT_EQ(app_name(AppId::kStencil3D), "Stencil3D");
+  EXPECT_EQ(app_name(AppId::kGraphBfs), "GraphBFS");
+  EXPECT_EQ(app_name(AppId::kMiniDnn), "MiniDNN");
+  EXPECT_EQ(app_name(AppId::kCheckpointIo), "CheckpointIO");
 }
 
 TEST(RegistryTest, LookupByNameIsCaseInsensitive) {
   EXPECT_EQ(app_id_from_name("kripke"), AppId::kKripke);
   EXPECT_EQ(app_id_from_name("ICOFOAM"), AppId::kIcoFoam);
+  EXPECT_EQ(app_id_from_name("stencil3d"), AppId::kStencil3D);
+  EXPECT_EQ(app_id_from_name("CHECKPOINTIO"), AppId::kCheckpointIo);
   EXPECT_THROW(app_id_from_name("nbody"), exareq::InvalidArgument);
+}
+
+TEST(RegistryTest, UnknownNameErrorListsAllValidNames) {
+  try {
+    app_id_from_name("nbody");
+    FAIL() << "unknown name accepted";
+  } catch (const exareq::InvalidArgument& error) {
+    const std::string what = error.what();
+    for (const AppId id : all_app_ids()) {
+      EXPECT_NE(what.find(app_name(id)), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(RegistryTest, OnlyCheckpointIoPerformsFileIo) {
+  for (const AppId id : all_app_ids()) {
+    EXPECT_EQ(application(id).performs_file_io(), id == AppId::kCheckpointIo)
+        << app_name(id);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// Shape tests for the suite-v2 proxies: each new application's measured
+// requirements must follow the mechanism documented in its header (the
+// Table-II-style comment block), checked as growth ratios between (p, n)
+// configurations rather than absolute values. Suites are prefixed "Apps"
+// so the TSan preset's test filter picks them up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/application.hpp"
+#include "pipeline/measure.hpp"
+
+namespace exareq::apps {
+namespace {
+
+using pipeline::AppMeasurement;
+using pipeline::derived_energy_proxy;
+using pipeline::measure_app;
+
+// Measured ratios carry sub-item rounding and additive lower-order terms
+// (e.g. the constant allreduce riding on a halo exchange), so shape checks
+// accept a relative band around the documented exponent's prediction.
+void expect_ratio_near(double ratio, double expected, double tolerance) {
+  EXPECT_GT(ratio, expected * (1.0 - tolerance));
+  EXPECT_LT(ratio, expected * (1.0 + tolerance));
+}
+
+TEST(AppsStencil3DTest, FlopsLinearInNAndIndependentOfP) {
+  const Application& app = application(AppId::kStencil3D);
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big_n = measure_app(app, 4, 2048);
+  const AppMeasurement big_p = measure_app(app, 16, 512);
+  expect_ratio_near(big_n.flops / base.flops, 4.0, 0.15);
+  expect_ratio_near(big_p.flops / base.flops, 1.0, 0.10);
+}
+
+TEST(AppsStencil3DTest, CommunicationFollowsSurfaceToVolumeLaw) {
+  const Application& app = application(AppId::kStencil3D);
+  // Surface of a cubic subdomain ~ n^(2/3): growing n by 8x grows the halo
+  // 4x. The per-sweep convergence allreduce adds a small constant on top.
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 4096);
+  expect_ratio_near(big.bytes_sent_received / base.bytes_sent_received, 4.0,
+                    0.25);
+}
+
+TEST(AppsStencil3DTest, StackDistanceFollowsPlaneSize) {
+  const Application& app = application(AppId::kStencil3D);
+  // The z-neighbour reuse window is one grid plane ~ n^(2/3).
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 4096);
+  expect_ratio_near(big.stack_distance / base.stack_distance, 4.0, 0.35);
+}
+
+TEST(AppsGraphBfsTest, FlopsGrowWithLogP) {
+  const Application& app = application(AppId::kGraphBfs);
+  // Owner-directory probes are log2(p) deep: 4 -> 16 ranks doubles them.
+  const AppMeasurement base = measure_app(app, 4, 1024);
+  const AppMeasurement big = measure_app(app, 16, 1024);
+  expect_ratio_near(big.flops / base.flops, 2.0, 0.25);
+  expect_ratio_near(big.loads_stores / base.loads_stores, 2.0, 0.25);
+}
+
+TEST(AppsGraphBfsTest, StackDistanceLinearInN) {
+  const Application& app = application(AppId::kGraphBfs);
+  // Uniform neighbour accesses across the vertex array: no locality, the
+  // reuse distance tracks the array itself.
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 2048);
+  expect_ratio_near(big.stack_distance / base.stack_distance, 4.0, 0.35);
+}
+
+TEST(AppsGraphBfsTest, FrontierTrafficGrowsAsSqrtN) {
+  const Application& app = application(AppId::kGraphBfs);
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 8192);
+  expect_ratio_near(big.bytes_sent_received / base.bytes_sent_received, 4.0,
+                    0.30);
+}
+
+TEST(AppsMiniDnnTest, GemmFlopsGrowAsNPowerOneAndAHalf) {
+  const Application& app = application(AppId::kMiniDnn);
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 2048);
+  expect_ratio_near(big.flops / base.flops, 8.0, 0.20);
+  expect_ratio_near(big.loads_stores / base.loads_stores, 8.0, 0.20);
+}
+
+TEST(AppsMiniDnnTest, StackDistanceIsTileBoundConstant) {
+  const Application& app = application(AppId::kMiniDnn);
+  // GEMM tiles are cache-sized: the reuse window must not follow the model.
+  const AppMeasurement base = measure_app(app, 4, 512);
+  const AppMeasurement big = measure_app(app, 4, 8192);
+  expect_ratio_near(big.stack_distance / base.stack_distance, 1.0, 0.30);
+}
+
+TEST(AppsMiniDnnTest, GradientExchangeIsAlltoallDominated) {
+  const Application& app = application(AppId::kMiniDnn);
+  const AppMeasurement m = measure_app(app, 8, 1024);
+  double alltoall_bytes = 0.0;
+  double other_bytes = 0.0;
+  for (const auto& [name, channel] : m.channels) {
+    if (channel.uses_alltoall) {
+      alltoall_bytes += channel.bytes;
+    } else {
+      other_bytes += channel.bytes;
+    }
+  }
+  EXPECT_GT(alltoall_bytes, 0.0);
+  EXPECT_GT(alltoall_bytes, other_bytes);
+}
+
+TEST(AppsMiniDnnTest, AlltoallTrafficGrowsLinearlyInPeers) {
+  const Application& app = application(AppId::kMiniDnn);
+  // Bucket alltoall sends ~sqrt(n) doubles to each of the p-1 peers; the
+  // constant-size loss allreduce only nudges the total.
+  const AppMeasurement base = measure_app(app, 8, 1024);
+  const AppMeasurement big = measure_app(app, 16, 1024);
+  expect_ratio_near(big.bytes_sent_received / base.bytes_sent_received,
+                    15.0 / 7.0, 0.25);
+}
+
+TEST(AppsCheckpointIoTest, IoVolumeFollowsStateTimesSqrtP) {
+  const Application& app = application(AppId::kCheckpointIo);
+  const AppMeasurement base = measure_app(app, 4, 4096);
+  const AppMeasurement big_n = measure_app(app, 4, 16384);
+  const AppMeasurement big_p = measure_app(app, 16, 4096);
+  EXPECT_GT(base.io_bytes, 0.0);
+  // Each epoch commits the full 8n-byte state (the constant manifest read
+  // per epoch drags the measured ratio slightly under 4)...
+  expect_ratio_near(big_n.io_bytes / base.io_bytes, 4.0, 0.15);
+  // ...and Young/Daly epochs grow as sqrt(p): 4 -> 16 ranks doubles them.
+  expect_ratio_near(big_p.io_bytes / base.io_bytes, 2.0, 0.10);
+}
+
+TEST(AppsCheckpointIoTest, OnlyIoAppReportsIoBytes) {
+  for (const AppId id : all_app_ids()) {
+    const Application& app = application(id);
+    const AppMeasurement m = measure_app(app, 4, 64);
+    if (app.performs_file_io()) {
+      EXPECT_GT(m.io_bytes, 0.0) << app.name();
+    } else {
+      EXPECT_EQ(m.io_bytes, 0.0) << app.name();
+    }
+  }
+}
+
+TEST(AppsEnergyProxyTest, EveryMeasurementCarriesTheDerivedProxy) {
+  for (const AppId id : all_app_ids()) {
+    const Application& app = application(id);
+    const AppMeasurement m = measure_app(app, 4, 64);
+    EXPECT_GT(m.energy_proxy, 0.0) << app.name();
+    // The channel is a pure function of the counted activity — the stored
+    // value must equal a recomputation (the legacy-CSV recovery path).
+    EXPECT_DOUBLE_EQ(m.energy_proxy,
+                     derived_energy_proxy(m.flops, m.loads_stores,
+                                          m.bytes_sent_received, m.io_bytes))
+        << app.name();
+  }
+}
+
+TEST(AppsEnergyProxyTest, IoDominatesTheCheckpointerEnergy) {
+  const Application& app = application(AppId::kCheckpointIo);
+  const AppMeasurement m = measure_app(app, 16, 4096);
+  // At 1 nJ/byte the checkpoint traffic outweighs the serialization
+  // sweep's flops and accesses — the signature that makes the app worth
+  // adding to the suite.
+  const double io_joules = m.io_bytes * 1e-9;
+  EXPECT_GT(io_joules, 0.5 * m.energy_proxy);
+}
+
+}  // namespace
+}  // namespace exareq::apps

@@ -126,7 +126,10 @@ TEST(SerializeTest, BundleFormatVersionRoundTrips) {
   original.name = "Versioned";
   original.models = {{"footprint", lulesh_like()}};
   const std::string text = serialize_bundle(original);
-  EXPECT_NE(text.find("# format 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("# format " +
+                      std::to_string(ModelBundle::kCurrentFormatVersion)),
+            std::string::npos)
+      << text;
 
   const ModelBundle restored = parse_bundle(text);
   EXPECT_EQ(restored.format_version, ModelBundle::kCurrentFormatVersion);
@@ -134,7 +137,7 @@ TEST(SerializeTest, BundleFormatVersionRoundTrips) {
   ASSERT_EQ(restored.models.size(), 1u);
 }
 
-TEST(SerializeTest, BundleWithoutFormatLineDefaultsToCurrent) {
+TEST(SerializeTest, BundleWithoutFormatLineDefaultsToOriginal) {
   // Files written before the format field existed carry no `# format`
   // line; they must keep loading as format 1.
   const std::string text = "# exareq requirement models: Legacy\n"
@@ -146,8 +149,11 @@ TEST(SerializeTest, BundleWithoutFormatLineDefaultsToCurrent) {
 }
 
 TEST(SerializeTest, BundleRejectsUnknownFutureFormat) {
+  const int future = ModelBundle::kCurrentFormatVersion + 1;
   const std::string text = "# exareq requirement models: Future\n"
-                           "# format 2\n"
+                           "# format " +
+                           std::to_string(future) +
+                           "\n"
                            "# footprint\n" +
                            serialize_model(lulesh_like());
   try {
@@ -155,9 +161,27 @@ TEST(SerializeTest, BundleRejectsUnknownFutureFormat) {
     FAIL() << "future format accepted";
   } catch (const exareq::InvalidArgument& error) {
     const std::string what = error.what();
-    EXPECT_NE(what.find("format 2"), std::string::npos) << what;
-    EXPECT_NE(what.find("max format 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("format " + std::to_string(future)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("max format " +
+                        std::to_string(ModelBundle::kCurrentFormatVersion)),
+              std::string::npos)
+        << what;
   }
+}
+
+TEST(SerializeTest, LegacyFormatOneBundleStillLoads) {
+  // A v1 file (the original five-label layout, explicit format line) must
+  // keep loading under the v2 reader, with the optional channels absent.
+  const std::string text = "# exareq requirement models: Legacy\n"
+                           "# format 1\n"
+                           "# footprint\n" +
+                           serialize_model(lulesh_like());
+  const ModelBundle bundle = parse_bundle(text);
+  EXPECT_EQ(bundle.format_version, 1);
+  ASSERT_EQ(bundle.models.size(), 1u);
+  EXPECT_EQ(bundle.models[0].first, "footprint");
 }
 
 TEST(SerializeTest, BundleRejectsMalformedFormatLine) {

@@ -223,7 +223,9 @@ TEST(CampaignTest, MetricLabelsMatchTableI) {
             "#Bytes sent & received");
   EXPECT_EQ(metric_label(Metric::kLoadsStores), "#Loads & stores");
   EXPECT_EQ(metric_label(Metric::kStackDistance), "Stack distance");
-  EXPECT_EQ(all_metrics().size(), 5u);
+  EXPECT_EQ(metric_label(Metric::kIoBytes), "#Bytes file I/O");
+  EXPECT_EQ(metric_label(Metric::kEnergyProxy), "Energy proxy [J]");
+  EXPECT_EQ(all_metrics().size(), 7u);
 }
 
 TEST(CampaignTest, ModelingRejectsTooSmallGrid) {

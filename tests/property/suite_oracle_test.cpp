@@ -1,0 +1,423 @@
+// Suite-v2 oracles, three contracts for the grown workload suite:
+//
+//  1. Recovery: for each new proxy, a campaign on a seed-varied grid fitted
+//     through the production pipeline must recover the planted signature
+//     its header documents — checked as growth ratios of the *fitted*
+//     models at extrapolated (p, n) coordinates, the quantity co-design
+//     actually consumes.
+//  2. Locality: the streaming LocalityAnalyzer and the materialize-then-
+//     analyze path must agree field-for-field on the real access pattern
+//     of every one of the nine proxies, across random problem sizes and
+//     burst-sampler configurations.
+//  3. Bundle format: a fitted suite-v2 bundle carries the io_bytes and
+//     energy_proxy channels through serialize -> parse -> ModelRegistry
+//     bit-identically, declares format 2, and coexists with legacy
+//     format-1 bundles (loadable, optional channels absent) while future
+//     formats are rejected.
+//
+// Suites are prefixed "Suite" so the TSan preset's test filter picks them
+// up; the CI property job replays all of them under the 1-5 seed matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "codesign/requirements.hpp"
+#include "memtrace/locality.hpp"
+#include "memtrace/trace.hpp"
+#include "model/serialize.hpp"
+#include "pipeline/campaign.hpp"
+#include "pipeline/codesign_bridge.hpp"
+#include "pipeline/serve_bridge.hpp"
+#include "serve/registry.hpp"
+#include "support/error.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/property.hpp"
+
+namespace exareq::testkit {
+namespace {
+
+// --- 1. planted-signature recovery on seed-varied grids ---------------------
+
+// A randomly drawn measurement grid. Axes keep >= 5 distinct values (the
+// fitter's grid rule) and geometric spacing, so log terms stay separable;
+// the randomness lives in which processor ladder and size decade the fit
+// sees — the fitted signature must not depend on that choice.
+struct SuiteGrid {
+  std::vector<int> processes;
+  std::vector<std::int64_t> sizes;
+
+  std::string describe() const {
+    std::string text = "grid{p";
+    for (int p : processes) text += " " + std::to_string(p);
+    text += "; n";
+    for (std::int64_t n : sizes) text += " " + std::to_string(n);
+    return text + "}";
+  }
+};
+
+Gen<SuiteGrid> suite_grid_gen() {
+  return Gen<SuiteGrid>([](Rng& rng) {
+    SuiteGrid grid;
+    const std::vector<std::vector<int>> ladders = {
+        {2, 4, 8, 16, 32}, {4, 8, 16, 32, 64}, {2, 4, 8, 16, 32, 64}};
+    grid.processes = ladders[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ladders.size()) - 1))];
+    const std::int64_t base = 32 * rng.uniform_int(1, 3);
+    for (const std::int64_t step : {1, 2, 4, 8, 16}) {
+      grid.sizes.push_back(base * step);
+    }
+    return grid;
+  });
+}
+
+codesign::AppRequirements fit_on_grid(apps::AppId id, const SuiteGrid& grid) {
+  pipeline::CampaignConfig config;
+  config.process_counts = grid.processes;
+  config.problem_sizes = grid.sizes;
+  config.threads = 4;
+  const pipeline::CampaignData data =
+      pipeline::run_campaign(apps::application(id), config);
+  return pipeline::to_requirements(pipeline::model_requirements(data));
+}
+
+// Growth ratios at extrapolated coordinates (well outside every generated
+// grid): quadrupling n at fixed p, and quadrupling p at fixed n.
+constexpr double kBaseP = 256.0;
+constexpr double kBaseN = 4096.0;
+double ratio_n(const model::Model& m) {
+  return m.evaluate2(kBaseP, 4.0 * kBaseN) / m.evaluate2(kBaseP, kBaseN);
+}
+double ratio_p(const model::Model& m) {
+  return m.evaluate2(4.0 * kBaseP, kBaseN) / m.evaluate2(kBaseP, kBaseN);
+}
+
+std::string check_ratio(const std::string& what, double actual,
+                        double expected, double tolerance) {
+  if (std::abs(actual - expected) <= tolerance * expected) return "";
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s = %.4g, want %.4g within %.0f%%", what.c_str(), actual,
+                expected, tolerance * 100.0);
+  return buffer;
+}
+
+using RecoveryProperty = std::string (*)(const codesign::AppRequirements&);
+
+void run_recovery(apps::AppId id, const std::string& name,
+                  RecoveryProperty property) {
+  // Each case fits a full campaign, so the case count stays small; the CI
+  // seed matrix (1-5) multiplies the grid coverage across jobs.
+  const PropertyConfig config = property_config(name, 4);
+  const auto result = check<SuiteGrid>(
+      config, suite_grid_gen(), {},
+      [&](const SuiteGrid& grid) { return property(fit_on_grid(id, grid)); });
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const SuiteGrid& grid) { return grid.describe(); });
+}
+
+TEST(SuiteRecoveryOracleTest, Stencil3DSignature) {
+  run_recovery(
+      apps::AppId::kStencil3D, "suite-recovery-stencil3d",
+      +[](const codesign::AppRequirements& req) -> std::string {
+        // flops ~ n, p-independent; footprint ~ n; stack ~ n^(2/3); no I/O.
+        std::string failure = check_ratio("flops 4x n", ratio_n(req.flops),
+                                          4.0, 0.15);
+        if (failure.empty()) {
+          failure = check_ratio("flops 4x p", ratio_p(req.flops), 1.0, 0.10);
+        }
+        if (failure.empty()) {
+          failure = check_ratio("footprint 4x n", ratio_n(req.footprint), 4.0,
+                                0.15);
+        }
+        if (failure.empty()) {
+          const double stack_ratio =
+              req.stack_distance.evaluate1(4.0 * kBaseN) /
+              req.stack_distance.evaluate1(kBaseN);
+          failure = check_ratio("stack 4x n", stack_ratio,
+                                std::pow(4.0, 2.0 / 3.0), 0.30);
+        }
+        if (failure.empty() && req.io_bytes.has_value() &&
+            std::abs(req.io_bytes->evaluate2(kBaseP, kBaseN)) >= 1.0) {
+          failure = "io_bytes model of a no-I/O app is not ~0";
+        }
+        return failure;
+      });
+}
+
+TEST(SuiteRecoveryOracleTest, GraphBfsSignature) {
+  run_recovery(
+      apps::AppId::kGraphBfs, "suite-recovery-graphbfs",
+      +[](const codesign::AppRequirements& req) -> std::string {
+        // flops ~ n log n log p; stack ~ n (the no-locality pathology).
+        const double log_n_growth =
+            4.0 * std::log2(4.0 * kBaseN) / std::log2(kBaseN);
+        std::string failure = check_ratio("flops 4x n", ratio_n(req.flops),
+                                          log_n_growth, 0.15);
+        if (failure.empty()) {
+          const double log_p_growth =
+              std::log2(4.0 * kBaseP) / std::log2(kBaseP);
+          failure = check_ratio("flops 4x p", ratio_p(req.flops),
+                                log_p_growth, 0.10);
+        }
+        if (failure.empty()) {
+          const double stack_ratio =
+              req.stack_distance.evaluate1(4.0 * kBaseN) /
+              req.stack_distance.evaluate1(kBaseN);
+          failure = check_ratio("stack 4x n", stack_ratio, 4.0, 0.30);
+        }
+        return failure;
+      });
+}
+
+TEST(SuiteRecoveryOracleTest, MiniDnnSignature) {
+  run_recovery(
+      apps::AppId::kMiniDnn, "suite-recovery-minidnn",
+      +[](const codesign::AppRequirements& req) -> std::string {
+        // flops ~ n^1.5; comm ~ sqrt(n) * Alltoall(p); stack constant.
+        std::string failure =
+            check_ratio("flops 4x n", ratio_n(req.flops), 8.0, 0.15);
+        if (failure.empty()) {
+          // Alltoall(p) = 2s(p-1): quadrupling p scales the dominant term
+          // by (4p-1)/(p-1).
+          const double alltoall_growth =
+              (4.0 * kBaseP - 1.0) / (kBaseP - 1.0);
+          failure = check_ratio("comm 4x p", ratio_p(req.comm_bytes),
+                                alltoall_growth, 0.15);
+        }
+        if (failure.empty()) {
+          const double stack_ratio =
+              req.stack_distance.evaluate1(4.0 * kBaseN) /
+              req.stack_distance.evaluate1(kBaseN);
+          failure = check_ratio("stack 4x n (tile-bound)", stack_ratio, 1.0,
+                                0.10);
+        }
+        return failure;
+      });
+}
+
+TEST(SuiteRecoveryOracleTest, CheckpointIoSignature) {
+  run_recovery(
+      apps::AppId::kCheckpointIo, "suite-recovery-checkpointio",
+      +[](const codesign::AppRequirements& req) -> std::string {
+        if (!req.io_bytes.has_value()) return "io_bytes model missing";
+        if (!req.energy_proxy.has_value()) return "energy_proxy model missing";
+        // io ~ (8n + manifest) * sqrt(p): quadrupling p doubles it exactly;
+        // quadrupling n scales it by (8*4n + m)/(8n + m) < 4.
+        std::string failure =
+            check_ratio("io 4x p", ratio_p(*req.io_bytes), 2.0, 0.10);
+        if (failure.empty()) {
+          const double manifest = 4096.0;
+          const double n_growth = (8.0 * 4.0 * kBaseN + manifest) /
+                                  (8.0 * kBaseN + manifest);
+          failure = check_ratio("io 4x n", ratio_n(*req.io_bytes), n_growth,
+                                0.15);
+        }
+        if (failure.empty()) {
+          // The energy proxy inherits the I/O channel's sqrt(p) coupling —
+          // at 1 nJ/byte the checkpoint traffic dominates the other terms.
+          failure = check_ratio("energy 4x p", ratio_p(*req.energy_proxy),
+                                2.0, 0.15);
+        }
+        return failure;
+      });
+}
+
+// --- 2. streamed vs materialized locality on the real proxy traces ----------
+
+struct AppTraceCase {
+  apps::AppId app = apps::AppId::kStencil3D;
+  std::int64_t n = 64;
+  memtrace::LocalityConfig config;
+
+  std::string describe() const {
+    return "trace{" + apps::app_name(app) + "; n " + std::to_string(n) +
+           "; burst " + std::to_string(config.sampler.burst_length) + "/" +
+           std::to_string(config.sampler.period) + " offset " +
+           std::to_string(config.sampler.offset) + "; min_samples " +
+           std::to_string(config.min_samples) + "}";
+  }
+};
+
+Gen<AppTraceCase> app_trace_case_gen() {
+  return Gen<AppTraceCase>([](Rng& rng) {
+    AppTraceCase item;
+    const std::vector<apps::AppId> ids = apps::all_app_ids();
+    item.app = ids[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1))];
+    item.n = rng.uniform_int(32, 4096);
+    if (rng.next_double() < 0.2) {
+      item.config.sampler = memtrace::SamplerConfig::exact();
+    } else {
+      const auto burst =
+          static_cast<std::uint64_t>(rng.uniform_int(1, 128));
+      item.config.sampler.burst_length = burst;
+      item.config.sampler.period =
+          burst * static_cast<std::uint64_t>(rng.uniform_int(1, 16));
+      item.config.sampler.offset =
+          static_cast<std::uint64_t>(rng.uniform_int(0, 64));
+    }
+    item.config.min_samples =
+        static_cast<std::size_t>(rng.uniform_int(1, 200));
+    return item;
+  });
+}
+
+std::string render(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Full-precision rendering of every report field, so any divergence shows
+// up in the comparison.
+std::string summarize(const memtrace::LocalityReport& report) {
+  std::string text = "trace_length " + std::to_string(report.trace_length) +
+                     "\ntotal_sampled " + std::to_string(report.total_sampled) +
+                     "\nweighted_median " +
+                     render(report.weighted_median_stack_distance) + "\n";
+  for (const memtrace::GroupLocality& group : report.groups) {
+    text += "group " + std::to_string(group.group) + " '" + group.name +
+            "' samples " + std::to_string(group.samples) + " sampled " +
+            std::to_string(group.sampled_accesses) + " stack " +
+            render(group.median_stack_distance) + " reuse " +
+            render(group.median_reuse_distance) + " mad " +
+            render(group.stack_distance_mad) + " est " +
+            render(group.estimated_accesses) +
+            (group.reliable ? " reliable" : " unreliable") + "\n";
+  }
+  return text;
+}
+
+TEST(SuiteLocalityOracleTest, StreamingMatchesMaterializedForAllNineApps) {
+  const PropertyConfig config =
+      property_config("suite-locality-differential", 120);
+  const auto result = check<AppTraceCase>(
+      config, app_trace_case_gen(), {},
+      [](const AppTraceCase& item) -> std::string {
+        const apps::Application& app = apps::application(item.app);
+
+        memtrace::LocalityAnalyzer analyzer(item.config);
+        app.trace_locality(item.n, analyzer);
+        const std::string streamed = summarize(
+            analyzer.finish(static_cast<double>(analyzer.recorded())));
+
+        memtrace::AccessTrace trace;
+        app.trace_locality(item.n, trace);
+        const std::string materialized = summarize(analyze_locality(
+            trace, item.config, static_cast<double>(trace.size())));
+
+        if (streamed == materialized) return "";
+        return "streamed report diverges:\n" + streamed + "vs materialized:\n" +
+               materialized;
+      });
+  EXPECT_TRUE(result.passed()) << result.report(
+      [](const AppTraceCase& item) { return item.describe(); });
+}
+
+// --- 3. bundle format: suite channels survive the serving path --------------
+
+class SuiteBundleFormatTest : public ::testing::Test {
+ protected:
+  static std::string temp_path(const std::string& stem) {
+    return "/tmp/exareq_suite_bundle_" + stem + "_" +
+           std::to_string(::getpid()) + ".models";
+  }
+
+  // One fitted CheckpointIO bundle shared by the tests (fitting is the
+  // expensive part; every test only reads it).
+  static const model::ModelBundle& fitted_bundle() {
+    static const model::ModelBundle bundle = [] {
+      pipeline::CampaignConfig config;
+      config.process_counts = {2, 4, 8, 16, 32};
+      config.problem_sizes = {16, 32, 64, 128, 256};
+      config.threads = 4;
+      const pipeline::CampaignData data = pipeline::run_campaign(
+          apps::application(apps::AppId::kCheckpointIo), config);
+      return pipeline::to_model_bundle(pipeline::model_requirements(data));
+    }();
+    return bundle;
+  }
+};
+
+TEST_F(SuiteBundleFormatTest, FittedBundleDeclaresFormatTwoWithSuiteChannels) {
+  const model::ModelBundle& bundle = fitted_bundle();
+  EXPECT_EQ(bundle.format_version, model::ModelBundle::kCurrentFormatVersion);
+  const std::string text = model::serialize_bundle(bundle);
+  EXPECT_NE(text.find("# format 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# io_bytes\n"), std::string::npos);
+  EXPECT_NE(text.find("# energy_proxy\n"), std::string::npos);
+
+  // Bit-exact round trip: parse and re-serialize.
+  const model::ModelBundle reparsed = model::parse_bundle(text);
+  EXPECT_EQ(reparsed.format_version, bundle.format_version);
+  EXPECT_EQ(model::serialize_bundle(reparsed), text);
+}
+
+TEST_F(SuiteBundleFormatTest, RegistryLoadsSuiteChannelsBitIdentically) {
+  const std::string path = temp_path("v2");
+  {
+    std::ofstream file(path);
+    file << model::serialize_bundle(fitted_bundle());
+  }
+  serve::ModelRegistry registry;
+  registry.load_file(path);
+  const auto loaded = registry.get("CheckpointIO");
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_TRUE(loaded->io_bytes.has_value());
+  ASSERT_TRUE(loaded->energy_proxy.has_value());
+  for (const auto& [label, m] : fitted_bundle().models) {
+    if (label == "io_bytes") {
+      EXPECT_EQ(loaded->io_bytes->evaluate2(256.0, 4096.0),
+                m.evaluate2(256.0, 4096.0));
+    } else if (label == "energy_proxy") {
+      EXPECT_EQ(loaded->energy_proxy->evaluate2(256.0, 4096.0),
+                m.evaluate2(256.0, 4096.0));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SuiteBundleFormatTest, LegacyFormatOneBundleLoadsWithoutSuiteChannels) {
+  // A bundle as written before the suite-v2 channels: core five labels,
+  // format 1. It must still load, with the optional channels absent.
+  model::ModelBundle legacy = fitted_bundle();
+  legacy.format_version = 1;
+  std::erase_if(legacy.models, [](const auto& entry) {
+    return entry.first == "io_bytes" || entry.first == "energy_proxy";
+  });
+  const std::string path = temp_path("v1");
+  {
+    std::ofstream file(path);
+    file << model::serialize_bundle(legacy);
+  }
+  serve::ModelRegistry registry;
+  registry.load_file(path);
+  const auto loaded = registry.get("CheckpointIO");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_FALSE(loaded->io_bytes.has_value());
+  EXPECT_FALSE(loaded->energy_proxy.has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(SuiteBundleFormatTest, FutureFormatIsRejected) {
+  std::string text = model::serialize_bundle(fitted_bundle());
+  const std::string current =
+      "# format " +
+      std::to_string(model::ModelBundle::kCurrentFormatVersion) + "\n";
+  const std::string future =
+      "# format " +
+      std::to_string(model::ModelBundle::kCurrentFormatVersion + 1) + "\n";
+  const auto at = text.find(current);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, current.size(), future);
+  EXPECT_THROW(model::parse_bundle(text), exareq::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace exareq::testkit

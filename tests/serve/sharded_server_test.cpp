@@ -130,7 +130,8 @@ TEST(ShardedServerTest, UnknownAppAndBadRequestsAnswerErrors) {
             0u);
   EXPECT_EQ(server.handle_line("eval lulesh watts 64 100"),
             "error bad-request: unknown metric 'watts' (expected "
-            "footprint|flops|comm_bytes|loads_stores|stack_distance)");
+            "footprint|flops|comm_bytes|loads_stores|stack_distance|"
+            "io_bytes|energy_proxy)");
   EXPECT_EQ(server.handle_line("bogus").rfind("error bad-request", 0), 0u);
 }
 
